@@ -1,0 +1,49 @@
+// Ablation: degree-descending vertex relabeling (locality optimization).
+//
+// Renumbering vertices by non-increasing degree groups the hubs' edge
+// ranges together, which improves cache behavior of the per-edge property
+// arrays and front-loads heavy vertices in the range-based task bundles.
+// Reports ppSCAN runtime on the original vs relabeled ids (results are
+// verified equal after mapping back).
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ppscan.hpp"
+#include "scan/relabel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppscan;
+  const Flags flags(argc, argv);
+  bench::print_banner(flags, "Ablation: degree-descending relabeling");
+
+  const auto mu = static_cast<std::uint32_t>(flags.get_int("mu", 5));
+  PpScanOptions options;
+  options.num_threads = static_cast<int>(
+      flags.get_int("threads", default_threads()));
+
+  Table table({"dataset", "eps", "original(s)", "relabeled(s)", "speedup"});
+  for (const auto& name : bench::dataset_flag(flags)) {
+    const auto graph = load_dataset(name);
+    const auto relabeling = degree_descending_order(graph);
+    const auto relabeled = apply_relabeling(graph, relabeling);
+    for (const auto& eps : {std::string("0.2"), std::string("0.6")}) {
+      const auto params = ScanParams::make(eps, mu);
+      const auto original_run = ppscan::ppscan(graph, params, options);
+      const auto relabeled_run = ppscan::ppscan(relabeled, params, options);
+      const auto mapped =
+          map_result_to_original(relabeled_run.result, relabeling);
+      if (!results_equivalent(original_run.result, mapped)) {
+        std::cerr << "ERROR: relabeling changed the clustering on " << name
+                  << "\n";
+        return 1;
+      }
+      table.add_row({name, eps, Table::fmt(original_run.stats.total_seconds),
+                     Table::fmt(relabeled_run.stats.total_seconds),
+                     Table::fmt(original_run.stats.total_seconds /
+                                    relabeled_run.stats.total_seconds,
+                                2)});
+    }
+  }
+  table.print(std::cout, "Relabeling ablation, mu=" + std::to_string(mu));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1: time breakdown of SCAN and pSCAN (µ = 5, ε ∈ {.2,.4,.6,.8}).
+//
+// The paper splits each run into "similarity evaluation", "workload
+// reduction computation" and "other computation" to show that (a) the
+// similarity evaluation dominates both algorithms and (b) pSCAN's pruning
+// bookkeeping is cheap relative to what it saves. Expected shape: pSCAN's
+// total far below SCAN's; similarity-seconds the biggest slice of both.
+#include <iostream>
+
+#include "common.hpp"
+#include "scan/pscan.hpp"
+#include "scan/scan_original.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppscan;
+  const Flags flags(argc, argv);
+  bench::print_banner(flags, "Figure 1: SCAN vs pSCAN time breakdown");
+
+  const auto mu = static_cast<std::uint32_t>(flags.get_int("mu", 5));
+  std::vector<std::string> datasets{"livejournal-sim", "orkut-sim",
+                                    "twitter-sim"};
+  if (flags.has("datasets")) {
+    datasets = bench::split_list(flags.get_string("datasets", ""));
+  }
+
+  Table table({"dataset", "algorithm", "eps", "similarity(s)",
+               "workload-reduction(s)", "other(s)", "total(s)"});
+  for (const auto& name : datasets) {
+    const auto graph = load_dataset(name);
+    for (const auto& eps : bench::eps_flag(flags)) {
+      const auto params = ScanParams::make(eps, mu);
+
+      ScanOriginalOptions scan_options;
+      scan_options.collect_breakdown = true;
+      const auto scan_run = scan_original(graph, params, scan_options);
+      table.add_row(
+          {name, "SCAN", eps, Table::fmt(scan_run.stats.similarity_seconds),
+           Table::fmt(0.0),
+           Table::fmt(scan_run.stats.total_seconds -
+                      scan_run.stats.similarity_seconds),
+           Table::fmt(scan_run.stats.total_seconds)});
+
+      PscanOptions pscan_options;
+      pscan_options.collect_breakdown = true;
+      const auto pscan_run = pscan(graph, params, pscan_options);
+      table.add_row(
+          {name, "pSCAN", eps, Table::fmt(pscan_run.stats.similarity_seconds),
+           Table::fmt(pscan_run.stats.pruning_seconds),
+           Table::fmt(pscan_run.stats.total_seconds -
+                      pscan_run.stats.similarity_seconds -
+                      pscan_run.stats.pruning_seconds),
+           Table::fmt(pscan_run.stats.total_seconds)});
+    }
+  }
+  table.print(std::cout, "Figure 1: time breakdown, mu=" + std::to_string(mu));
+  return 0;
+}

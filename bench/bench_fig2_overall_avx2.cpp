@@ -1,0 +1,10 @@
+// Figure 2: comparison with existing algorithms on the CPU server (AVX2),
+// µ = 5. Expected shape: ppSCAN fastest everywhere; pSCAN beats SCAN;
+// SCAN-XP flat in ε (exhaustive) while the pruning algorithms speed up as
+// ε grows; anySCAN between SCAN-XP and ppSCAN.
+#include "bench_overall_common.hpp"
+
+int main(int argc, char** argv) {
+  return ppscan::bench::run_overall_comparison(
+      argc, argv, ppscan::IntersectKind::PivotAvx2, "Figure 2 (CPU/AVX2)");
+}

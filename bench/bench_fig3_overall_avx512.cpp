@@ -1,0 +1,9 @@
+// Figure 3: comparison with existing algorithms on the KNL server (AVX512),
+// µ = 5. Same expected shape as Figure 2 with a larger ppSCAN margin from
+// the 16-lane intersection.
+#include "bench_overall_common.hpp"
+
+int main(int argc, char** argv) {
+  return ppscan::bench::run_overall_comparison(
+      argc, argv, ppscan::IntersectKind::PivotAvx512, "Figure 3 (KNL/AVX512)");
+}

@@ -1,0 +1,43 @@
+// Figure 7: robustness experiment 1 — ppSCAN runtime across µ ∈ {2,5,10,15}
+// and the ε sweep on the four real-graph stand-ins.
+//
+// Expected shape: similar runtime trends for every µ; runtime decreasing in
+// ε; small-ε runs slightly slower at large µ (less pruning); webbase-style
+// graphs slower at µ = 2 (many cores → more clustering work).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ppscan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppscan;
+  const Flags flags(argc, argv);
+  bench::print_banner(flags, "Figure 7: robustness over (mu, eps)");
+
+  std::vector<std::string> mu_list{"2", "5", "10", "15"};
+  if (flags.has("mu")) {
+    mu_list = bench::split_list(flags.get_string("mu", ""));
+  }
+  PpScanOptions options;
+  options.num_threads = static_cast<int>(
+      flags.get_int("threads", default_threads()));
+
+  Table table({"dataset", "mu", "eps", "runtime(s)", "cores", "clusters"});
+  for (const auto& name : bench::dataset_flag(flags)) {
+    const auto graph = load_dataset(name);
+    for (const auto& mu_text : mu_list) {
+      const auto mu = static_cast<std::uint32_t>(std::atoi(mu_text.c_str()));
+      for (const auto& eps : bench::eps_flag(flags)) {
+        const auto run = ppscan::ppscan(graph, ScanParams::make(eps, mu), options);
+        table.add_row({name, mu_text, eps,
+                       Table::fmt(run.stats.total_seconds),
+                       Table::fmt(run.result.num_cores()),
+                       Table::fmt(std::uint64_t{run.result.num_clusters()})});
+      }
+    }
+  }
+  table.print(std::cout, "Figure 7: ppSCAN runtime across mu and eps");
+  return 0;
+}

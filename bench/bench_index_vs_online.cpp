@@ -1,0 +1,59 @@
+// Ablation: index-based querying (GS*-Index) vs online clustering (ppSCAN).
+//
+// The paper's §3.3 argues GS*-Index's construction — an exhaustive
+// similarity pass over every edge — is prohibitively expensive on massive
+// graphs, while ppSCAN answers each (ε, µ) online fast enough for
+// interactive use. This harness measures that trade-off: index build cost
+// and memory vs per-query latency, against fresh ppSCAN runs, plus the
+// break-even query count.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ppscan.hpp"
+#include "index/gs_index.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppscan;
+  const Flags flags(argc, argv);
+  bench::print_banner(flags, "Ablation: GS*-Index vs online ppSCAN");
+
+  const int threads = static_cast<int>(
+      flags.get_int("threads", default_threads()));
+  const auto mu = static_cast<std::uint32_t>(flags.get_int("mu", 5));
+
+  Table table({"dataset", "build(s)", "index-MB", "eps", "query(s)",
+               "ppSCAN(s)", "online/query", "break-even-queries"});
+  for (const auto& name : bench::dataset_flag(flags)) {
+    const auto graph = load_dataset(name);
+
+    GsIndex::BuildOptions build;
+    build.num_threads = threads;
+    const GsIndex index(graph, build);
+    const double build_seconds = index.build_stats().construction_seconds;
+    const double index_mb =
+        static_cast<double>(index.memory_bytes()) / (1024.0 * 1024.0);
+
+    PpScanOptions online;
+    online.num_threads = threads;
+    for (const auto& eps : bench::eps_flag(flags)) {
+      const auto params = ScanParams::make(eps, mu);
+      const auto query_run = index.query(params);
+      const auto online_run = ppscan::ppscan(graph, params, online);
+      const double query_s = query_run.stats.total_seconds;
+      const double online_s = online_run.stats.total_seconds;
+      // Queries after which paying the build cost beats re-running ppSCAN.
+      const double saved_per_query = online_s - query_s;
+      const double break_even =
+          saved_per_query > 0 ? build_seconds / saved_per_query : -1;
+      table.add_row({name, Table::fmt(build_seconds), Table::fmt(index_mb, 1),
+                     eps, Table::fmt(query_s), Table::fmt(online_s),
+                     Table::fmt(query_s > 0 ? online_s / query_s : 0, 1),
+                     Table::fmt(break_even, 1)});
+    }
+  }
+  table.print(std::cout,
+              "GS*-Index build-once/query-many vs ppSCAN online, mu=" +
+                  std::to_string(mu));
+  std::cout << "(break-even -1 means the online run already beats a query)\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Tables 1 and 2: statistics of the evaluation graphs.
+//
+// The paper lists |V|, |E|, average degree and max degree for its four
+// real-world graphs (Table 1) and four ROLL graphs (Table 2); this harness
+// prints the same columns for the scaled stand-ins, so the shapes (degree
+// regimes, skew) can be checked against the originals.
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/graph_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppscan;
+  const Flags flags(argc, argv);
+  bench::print_banner(flags, "Tables 1 & 2: dataset statistics");
+  const double scale = flags.get_double("scale", bench_scale());
+
+  const auto emit = [&](const std::string& title,
+                        const std::vector<DatasetInfo>& infos) {
+    Table table({"name", "stands-in-for", "|V|", "|E|", "avg d", "max d",
+                 "generator"});
+    for (const auto& info : infos) {
+      const auto graph = load_dataset(info.name, scale);
+      const auto s = compute_stats(graph);
+      table.add_row({info.name, info.stands_in_for,
+                     Table::fmt(std::uint64_t{s.num_vertices}),
+                     Table::fmt(std::uint64_t{s.num_edges}),
+                     Table::fmt(s.avg_degree, 1),
+                     Table::fmt(std::uint64_t{s.max_degree}),
+                     info.generator});
+    }
+    table.print(std::cout, title);
+  };
+
+  emit("Table 1: real-world graph stand-ins", real_world_datasets());
+  emit("Table 2: ROLL graph stand-ins", roll_datasets());
+  return 0;
+}

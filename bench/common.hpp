@@ -1,0 +1,65 @@
+// Shared plumbing for the figure/table harnesses: standard flags, list
+// parsing, and the environment banner each binary prints so a saved output
+// records how it was produced.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support/datasets.hpp"
+#include "setops/intersect.hpp"
+#include "util/env.hpp"
+#include "util/flags.hpp"
+#include "util/report.hpp"
+
+namespace ppscan::bench {
+
+inline std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// The ε sweep the paper's figures use.
+inline std::vector<std::string> default_eps_list() {
+  return {"0.2", "0.4", "0.6", "0.8"};
+}
+
+inline std::vector<std::string> default_dataset_list() {
+  std::vector<std::string> names;
+  for (const auto& d : real_world_datasets()) names.push_back(d.name);
+  return names;
+}
+
+/// Prints the reproducibility banner: binary name, scale, threads, CPU
+/// vector support.
+inline void print_banner(const Flags& flags, const std::string& purpose) {
+  std::cout << "# " << flags.program() << " — " << purpose << "\n"
+            << "# scale=" << bench_scale()
+            << " default_threads=" << default_threads()
+            << " avx2=" << (kernel_supported(IntersectKind::PivotAvx2) ? 1 : 0)
+            << " avx512="
+            << (kernel_supported(IntersectKind::PivotAvx512) ? 1 : 0) << "\n";
+}
+
+/// Common flag: --datasets=a,b,c (default: the four Table-1 stand-ins).
+inline std::vector<std::string> dataset_flag(const Flags& flags) {
+  if (flags.has("datasets")) {
+    return split_list(flags.get_string("datasets", ""));
+  }
+  return default_dataset_list();
+}
+
+/// Common flag: --eps=0.2,0.4 (default: the paper's sweep).
+inline std::vector<std::string> eps_flag(const Flags& flags) {
+  if (flags.has("eps")) return split_list(flags.get_string("eps", ""));
+  return default_eps_list();
+}
+
+}  // namespace ppscan::bench

@@ -1,0 +1,66 @@
+// Community detection on a planted-partition social network.
+//
+//   ./community_detection [--n 20000] [--eps 0.3] [--mu 4] [--threads 4]
+//
+// Generates an LFR-like graph with known ground-truth communities, runs
+// ppSCAN, and evaluates the recovered clusters with the library's quality
+// metrics (pairwise precision/recall/F1, purity, modularity) — the
+// workload the paper's intro motivates (mining social-network communities
+// plus the hub/outlier roles other clustering algorithms do not provide).
+#include <cstdint>
+#include <iostream>
+
+#include "core/ppscan.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "scan/quality.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppscan;
+  const Flags flags(argc, argv);
+
+  LfrParams lfr;
+  lfr.n = static_cast<VertexId>(flags.get_int("n", 20000));
+  lfr.avg_degree = flags.get_double("avg-degree", 24);
+  lfr.mixing = flags.get_double("mixing", 0.1);
+  lfr.min_community = 30;
+  lfr.max_community = 120;
+  std::vector<VertexId> truth;
+  const auto graph = lfr_like(lfr, 20260704, &truth);
+  std::cout << "Generated network: " << compute_stats(graph).to_string()
+            << "\n";
+
+  const auto params = ScanParams::make(flags.get_string("eps", "0.3"),
+                                       static_cast<std::uint32_t>(
+                                           flags.get_int("mu", 4)));
+  PpScanOptions options;
+  options.num_threads = static_cast<int>(flags.get_int("threads", 4));
+  const auto run = ppscan::ppscan(graph, params, options);
+
+  const auto clusters = run.result.canonical_clusters();
+  const auto classes = classify_hubs_outliers(graph, run.result);
+  std::uint64_t hubs = 0, outliers = 0;
+  for (const auto c : classes) {
+    if (c == VertexClass::Hub) ++hubs;
+    if (c == VertexClass::Outlier) ++outliers;
+  }
+
+  std::cout << "ppSCAN(eps=" << params.eps.to_double() << ", mu=" << params.mu
+            << "): " << clusters.size() << " clusters, "
+            << run.result.num_cores() << " cores, " << hubs << " hubs, "
+            << outliers << " outliers in " << run.stats.total_seconds
+            << " s\n";
+
+  const auto scores = pairwise_scores(clusters, truth);
+  std::cout << "Recovery vs planted communities: precision="
+            << scores.precision << " recall=" << scores.recall
+            << " F1=" << scores.f1 << "\n";
+  std::cout << "Purity=" << purity(clusters, truth)
+            << " modularity=" << modularity(graph, run.result)
+            << " mean-conductance="
+            << mean_cluster_conductance(graph, run.result) << "\n";
+  std::cout << "(recall below 1.0 is expected: SCAN only clusters vertices "
+               "that pass the core/similarity test)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "bench_support/algorithms.hpp"
+
+#include <stdexcept>
+
+#include "core/ppscan.hpp"
+#include "scan/anyscan_lite.hpp"
+#include "scan/pscan.hpp"
+#include "scan/scan_original.hpp"
+#include "scan/scanxp.hpp"
+
+namespace ppscan {
+
+std::vector<std::string> algorithm_names() {
+  return {"SCAN", "pSCAN", "anySCAN", "SCAN-XP", "ppSCAN", "ppSCAN-NO"};
+}
+
+ScanRun run_algorithm(const std::string& name, const CsrGraph& graph,
+                      const ScanParams& params, const AlgorithmConfig& config) {
+  if (name == "SCAN") {
+    return scan_original(graph, params);
+  }
+  if (name == "pSCAN") {
+    return pscan(graph, params);
+  }
+  if (name == "anySCAN") {
+    AnyScanLiteOptions options;
+    options.num_threads = config.num_threads;
+    return anyscan_lite(graph, params, options);
+  }
+  if (name == "SCAN-XP") {
+    ScanXpOptions options;
+    options.num_threads = config.num_threads;
+    return scanxp(graph, params, options);
+  }
+  if (name == "ppSCAN") {
+    PpScanOptions options;
+    options.num_threads = config.num_threads;
+    options.kernel = config.kernel;
+    return ppscan(graph, params, options);
+  }
+  if (name == "ppSCAN-NO") {
+    PpScanOptions options;
+    options.num_threads = config.num_threads;
+    options.kernel = IntersectKind::MergeEarlyStop;
+    return ppscan(graph, params, options);
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+}  // namespace ppscan

@@ -1,0 +1,39 @@
+// Named benchmark datasets — the scaled synthetic stand-ins for the paper's
+// evaluation graphs (DESIGN.md §3).
+//
+// Every dataset is deterministic in (name, scale). `scale` multiplies the
+// base edge budget (PPSCAN_SCALE env var via bench_scale()); vertex counts
+// grow with the budget while target degrees stay fixed, so the workload
+// shape is preserved at any size. Generated graphs are cached as binary CSR
+// snapshots under PPSCAN_CACHE_DIR (default: the system temp directory) to
+// amortize generation across bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ppscan {
+
+struct DatasetInfo {
+  std::string name;
+  std::string stands_in_for;  // the paper dataset it simulates
+  std::string generator;      // human-readable recipe
+};
+
+/// The four real-graph stand-ins (Table 1): orkut-sim, webbase-sim,
+/// twitter-sim, friendster-sim (+ livejournal-sim used by Figure 1).
+std::vector<DatasetInfo> real_world_datasets();
+
+/// The ROLL stand-ins (Table 2): roll-d40, roll-d80, roll-d120, roll-d160.
+std::vector<DatasetInfo> roll_datasets();
+
+/// Generates (or loads from cache) a dataset by name. Throws
+/// std::invalid_argument for unknown names.
+CsrGraph load_dataset(const std::string& name, double scale);
+
+/// Convenience: load at the PPSCAN_SCALE environment scale.
+CsrGraph load_dataset(const std::string& name);
+
+}  // namespace ppscan

@@ -1,0 +1,50 @@
+// Fixed-size worker pool with a join barrier.
+//
+// ppSCAN's master thread streams degree-bundled tasks into the pool
+// (Algorithm 5) and calls wait_idle() as the barrier between phases; the
+// pool itself is phase-agnostic and reusable across the whole run, so thread
+// creation cost is paid once per clustering call.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppscan {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. The pool remains usable
+  /// afterwards — this is the inter-phase barrier.
+  void wait_idle();
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t unfinished_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace ppscan

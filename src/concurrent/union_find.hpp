@@ -1,0 +1,57 @@
+// Disjoint-set structures for core clustering.
+//
+// UnionFind — the sequential structure pSCAN uses (path halving + union by
+// rank).
+//
+// ParallelUnionFind — the wait-free variant ppSCAN uses (paper §4.1, after
+// Anderson & Woll 1991): find() uses CAS-assisted path halving; unite() CAS-
+// links one root under the other, retrying on contention. same_set() may
+// return a stale `false` under concurrency (sets only ever merge), which is
+// exactly the semantics the union-find *pruning* needs: a false negative
+// only costs a redundant similarity check, never correctness.
+#pragma once
+
+#include <vector>
+
+#include "util/atomic_array.hpp"
+#include "util/types.hpp"
+
+namespace ppscan {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n);
+
+  VertexId find(VertexId x);
+  /// Returns true when two distinct sets were merged.
+  bool unite(VertexId x, VertexId y);
+  bool same_set(VertexId x, VertexId y) { return find(x) == find(y); }
+  [[nodiscard]] VertexId size() const {
+    return static_cast<VertexId>(parent_.size());
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+class ParallelUnionFind {
+ public:
+  explicit ParallelUnionFind(VertexId n);
+
+  /// Thread-safe root lookup with path halving.
+  VertexId find(VertexId x);
+  /// Thread-safe merge; returns true when this call performed the link.
+  bool unite(VertexId x, VertexId y);
+  /// Thread-safe; false may be stale (see header comment), true is exact.
+  bool same_set(VertexId x, VertexId y);
+  [[nodiscard]] VertexId size() const {
+    return static_cast<VertexId>(parent_.size());
+  }
+
+ private:
+  AtomicArray<VertexId> parent_;
+  AtomicArray<std::uint8_t> rank_;
+};
+
+}  // namespace ppscan

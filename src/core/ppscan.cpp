@@ -1,0 +1,328 @@
+#include "core/ppscan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "concurrent/thread_pool.hpp"
+#include "concurrent/union_find.hpp"
+#include "graph/reverse_index.hpp"
+#include "util/atomic_array.hpp"
+#include "util/timer.hpp"
+
+namespace ppscan {
+namespace {
+
+class PpScanRunner {
+ public:
+  PpScanRunner(const CsrGraph& graph, const ScanParams& params,
+               const PpScanOptions& options)
+      : graph_(graph),
+        params_(params),
+        options_(options),
+        kernel_(similar_fn(options.kernel)),
+        pool_(options.num_threads),
+        uf_(graph.num_vertices()) {
+    sim_.assign(graph.num_arcs(), kSimUncached);
+    roles_.assign(graph.num_vertices(),
+                  static_cast<std::uint8_t>(Role::Unknown));
+    cluster_id_.assign(graph.num_vertices(), kInvalidVertex);
+  }
+
+  ScanRun run() {
+    WallTimer total;
+    if (options_.use_reverse_index) {
+      reverse_index_ = ReverseArcIndex(graph_);
+    }
+    {
+      ScopedAccumTimer t(stats_.stage_prune_seconds);
+      phase_prune_sim();
+    }
+    {
+      ScopedAccumTimer t(stats_.stage_check_seconds);
+      phase_check_core();
+      phase_consolidate_core();
+    }
+    {
+      ScopedAccumTimer t(stats_.stage_core_cluster_seconds);
+      phase_cluster_core_without_compsim();
+      phase_cluster_core_with_compsim();
+      phase_init_cluster_id();
+    }
+    {
+      ScopedAccumTimer t(stats_.stage_noncore_cluster_seconds);
+      phase_cluster_noncore();
+    }
+    ScanRun run = assemble_result();
+    run.stats = stats_;
+    run.stats.compsim_invocations = invocations_.load();
+    run.stats.total_seconds = total.elapsed_s();
+    return run;
+  }
+
+ private:
+  [[nodiscard]] Role role_of(VertexId u) const {
+    return static_cast<Role>(roles_.load(u));
+  }
+  void set_role(VertexId u, Role r) {
+    roles_.store(u, static_cast<std::uint8_t>(r));
+  }
+
+  template <typename NeedsWork, typename Work>
+  void run_phase(NeedsWork&& needs_work, Work&& work) {
+    const auto st = schedule_vertex_tasks(
+        pool_, graph_.num_vertices(),
+        [this](VertexId u) { return graph_.degree(u); },
+        std::forward<NeedsWork>(needs_work), std::forward<Work>(work),
+        options_.scheduler);
+    stats_.tasks_submitted += st.tasks_submitted;
+  }
+
+  // Phase 1 — PruneSim(u): settle arcs decidable from degrees, cache min_cn
+  // for the rest, and initialize roles from the settled flags. Each directed
+  // arc is written exactly by its tail; the head computes the identical
+  // value for the reverse arc, so no mirroring (and no race) is needed here.
+  void phase_prune_sim() {
+    run_phase(
+        [](VertexId) { return true; },
+        [this](VertexId u) {
+          std::uint32_t sd = 0;
+          std::uint32_t ed = graph_.degree(u);
+          for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
+               ++e) {
+            const VertexId v = graph_.dst()[e];
+            const VertexId du = graph_.degree(u);
+            const VertexId dv = graph_.degree(v);
+            const std::uint32_t need =
+                min_common_neighbors(params_.eps, du, dv);
+            std::int32_t value = static_cast<std::int32_t>(std::max(1u, need));
+            if (options_.predicate_pruning) {
+              if (need <= 2) {
+                value = kSimFlag;
+                ++sd;
+              } else if (need > std::min(du, dv) + 1) {
+                value = kNSimFlag;
+                --ed;
+              }
+            }
+            sim_.store(e, value);
+          }
+          if (sd >= params_.mu) {
+            set_role(u, Role::Core);
+          } else if (ed < params_.mu) {
+            set_role(u, Role::NonCore);
+          }
+        });
+  }
+
+  /// Computes one undecided arc with the configured kernel and mirrors the
+  /// flag onto the reverse arc (similarity-value reuse). Returns Sim?
+  bool compute_arc(VertexId u, EdgeId e, std::uint32_t min_cn) {
+    const VertexId v = graph_.dst()[e];
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    const bool sim =
+        kernel_(graph_.neighbors(u), graph_.neighbors(v), min_cn);
+    const std::int32_t flag = sim ? kSimFlag : kNSimFlag;
+    sim_.store(e, flag);
+    sim_.store(reverse_index_.empty() ? graph_.reverse_arc(u, e)
+                                      : reverse_index_.reverse(e),
+               flag);
+    return sim;
+  }
+
+  // Shared body of CheckCore / ConsolidateCore (Algorithm 3 lines 21-35).
+  // Local sd/ed are rebuilt from the flag array each call — the paper's
+  // decoupling of the shared sd/ed arrays.
+  void check_core_impl(VertexId u, bool ordered) {
+    std::uint32_t sd = 0;
+    std::uint32_t ed = graph_.degree(u);
+    const bool early = options_.minmax_pruning;
+
+    // Pass 1: tally already-decided arcs.
+    for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
+      const std::int32_t value = sim_.load(e);
+      if (value == kSimFlag) {
+        if (++sd >= params_.mu && early) {
+          set_role(u, Role::Core);
+          return;
+        }
+      } else if (value == kNSimFlag) {
+        if (--ed < params_.mu && early) {
+          set_role(u, Role::NonCore);
+          return;
+        }
+      }
+    }
+
+    // Pass 2: compute undecided arcs (only the u < v ones when ordered).
+    for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
+      const VertexId v = graph_.dst()[e];
+      if (ordered && u >= v) continue;
+      const std::int32_t value = sim_.load(e);
+      if (value <= 0) continue;  // settled since pass 1 or during it
+      if (compute_arc(u, e, static_cast<std::uint32_t>(value))) {
+        if (++sd >= params_.mu && early) {
+          set_role(u, Role::Core);
+          return;
+        }
+      } else {
+        if (--ed < params_.mu && early) {
+          set_role(u, Role::NonCore);
+          return;
+        }
+      }
+    }
+
+    // No early exit fired. When every arc of u is decided, sd == ed and the
+    // role is final; otherwise (order-skipped arcs remain) the bounds may
+    // still be conclusive, else the consolidating phase finishes the job.
+    if (sd >= params_.mu) {
+      set_role(u, Role::Core);
+    } else if (ed < params_.mu) {
+      set_role(u, Role::NonCore);
+    }
+  }
+
+  // Phase 2 — CheckCore over still-unknown roles with the u < v constraint.
+  void phase_check_core() {
+    run_phase(
+        [this](VertexId u) { return role_of(u) == Role::Unknown; },
+        [this](VertexId u) { check_core_impl(u, /*ordered=*/true); });
+  }
+
+  // Phase 3 — ConsolidateCore: constraint dropped; Theorem 4.1 guarantees
+  // the remaining computations are conflict- and duplicate-free.
+  void phase_consolidate_core() {
+    run_phase(
+        [this](VertexId u) { return role_of(u) == Role::Unknown; },
+        [this](VertexId u) { check_core_impl(u, /*ordered=*/false); });
+  }
+
+  // Phase 4 — unite cores over edges already known similar; forms the small
+  // early clusters that power the union-find pruning of phase 5.
+  void phase_cluster_core_without_compsim() {
+    run_phase(
+        [this](VertexId u) { return role_of(u) == Role::Core; },
+        [this](VertexId u) {
+          for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
+               ++e) {
+            const VertexId v = graph_.dst()[e];
+            if (u >= v || role_of(v) != Role::Core) continue;
+            if (sim_.load(e) != kSimFlag) continue;
+            if (options_.unionfind_pruning && uf_.same_set(u, v)) continue;
+            uf_.unite(u, v);
+          }
+        });
+  }
+
+  // Phase 5 — intersect the remaining unknown core-core edges; same-set
+  // pairs skip the computation entirely (union-find pruning).
+  void phase_cluster_core_with_compsim() {
+    run_phase(
+        [this](VertexId u) { return role_of(u) == Role::Core; },
+        [this](VertexId u) {
+          for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
+               ++e) {
+            const VertexId v = graph_.dst()[e];
+            if (u >= v || role_of(v) != Role::Core) continue;
+            const std::int32_t value = sim_.load(e);
+            if (value <= 0) {
+              if (value == kSimFlag &&
+                  !(options_.unionfind_pruning && uf_.same_set(u, v))) {
+                // Possible only when phase 4 raced a later flag write —
+                // cannot happen with barriers, but uniting is idempotent.
+                uf_.unite(u, v);
+              }
+              continue;
+            }
+            if (options_.unionfind_pruning && uf_.same_set(u, v)) continue;
+            if (compute_arc(u, e, static_cast<std::uint32_t>(value))) {
+              uf_.unite(u, v);
+            }
+          }
+        });
+  }
+
+  // Phase 6 — cluster id of each set = minimum member core id, via CAS-min
+  // (Algorithm 4 lines 17-23).
+  void phase_init_cluster_id() {
+    run_phase(
+        [this](VertexId u) { return role_of(u) == Role::Core; },
+        [this](VertexId u) {
+          const VertexId root = uf_.find(u);
+          VertexId current = cluster_id_.load(root);
+          while (u < current &&
+                 !cluster_id_.compare_exchange(root, current, u)) {
+          }
+        });
+  }
+
+  // Phase 7 — cores assign their cluster id to ε-similar non-core
+  // neighbors. Task-local pair buffers are flushed to the global list once
+  // per task (the paper's pipelined copy-back).
+  void phase_cluster_noncore() {
+    run_phase(
+        [this](VertexId u) { return role_of(u) == Role::Core; },
+        [this](VertexId u) {
+          std::vector<std::pair<VertexId, VertexId>> local;
+          const VertexId cid = cluster_id_.load(uf_.find(u));
+          for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
+               ++e) {
+            const VertexId v = graph_.dst()[e];
+            if (role_of(v) != Role::NonCore) continue;
+            std::int32_t value = sim_.load(e);
+            if (value > 0) {
+              value = compute_arc(u, e, static_cast<std::uint32_t>(value))
+                          ? kSimFlag
+                          : kNSimFlag;
+            }
+            if (value == kSimFlag) local.emplace_back(v, cid);
+          }
+          if (!local.empty()) {
+            std::lock_guard lock(membership_mutex_);
+            memberships_.insert(memberships_.end(), local.begin(),
+                                local.end());
+          }
+        });
+  }
+
+  ScanRun assemble_result() {
+    ScanRun run;
+    const VertexId n = graph_.num_vertices();
+    run.result.roles.resize(n);
+    run.result.core_cluster_id.assign(n, kInvalidVertex);
+    for (VertexId u = 0; u < n; ++u) {
+      run.result.roles[u] = role_of(u);
+      if (run.result.roles[u] == Role::Core) {
+        run.result.core_cluster_id[u] = cluster_id_.load(uf_.find(u));
+      }
+    }
+    run.result.noncore_memberships = std::move(memberships_);
+    run.result.normalize();
+    return run;
+  }
+
+  const CsrGraph& graph_;
+  const ScanParams& params_;
+  const PpScanOptions& options_;
+  SimilarFn kernel_;
+  ThreadPool pool_;
+  ReverseArcIndex reverse_index_;
+  ParallelUnionFind uf_;
+  AtomicArray<std::int32_t> sim_;
+  AtomicArray<std::uint8_t> roles_;
+  AtomicArray<VertexId> cluster_id_;
+  std::mutex membership_mutex_;
+  std::vector<std::pair<VertexId, VertexId>> memberships_;
+  std::atomic<std::uint64_t> invocations_{0};
+  RunStats stats_;
+};
+
+}  // namespace
+
+ScanRun ppscan(const CsrGraph& graph, const ScanParams& params,
+               const PpScanOptions& options) {
+  return PpScanRunner(graph, params, options).run();
+}
+
+}  // namespace ppscan

@@ -1,0 +1,200 @@
+#include "dynamic/dynamic_scan.hpp"
+
+#include <algorithm>
+
+#include "concurrent/union_find.hpp"
+#include "setops/similarity.hpp"
+
+namespace ppscan {
+
+DynamicScan::DynamicScan(const CsrGraph& graph, const ScanParams& params)
+    : params_(params) {
+  adjacency_.resize(graph.num_vertices());
+  similar_degree_.assign(graph.num_vertices(), 0);
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const auto nbrs = graph.neighbors(u);
+    adjacency_[u].reserve(nbrs.size());
+    for (const VertexId v : nbrs) {
+      adjacency_[u].push_back({v, false});
+    }
+  }
+  num_edges_ = graph.num_edges();
+
+  // Initial similarity pass: each undirected edge once, mirrored.
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (auto& arc : adjacency_[u]) {
+      if (u >= arc.neighbor) continue;
+      const bool sim = compute_similarity(u, arc.neighbor);
+      if (sim) {
+        arc.similar = true;
+        adjacency_[arc.neighbor][find_slot(arc.neighbor, u)].similar = true;
+        ++similar_degree_[u];
+        ++similar_degree_[arc.neighbor];
+      }
+    }
+  }
+}
+
+std::size_t DynamicScan::find_slot(VertexId u, VertexId v) const {
+  const auto& arcs = adjacency_[u];
+  const auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), v,
+      [](const Arc& arc, VertexId id) { return arc.neighbor < id; });
+  return static_cast<std::size_t>(it - arcs.begin());
+}
+
+bool DynamicScan::has_edge(VertexId u, VertexId v) const {
+  if (u >= num_vertices()) return false;
+  const auto slot = find_slot(u, v);
+  return slot < adjacency_[u].size() && adjacency_[u][slot].neighbor == v;
+}
+
+bool DynamicScan::compute_similarity(VertexId u, VertexId v) {
+  ++stats_.intersections;
+  const auto du = static_cast<VertexId>(adjacency_[u].size());
+  const auto dv = static_cast<VertexId>(adjacency_[v].size());
+  const std::uint32_t min_cn = min_common_neighbors(params_.eps, du, dv);
+  std::uint64_t cn = 2;
+  std::uint64_t upper_u = du + 2;
+  std::uint64_t upper_v = dv + 2;
+  if (cn >= min_cn) return true;
+  if (upper_u < min_cn || upper_v < min_cn) return false;
+
+  const auto& a = adjacency_[u];
+  const auto& b = adjacency_[v];
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].neighbor < b[j].neighbor) {
+      ++i;
+      if (--upper_u < min_cn) return false;
+    } else if (a[i].neighbor > b[j].neighbor) {
+      ++j;
+      if (--upper_v < min_cn) return false;
+    } else {
+      ++i;
+      ++j;
+      if (++cn >= min_cn) return true;
+    }
+  }
+  return cn >= min_cn;
+}
+
+void DynamicScan::refresh_vertex(VertexId center) {
+  for (auto& arc : adjacency_[center]) {
+    ++stats_.arcs_recomputed;
+    const bool now = compute_similarity(center, arc.neighbor);
+    if (now == arc.similar) continue;
+    arc.similar = now;
+    adjacency_[arc.neighbor][find_slot(arc.neighbor, center)].similar = now;
+    const std::int32_t delta = now ? 1 : -1;
+    similar_degree_[center] += delta;
+    similar_degree_[arc.neighbor] += delta;
+  }
+}
+
+void DynamicScan::ensure_vertex(VertexId u) {
+  if (u >= num_vertices()) {
+    adjacency_.resize(u + 1);
+    similar_degree_.resize(u + 1, 0);
+  }
+}
+
+bool DynamicScan::insert_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  ensure_vertex(std::max(u, v));
+  if (has_edge(u, v)) return false;
+
+  adjacency_[u].insert(adjacency_[u].begin() +
+                           static_cast<std::ptrdiff_t>(find_slot(u, v)),
+                       {v, false});
+  adjacency_[v].insert(adjacency_[v].begin() +
+                           static_cast<std::ptrdiff_t>(find_slot(v, u)),
+                       {u, false});
+  ++num_edges_;
+  // Only arcs incident to u or v can change (Γ changed only for u, v).
+  refresh_vertex(u);
+  refresh_vertex(v);
+  result_valid_ = false;
+  return true;
+}
+
+bool DynamicScan::remove_edge(VertexId u, VertexId v) {
+  if (u == v || !has_edge(u, v)) return false;
+
+  const auto slot_u = find_slot(u, v);
+  const auto slot_v = find_slot(v, u);
+  if (adjacency_[u][slot_u].similar) {
+    --similar_degree_[u];
+    --similar_degree_[v];
+  }
+  adjacency_[u].erase(adjacency_[u].begin() +
+                      static_cast<std::ptrdiff_t>(slot_u));
+  adjacency_[v].erase(adjacency_[v].begin() +
+                      static_cast<std::ptrdiff_t>(slot_v));
+  --num_edges_;
+  refresh_vertex(u);
+  refresh_vertex(v);
+  result_valid_ = false;
+  return true;
+}
+
+void DynamicScan::rebuild_result() {
+  ++stats_.cluster_rebuilds;
+  const VertexId n = num_vertices();
+  result_ = ScanResult{};
+  result_.roles.resize(n);
+  result_.core_cluster_id.assign(n, kInvalidVertex);
+  for (VertexId u = 0; u < n; ++u) {
+    result_.roles[u] =
+        similar_degree_[u] >= params_.mu ? Role::Core : Role::NonCore;
+  }
+
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (result_.roles[u] != Role::Core) continue;
+    for (const auto& arc : adjacency_[u]) {
+      if (arc.similar && u < arc.neighbor &&
+          result_.roles[arc.neighbor] == Role::Core) {
+        uf.unite(u, arc.neighbor);
+      }
+    }
+  }
+  std::vector<VertexId> cluster_id(n, kInvalidVertex);
+  for (VertexId u = 0; u < n; ++u) {
+    if (result_.roles[u] != Role::Core) continue;
+    const VertexId root = uf.find(u);
+    cluster_id[root] = std::min(cluster_id[root], u);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (result_.roles[u] != Role::Core) continue;
+    result_.core_cluster_id[u] = cluster_id[uf.find(u)];
+    for (const auto& arc : adjacency_[u]) {
+      if (arc.similar && result_.roles[arc.neighbor] != Role::Core) {
+        result_.noncore_memberships.emplace_back(arc.neighbor,
+                                                 cluster_id[uf.find(u)]);
+      }
+    }
+  }
+  result_.normalize();
+  result_valid_ = true;
+}
+
+const ScanResult& DynamicScan::result() {
+  if (!result_valid_) rebuild_result();
+  return result_;
+}
+
+CsrGraph DynamicScan::snapshot() const {
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices()) + 1, 0);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    offsets[u + 1] = offsets[u] + adjacency_[u].size();
+  }
+  std::vector<VertexId> dst;
+  dst.reserve(offsets.back());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const auto& arc : adjacency_[u]) dst.push_back(arc.neighbor);
+  }
+  return CsrGraph(std::move(offsets), std::move(dst));
+}
+
+}  // namespace ppscan

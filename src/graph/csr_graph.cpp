@@ -1,0 +1,55 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ppscan {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> dst)
+    : offsets_(std::move(offsets)), dst_(std::move(dst)) {
+  if (offsets_.empty() || offsets_.front() != 0 ||
+      offsets_.back() != dst_.size()) {
+    throw std::invalid_argument("CsrGraph: malformed offset array");
+  }
+}
+
+EdgeId CsrGraph::arc_index(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return offsets_[u] + static_cast<EdgeId>(it - nbrs.begin());
+}
+
+void CsrGraph::validate() const {
+  const VertexId n = num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    if (offsets_[u] > offsets_[u + 1]) {
+      throw std::invalid_argument("CsrGraph: offsets not monotone at vertex " +
+                                  std::to_string(u));
+    }
+    const auto nbrs = neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) {
+        throw std::invalid_argument("CsrGraph: neighbor out of range at " +
+                                    std::to_string(u));
+      }
+      if (nbrs[i] == u) {
+        throw std::invalid_argument("CsrGraph: self loop at vertex " +
+                                    std::to_string(u));
+      }
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) {
+        throw std::invalid_argument(
+            "CsrGraph: neighbors unsorted or duplicated at vertex " +
+            std::to_string(u));
+      }
+      if (arc_index(nbrs[i], u) == kInvalidEdge) {
+        throw std::invalid_argument("CsrGraph: asymmetric arc (" +
+                                    std::to_string(u) + "," +
+                                    std::to_string(nbrs[i]) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace ppscan

@@ -1,0 +1,96 @@
+#include "graph/edge_list_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/graph_builder.hpp"
+
+namespace ppscan {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'S', 'C', 'A', 'N', 'G', '1'};
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+}  // namespace
+
+CsrGraph read_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open edge list", path);
+
+  GraphBuilder builder;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str()) {
+      fail("parse error at line " + std::to_string(lineno), path);
+    }
+    char* end2 = nullptr;
+    const unsigned long long v = std::strtoull(end, &end2, 10);
+    if (end2 == end) {
+      fail("parse error at line " + std::to_string(lineno), path);
+    }
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.build();
+}
+
+void write_edge_list_text(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open for writing", path);
+  out << "# ppscan edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  if (!out) fail("write failed", path);
+}
+
+void write_csr_binary(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open for writing", path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t arcs = graph.num_arcs();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
+  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(graph.dst().data()),
+            static_cast<std::streamsize>(arcs * sizeof(VertexId)));
+  if (!out) fail("write failed", path);
+}
+
+CsrGraph read_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open binary graph", path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic in binary graph", path);
+  }
+  std::uint64_t n = 0, arcs = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
+  if (!in) fail("truncated header", path);
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<VertexId> dst(arcs);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(dst.data()),
+          static_cast<std::streamsize>(arcs * sizeof(VertexId)));
+  if (!in) fail("truncated body", path);
+  return CsrGraph(std::move(offsets), std::move(dst));
+}
+
+}  // namespace ppscan

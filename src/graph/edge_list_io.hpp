@@ -1,0 +1,28 @@
+// Graph I/O.
+//
+// Two formats:
+//  * Text edge list — one "u v" pair per line, '#' comment lines ignored;
+//    compatible with SNAP dataset dumps (the paper's real-graph source).
+//  * Binary CSR — a little-endian dump of the offset and dst arrays with a
+//    magic header; loads in O(read) with no rebuild, which is how the bench
+//    harnesses cache generated datasets between runs.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace ppscan {
+
+/// Reads a text edge list (SNAP style). Throws std::runtime_error on I/O or
+/// parse failure. The result is symmetrized/deduplicated via GraphBuilder.
+CsrGraph read_edge_list_text(const std::string& path);
+
+/// Writes "u v" lines for each undirected edge (u < v).
+void write_edge_list_text(const CsrGraph& graph, const std::string& path);
+
+/// Binary CSR snapshot (magic "PPSCANG1").
+void write_csr_binary(const CsrGraph& graph, const std::string& path);
+CsrGraph read_csr_binary(const std::string& path);
+
+}  // namespace ppscan

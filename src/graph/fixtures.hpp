@@ -1,0 +1,33 @@
+// Small deterministic graphs with known structure, used throughout the test
+// suite and the quickstart example.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace ppscan {
+
+/// Complete graph K_k.
+CsrGraph make_clique(VertexId k);
+
+/// Path 0-1-2-...-(n-1).
+CsrGraph make_path(VertexId n);
+
+/// Cycle of length n.
+CsrGraph make_cycle(VertexId n);
+
+/// Star: center 0 connected to 1..n-1.
+CsrGraph make_star(VertexId n);
+
+/// Two k-cliques joined by a single bridge edge between vertex k-1 and k.
+CsrGraph make_two_cliques_bridge(VertexId k);
+
+/// `count` cliques of size `k`, consecutive cliques joined by one edge; with
+/// suitable (ε, µ) each clique is a cluster and the joining vertices stay
+/// similar only within their clique.
+CsrGraph make_clique_chain(VertexId count, VertexId k);
+
+/// The running example many SCAN papers use: two dense groups sharing a hub
+/// vertex plus an outlier. 14 vertices; see fixtures.cpp for the layout.
+CsrGraph make_scan_paper_example();
+
+}  // namespace ppscan

@@ -1,0 +1,63 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on SNAP/WebGraph datasets (orkut, webbase, twitter,
+// friendster) and on ROLL scale-free graphs; none are available offline, so
+// these generators produce scaled stand-ins with the structural properties
+// each experiment depends on (see DESIGN.md §3):
+//   * erdos_renyi      — uniform G(n, m) noise graphs (tests, micro-benches)
+//   * barabasi_albert  — preferential attachment; scale-free with a target
+//                        average degree, standing in for the ROLL graphs
+//   * rmat             — Kronecker-style generator with heavy degree skew,
+//                        standing in for twitter/webbase
+//   * lfr_like         — planted communities with power-law sizes and a
+//                        tunable mixing fraction, standing in for the
+//                        community-rich social graphs (orkut, friendster)
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace ppscan {
+
+/// G(n, m): m distinct uniform edges among n vertices (no self loops).
+CsrGraph erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Average degree converges to ~2 * edges_per_vertex.
+CsrGraph barabasi_albert(VertexId n, VertexId edges_per_vertex,
+                         std::uint64_t seed);
+
+struct RmatParams {
+  int scale = 16;          // n = 2^scale vertices
+  double edge_factor = 16; // m = edge_factor * n undirected edge attempts
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool scramble_ids = true;  // permute vertex ids to break locality artifacts
+};
+
+/// R-MAT (Chakrabarti et al.): recursive quadrant sampling. Duplicate edge
+/// attempts collapse, so the realized |E| is slightly below the attempt
+/// budget — the skewed degree distribution is the point.
+CsrGraph rmat(const RmatParams& params, std::uint64_t seed);
+
+struct LfrParams {
+  VertexId n = 10000;
+  double avg_degree = 20;
+  double mixing = 0.2;        // fraction of a vertex's edges leaving its community
+  VertexId min_community = 16;
+  VertexId max_community = 512;
+  double community_exponent = 2.0;  // power-law exponent of community sizes
+};
+
+/// LFR-like planted-community graph: community sizes follow a bounded
+/// power-law; intra-community edges are ER with expected per-vertex degree
+/// avg_degree*(1-mixing); inter-community edges are uniform random pairs
+/// crossing community boundaries. `ground_truth`, when non-null, receives
+/// each vertex's planted community id.
+CsrGraph lfr_like(const LfrParams& params, std::uint64_t seed,
+                  std::vector<VertexId>* ground_truth = nullptr);
+
+}  // namespace ppscan

@@ -1,0 +1,66 @@
+#include "graph/graph_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppscan {
+
+void GraphBuilder::add_edges(const EdgeList& edges) {
+  edges_.insert(edges_.end(), edges.begin(), edges.end());
+}
+
+CsrGraph GraphBuilder::build() {
+  VertexId n = num_vertices_;
+  for (const auto& [u, v] : edges_) {
+    n = std::max({n, u + 1, v + 1});
+  }
+
+  // Symmetrize while dropping self loops.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(edges_.size() * 2);
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    arcs.emplace_back(u, v);
+    arcs.emplace_back(v, u);
+  }
+  edges_.clear();
+
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    ++offsets[u + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+
+  std::vector<VertexId> dst;
+  dst.reserve(arcs.size());
+  for (const auto& [u, v] : arcs) {
+    dst.push_back(v);  // arcs are sorted by (u, v), so per-vertex order holds
+  }
+
+  return CsrGraph(std::move(offsets), std::move(dst));
+}
+
+CsrGraph GraphBuilder::from_edges(const EdgeList& edges,
+                                  VertexId num_vertices) {
+  GraphBuilder b(num_vertices);
+  b.add_edges(edges);
+  return b.build();
+}
+
+EdgeList to_edge_list(const CsrGraph& graph) {
+  EdgeList edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace ppscan

@@ -1,0 +1,41 @@
+// Builds a valid CsrGraph from an arbitrary undirected edge list:
+// symmetrizes, strips self loops, deduplicates parallel edges, and sorts
+// every neighbor list.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace ppscan {
+
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex-id space [0, num_vertices); pass 0 to
+  /// infer it as max endpoint + 1.
+  explicit GraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  void add_edge(VertexId u, VertexId v) { edges_.emplace_back(u, v); }
+  void add_edges(const EdgeList& edges);
+
+  /// Consumes the accumulated edges and produces a validated CSR graph.
+  [[nodiscard]] CsrGraph build();
+
+  /// One-shot convenience: build directly from an edge list.
+  static CsrGraph from_edges(const EdgeList& edges, VertexId num_vertices = 0);
+
+ private:
+  VertexId num_vertices_;
+  EdgeList edges_;
+};
+
+/// Extracts the unique undirected edge list {u,v} with u < v from a graph —
+/// the inverse of GraphBuilder, used by I/O and the tests.
+EdgeList to_edge_list(const CsrGraph& graph);
+
+}  // namespace ppscan

@@ -1,0 +1,74 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppscan {
+
+GraphStats compute_stats(const CsrGraph& graph, bool with_triangles) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const VertexId d = graph.degree(u);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_vertices;
+  }
+  s.avg_degree = s.num_vertices == 0
+                     ? 0.0
+                     : 2.0 * static_cast<double>(s.num_edges) /
+                           static_cast<double>(s.num_vertices);
+
+  if (with_triangles) {
+    // Count each triangle once via the u < v < w orientation: for each edge
+    // (u, v) with u < v, count common neighbors w > v.
+    std::uint64_t tri = 0;
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+      const auto nu = graph.neighbors(u);
+      for (VertexId v : nu) {
+        if (v <= u) continue;
+        const auto nv = graph.neighbors(v);
+        auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+        auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+        while (iu != nu.end() && iv != nv.end()) {
+          if (*iu < *iv) {
+            ++iu;
+          } else if (*iv < *iu) {
+            ++iv;
+          } else {
+            ++tri;
+            ++iu;
+            ++iv;
+          }
+        }
+      }
+    }
+    s.triangles = tri;
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const CsrGraph& graph) {
+  std::vector<std::uint64_t> hist;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    VertexId d = graph.degree(u);
+    std::size_t bucket = 0;
+    while (d > 1) {
+      d >>= 1;
+      ++bucket;
+    }
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+std::string GraphStats::to_string() const {
+  std::ostringstream os;
+  os << "|V|=" << num_vertices << " |E|=" << num_edges << " avg_d=" << avg_degree
+     << " max_d=" << max_degree;
+  if (triangles != 0) os << " triangles=" << triangles;
+  return os.str();
+}
+
+}  // namespace ppscan

@@ -1,0 +1,35 @@
+// Summary statistics of a graph — the quantities the paper reports in
+// Tables 1 and 2 (|V|, |E|, average degree, maximum degree) plus a degree
+// histogram used by the generator tests to check skew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ppscan {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0.0;
+  VertexId max_degree = 0;
+  VertexId isolated_vertices = 0;
+
+  /// Triangle count (exact, per-edge merge intersection). Filled only when
+  /// compute_stats(..., with_triangles=true); relevant because structural
+  /// similarity is triangle-driven.
+  std::uint64_t triangles = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+GraphStats compute_stats(const CsrGraph& graph, bool with_triangles = false);
+
+/// Histogram of log2-degree buckets: hist[k] = #vertices with degree in
+/// [2^k, 2^{k+1}); hist[0] also counts degree-0 and degree-1 vertices.
+std::vector<std::uint64_t> degree_histogram(const CsrGraph& graph);
+
+}  // namespace ppscan

@@ -1,0 +1,23 @@
+#include "graph/reverse_index.hpp"
+
+namespace ppscan {
+
+ReverseArcIndex::ReverseArcIndex(const CsrGraph& graph) {
+  reverse_.resize(graph.num_arcs());
+  // Per-vertex write cursors: sweeping arcs (u, v) in CSR order visits each
+  // v's in-arcs in increasing u order, which is exactly v's neighbor order —
+  // so the cursor position is the reverse arc's slot. One linear pass, no
+  // searches.
+  std::vector<EdgeId> cursor(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    cursor[v] = graph.offset_begin(v);
+  }
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
+      const VertexId v = graph.dst()[e];
+      reverse_[e] = cursor[v]++;
+    }
+  }
+}
+
+}  // namespace ppscan

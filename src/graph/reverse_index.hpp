@@ -1,0 +1,37 @@
+// Precomputed reverse-arc index.
+//
+// pSCAN's similarity-value reuse writes every decided flag to both arc
+// directions; finding e(v,u) from e(u,v) is a binary search in v's sorted
+// neighbor list (paper §3.2.1). On graphs with large hubs that search is
+// O(log max_d) per decided edge; this index precomputes all reverse arcs in
+// one O(|E|) counting pass so the lookup becomes a single load, at the cost
+// of 8 bytes per directed arc. ppSCAN/pSCAN take it as an optional
+// acceleration (bench_ablation_reverse_index measures the trade-off).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace ppscan {
+
+class ReverseArcIndex {
+ public:
+  ReverseArcIndex() = default;
+
+  /// Builds rev[e(u,v)] = e(v,u) for every directed arc.
+  explicit ReverseArcIndex(const CsrGraph& graph);
+
+  [[nodiscard]] bool empty() const { return reverse_.empty(); }
+
+  [[nodiscard]] EdgeId reverse(EdgeId arc) const { return reverse_[arc]; }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return reverse_.size() * sizeof(EdgeId);
+  }
+
+ private:
+  std::vector<EdgeId> reverse_;
+};
+
+}  // namespace ppscan

@@ -1,0 +1,151 @@
+#include "index/gs_index.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "concurrent/task_scheduler.hpp"
+#include "concurrent/thread_pool.hpp"
+#include "concurrent/union_find.hpp"
+#include "setops/intersect.hpp"
+#include "util/timer.hpp"
+
+namespace ppscan {
+namespace {
+
+using U128 = unsigned __int128;
+
+/// Exact comparison σ(a) > σ(b) for two arcs of the same source vertex:
+/// cn_a²·P_b > cn_b²·P_a where P = (d_u+1)(d_v+1). Ties break by neighbor
+/// id so the order (and thus every query) is deterministic.
+struct SigmaGreater {
+  const CsrGraph& graph;
+  const std::vector<std::uint32_t>& overlap;
+  VertexId u;
+
+  bool operator()(EdgeId a, EdgeId b) const {
+    const VertexId va = graph.dst()[a];
+    const VertexId vb = graph.dst()[b];
+    const U128 pa = U128(graph.degree(u) + 1) * (graph.degree(va) + 1);
+    const U128 pb = U128(graph.degree(u) + 1) * (graph.degree(vb) + 1);
+    const U128 lhs = U128(overlap[a]) * overlap[a] * pb;
+    const U128 rhs = U128(overlap[b]) * overlap[b] * pa;
+    if (lhs != rhs) return lhs > rhs;
+    return va < vb;
+  }
+};
+
+}  // namespace
+
+GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
+    : graph_(graph),
+      overlap_(graph.num_arcs(), 0),
+      ordered_arcs_(graph.num_arcs(), 0) {
+  WallTimer timer;
+  ThreadPool pool(options.num_threads);
+  const CountFn count = count_fn(options.count_kernel);
+  std::atomic<std::uint64_t> intersections{0};
+  const auto degree_of = [&](VertexId u) { return graph_.degree(u); };
+  const auto all = [](VertexId) { return true; };
+
+  // Exhaustive similarity: the u < v owner computes each edge once and
+  // mirrors the overlap to the reverse arc (no readers until the barrier).
+  schedule_vertex_tasks(
+      pool, graph_.num_vertices(), degree_of, all,
+      [&](VertexId u) {
+        std::uint64_t local = 0;
+        for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
+             ++e) {
+          const VertexId v = graph_.dst()[e];
+          if (u >= v) continue;
+          const auto cn = static_cast<std::uint32_t>(
+              count(graph_.neighbors(u), graph_.neighbors(v)) + 2);
+          ++local;
+          overlap_[e] = cn;
+          overlap_[graph_.reverse_arc(u, e)] = cn;
+        }
+        intersections.fetch_add(local, std::memory_order_relaxed);
+      });
+
+  // Neighbor order: per-vertex arc slots sorted by σ descending.
+  schedule_vertex_tasks(
+      pool, graph_.num_vertices(), degree_of, all,
+      [&](VertexId u) {
+        const EdgeId begin = graph_.offset_begin(u);
+        const EdgeId end = graph_.offset_end(u);
+        for (EdgeId e = begin; e < end; ++e) ordered_arcs_[e] = e;
+        std::sort(ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(end),
+                  SigmaGreater{graph_, overlap_, u});
+      });
+
+  build_stats_.intersections = intersections.load();
+  build_stats_.construction_seconds = timer.elapsed_s();
+}
+
+bool GsIndex::entry_similar(const EpsRational& eps, VertexId u,
+                            EdgeId slot) const {
+  const EdgeId arc = ordered_arcs_[slot];
+  return similarity_holds(eps, overlap_[arc], graph_.degree(u),
+                          graph_.degree(graph_.dst()[arc]));
+}
+
+ScanRun GsIndex::query(const ScanParams& params) const {
+  WallTimer timer;
+  const VertexId n = graph_.num_vertices();
+  ScanRun run;
+  run.result.roles.assign(n, Role::NonCore);
+  run.result.core_cluster_id.assign(n, kInvalidVertex);
+
+  // Core test: the µ-th most similar neighbor decides (O(1) per vertex).
+  for (VertexId u = 0; u < n; ++u) {
+    if (graph_.degree(u) < params.mu) continue;
+    const EdgeId slot = graph_.offset_begin(u) + params.mu - 1;
+    if (entry_similar(params.eps, u, slot)) {
+      run.result.roles[u] = Role::Core;
+    }
+  }
+
+  // Core clustering: walk only the ε-similar prefix of each core's
+  // neighbor order — the index's whole point.
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (run.result.roles[u] != Role::Core) continue;
+    for (EdgeId slot = graph_.offset_begin(u); slot < graph_.offset_end(u);
+         ++slot) {
+      if (!entry_similar(params.eps, u, slot)) break;  // sorted: all done
+      const VertexId v = graph_.dst()[ordered_arcs_[slot]];
+      if (u < v && run.result.roles[v] == Role::Core) uf.unite(u, v);
+    }
+  }
+
+  std::vector<VertexId> cluster_id(n, kInvalidVertex);
+  for (VertexId u = 0; u < n; ++u) {
+    if (run.result.roles[u] != Role::Core) continue;
+    const VertexId root = uf.find(u);
+    cluster_id[root] = std::min(cluster_id[root], u);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (run.result.roles[u] != Role::Core) continue;
+    run.result.core_cluster_id[u] = cluster_id[uf.find(u)];
+    for (EdgeId slot = graph_.offset_begin(u); slot < graph_.offset_end(u);
+         ++slot) {
+      if (!entry_similar(params.eps, u, slot)) break;
+      const VertexId v = graph_.dst()[ordered_arcs_[slot]];
+      if (run.result.roles[v] != Role::Core) {
+        run.result.noncore_memberships.emplace_back(
+            v, cluster_id[uf.find(u)]);
+      }
+    }
+  }
+
+  run.result.normalize();
+  run.stats.total_seconds = timer.elapsed_s();
+  return run;
+}
+
+std::uint64_t GsIndex::memory_bytes() const {
+  return overlap_.size() * sizeof(std::uint32_t) +
+         ordered_arcs_.size() * sizeof(EdgeId);
+}
+
+}  // namespace ppscan

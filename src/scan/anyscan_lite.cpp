@@ -1,0 +1,146 @@
+#include "scan/anyscan_lite.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "concurrent/task_scheduler.hpp"
+#include "concurrent/thread_pool.hpp"
+#include "concurrent/union_find.hpp"
+#include "setops/intersect.hpp"
+#include "util/timer.hpp"
+
+namespace ppscan {
+namespace {
+
+/// Per-arc decision without any cross-vertex sharing: the owner of the
+/// *directed* arc writes it, so both (u,v) and (v,u) may be computed — the
+/// redundancy anySCAN accepts.
+struct ArcEval {
+  std::int32_t flag;  // kSimFlag / kNSimFlag
+  bool computed;      // true when an actual intersection ran
+};
+
+ArcEval evaluate_arc(const CsrGraph& graph, const ScanParams& params,
+                     VertexId u, VertexId v) {
+  const VertexId du = graph.degree(u);
+  const VertexId dv = graph.degree(v);
+  const std::uint32_t need = min_common_neighbors(params.eps, du, dv);
+  if (need <= 2) return {kSimFlag, false};
+  if (need > std::min(du, dv) + 1) return {kNSimFlag, false};
+  const bool sim =
+      similar_merge_early_stop(graph.neighbors(u), graph.neighbors(v), need);
+  return {sim ? kSimFlag : kNSimFlag, true};
+}
+
+}  // namespace
+
+ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
+                     const AnyScanLiteOptions& options) {
+  WallTimer total;
+  const VertexId n = graph.num_vertices();
+  ScanRun run;
+  run.result.roles.assign(n, Role::Unknown);
+  run.result.core_cluster_id.assign(n, kInvalidVertex);
+
+  ThreadPool pool(options.num_threads);
+  // Per-arc cache owned by the arc's tail; no reverse mirroring.
+  std::vector<std::int32_t> sim(graph.num_arcs(), kSimUncached);
+  std::atomic<std::uint64_t> invocations{0};
+  const auto degree_of = [&](VertexId u) { return graph.degree(u); };
+
+  // Role computing, block by block (the anytime-style outer iteration).
+  for (VertexId block_begin = 0; block_begin < n;
+       block_begin += options.block_size) {
+    const VertexId block_end =
+        std::min<VertexId>(block_begin + options.block_size, n);
+    const VertexId width = block_end - block_begin;
+    schedule_vertex_tasks(
+        pool, width, [&](VertexId i) { return graph.degree(block_begin + i); },
+        [](VertexId) { return true; },
+        [&](VertexId i) {
+          const VertexId u = block_begin + i;
+          // Dynamic scratch per vertex — deliberately allocation-heavy.
+          std::vector<std::int32_t> local_flags;
+          local_flags.reserve(graph.degree(u));
+          std::uint32_t sd = 0;
+          std::uint32_t ed = graph.degree(u);
+          std::uint64_t local_invocations = 0;
+          for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
+               ++e) {
+            const ArcEval eval =
+                evaluate_arc(graph, params, u, graph.dst()[e]);
+            if (eval.computed) ++local_invocations;
+            sim[e] = eval.flag;
+            local_flags.push_back(eval.flag);
+            if (eval.flag == kSimFlag) {
+              ++sd;
+            } else {
+              --ed;
+            }
+            if (sd >= params.mu || ed < params.mu) break;  // local min-max
+          }
+          run.result.roles[u] = sd >= params.mu ? Role::Core : Role::NonCore;
+          invocations.fetch_add(local_invocations,
+                                std::memory_order_relaxed);
+        });
+  }
+
+  // Clustering: cores complete their arc evaluations (a second source of
+  // redundancy — edges cut short by the role phase are recomputed).
+  ParallelUnionFind uf(n);
+  std::mutex merge_mutex;
+  std::vector<std::pair<VertexId, VertexId>> core_noncore_sim_edges;
+  schedule_vertex_tasks(
+      pool, n, degree_of,
+      [&](VertexId u) { return run.result.roles[u] == Role::Core; },
+      [&](VertexId u) {
+        std::vector<std::pair<VertexId, VertexId>> local;
+        std::uint64_t local_invocations = 0;
+        for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
+          const VertexId v = graph.dst()[e];
+          std::int32_t flag = sim[e];
+          if (flag == kSimUncached) {
+            const ArcEval eval = evaluate_arc(graph, params, u, v);
+            if (eval.computed) ++local_invocations;
+            flag = eval.flag;
+            sim[e] = flag;
+          }
+          if (flag != kSimFlag) continue;
+          if (run.result.roles[v] == Role::Core) {
+            if (u < v) uf.unite(u, v);
+          } else {
+            local.emplace_back(u, v);
+          }
+        }
+        invocations.fetch_add(local_invocations, std::memory_order_relaxed);
+        if (!local.empty()) {
+          std::lock_guard lock(merge_mutex);
+          core_noncore_sim_edges.insert(core_noncore_sim_edges.end(),
+                                        local.begin(), local.end());
+        }
+      });
+
+  // Cluster ids (min core id per set), then non-core memberships.
+  std::vector<VertexId> cluster_id(n, kInvalidVertex);
+  for (VertexId u = 0; u < n; ++u) {
+    if (run.result.roles[u] != Role::Core) continue;
+    const VertexId root = uf.find(u);
+    cluster_id[root] = std::min(cluster_id[root], u);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (run.result.roles[u] != Role::Core) continue;
+    run.result.core_cluster_id[u] = cluster_id[uf.find(u)];
+  }
+  for (const auto& [core, noncore] : core_noncore_sim_edges) {
+    run.result.noncore_memberships.emplace_back(
+        noncore, cluster_id[uf.find(core)]);
+  }
+
+  run.result.normalize();
+  run.stats.compsim_invocations = invocations.load();
+  run.stats.total_seconds = total.elapsed_s();
+  return run;
+}
+
+}  // namespace ppscan

@@ -1,0 +1,29 @@
+// anySCAN-lite — a parallel baseline with the cost profile of anySCAN
+// (Mai et al., ICDE 2017), which the paper uses purely as a performance
+// comparison point.
+//
+// The real anySCAN is an anytime algorithm with a five-state vertex machine
+// and super-node summarization; reproducing it line-by-line is out of scope
+// (DESIGN.md §5). This baseline mirrors its documented performance traits:
+//   * block-iterative parallel processing of untouched vertices,
+//   * per-vertex local pruning (predicate + min-max early termination) but
+//     NO cross-vertex similarity reuse — an edge may be intersected by both
+//     endpoints, and again during clustering,
+//   * dynamic per-vertex scratch allocations on the hot path.
+// Results are exact; only the work profile is deliberately anySCAN-like.
+#pragma once
+
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+
+struct AnyScanLiteOptions {
+  int num_threads = 1;
+  /// Vertices handled per parallel block iteration.
+  VertexId block_size = 16384;
+};
+
+ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
+                     const AnyScanLiteOptions& options = {});
+
+}  // namespace ppscan

@@ -1,0 +1,69 @@
+#include "scan/classification.hpp"
+
+#include <algorithm>
+
+#include "concurrent/task_scheduler.hpp"
+#include "concurrent/thread_pool.hpp"
+
+namespace ppscan {
+
+std::vector<VertexClass> classify_hubs_outliers_parallel(
+    const CsrGraph& graph, const ScanResult& result, int num_threads) {
+  const VertexId n = graph.num_vertices();
+
+  // Per-vertex cluster membership lists in CSR form, built with a counting
+  // pass (cheap relative to the edge scan below).
+  std::vector<std::uint32_t> member_count(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] == Role::Core) ++member_count[u];
+  }
+  for (const auto& [v, cid] : result.noncore_memberships) {
+    ++member_count[v];
+  }
+  std::vector<std::size_t> member_offset(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    member_offset[u + 1] = member_offset[u] + member_count[u];
+  }
+  std::vector<VertexId> members(member_offset[n]);
+  {
+    std::vector<std::size_t> cursor(member_offset.begin(),
+                                    member_offset.end() - 1);
+    for (VertexId u = 0; u < n; ++u) {
+      if (result.roles[u] == Role::Core) {
+        members[cursor[u]++] = result.core_cluster_id[u];
+      }
+    }
+    for (const auto& [v, cid] : result.noncore_memberships) {
+      members[cursor[v]++] = cid;
+    }
+  }
+
+  ThreadPool pool(num_threads);
+  std::vector<VertexClass> classes(n, VertexClass::Outlier);
+  schedule_vertex_tasks(
+      pool, n, [&](VertexId u) { return graph.degree(u); },
+      [](VertexId) { return true; },
+      [&](VertexId u) {
+        if (member_offset[u] != member_offset[u + 1]) {
+          classes[u] = VertexClass::Member;
+          return;
+        }
+        // Hub test over the neighbors' (possibly multiple) cluster ids.
+        VertexId first_cluster = kInvalidVertex;
+        for (const VertexId v : graph.neighbors(u)) {
+          for (std::size_t i = member_offset[v]; i < member_offset[v + 1];
+               ++i) {
+            const VertexId cid = members[i];
+            if (first_cluster == kInvalidVertex) {
+              first_cluster = cid;
+            } else if (cid != first_cluster) {
+              classes[u] = VertexClass::Hub;
+              return;
+            }
+          }
+        }
+      });
+  return classes;
+}
+
+}  // namespace ppscan

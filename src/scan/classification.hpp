@@ -1,0 +1,17 @@
+// Parallel hub/outlier classification.
+//
+// The paper computes hubs and outliers in an O(|V|+|E|) post-pass and does
+// not time it; on big graphs the pass is still worth parallelizing, so this
+// is the pool-based counterpart of classify_hubs_outliers() (scan_common),
+// bit-identical to it and degree-scheduled like the ppSCAN phases.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+
+std::vector<VertexClass> classify_hubs_outliers_parallel(
+    const CsrGraph& graph, const ScanResult& result, int num_threads);
+
+}  // namespace ppscan

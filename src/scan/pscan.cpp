@@ -1,0 +1,221 @@
+#include "scan/pscan.hpp"
+
+#include <algorithm>
+
+#include "concurrent/union_find.hpp"
+#include "util/timer.hpp"
+
+namespace ppscan {
+namespace {
+
+class PscanRunner {
+ public:
+  PscanRunner(const CsrGraph& graph, const ScanParams& params,
+              const PscanOptions& options)
+      : graph_(graph),
+        params_(params),
+        options_(options),
+        kernel_(similar_fn(options.kernel)),
+        sim_(graph.num_arcs(), kSimUncached),
+        sd_(graph.num_vertices(), 0),
+        ed_(graph.num_vertices()),
+        uf_(graph.num_vertices()) {
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+      ed_[u] = graph.degree(u);
+    }
+    run_.result.roles.assign(graph.num_vertices(), Role::Unknown);
+    run_.result.core_cluster_id.assign(graph.num_vertices(), kInvalidVertex);
+  }
+
+  ScanRun run() {
+    WallTimer total;
+    if (options_.dynamic_ed_order) {
+      run_core_phase_dynamic_order();
+    } else {
+      for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+        process_vertex(u);
+      }
+    }
+    cluster_noncores();
+    run_.result.normalize();
+    run_.stats.total_seconds = total.elapsed_s();
+    return std::move(run_);
+  }
+
+ private:
+  /// Lazy bucket queue over the *current* effective degree: buckets are
+  /// visited from high ed to low; a vertex found in a stale (too-high)
+  /// bucket is dropped down to its current one. ed only decreases, so a
+  /// reinserted vertex lands in a bucket not yet drained.
+  void run_core_phase_dynamic_order() {
+    VertexId max_d = 0;
+    for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+      max_d = std::max(max_d, graph_.degree(u));
+    }
+    std::vector<std::vector<VertexId>> bins(max_d + 1);
+    for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+      bins[ed_[u]].push_back(u);
+    }
+    for (VertexId bin = max_d;; --bin) {
+      // Index loop: reinsertions go to strictly lower bins, never this one.
+      for (std::size_t i = 0; i < bins[bin].size(); ++i) {
+        const VertexId u = bins[bin][i];
+        if (run_.result.roles[u] != Role::Unknown) continue;  // processed
+        if (ed_[u] < bin) {
+          bins[ed_[u]].push_back(u);  // stale entry, drop down
+          continue;
+        }
+        process_vertex(u);
+      }
+      if (bin == 0) break;
+    }
+  }
+
+  void process_vertex(VertexId u) {
+    if (run_.result.roles[u] != Role::Unknown) return;
+    check_core(u);
+    if (run_.result.roles[u] == Role::Core) cluster_core(u);
+  }
+
+  /// Ensures sim[e] is decided or carries its cached min_cn bound; applies
+  /// the predicate pruning on first touch. Returns the current value.
+  std::int32_t touch_arc(VertexId u, EdgeId e) {
+    std::int32_t value = sim_[e];
+    if (value != kSimUncached) return value;
+    const VertexId v = graph_.dst()[e];
+    const VertexId du = graph_.degree(u);
+    const VertexId dv = graph_.degree(v);
+    const std::uint32_t need = min_common_neighbors(params_.eps, du, dv);
+    if (need <= 2) {
+      value = kSimFlag;
+    } else if (need > std::min(du, dv) + 1) {
+      value = kNSimFlag;
+    } else {
+      value = static_cast<std::int32_t>(need);
+    }
+    sim_[e] = value;
+    sim_[graph_.reverse_arc(u, e)] = value;
+    if (value == kSimFlag || value == kNSimFlag) {
+      apply_decision(u, v, value == kSimFlag);
+    }
+    return value;
+  }
+
+  /// Bookkeeping when arc (u,v) transitions to a decided flag: exactly one
+  /// sd/ed update per endpoint per edge.
+  void apply_decision(VertexId u, VertexId v, bool sim) {
+    if (sim) {
+      ++sd_[u];
+      ++sd_[v];
+    } else {
+      --ed_[u];
+      --ed_[v];
+    }
+  }
+
+  /// Runs the intersection kernel for an undecided arc and records the flag
+  /// on both directions.
+  bool compute_arc(VertexId u, EdgeId e, std::uint32_t min_cn) {
+    const VertexId v = graph_.dst()[e];
+    ++run_.stats.compsim_invocations;
+    bool sim;
+    if (options_.collect_breakdown) {
+      ScopedAccumTimer timer(run_.stats.similarity_seconds);
+      sim = kernel_(graph_.neighbors(u), graph_.neighbors(v), min_cn);
+    } else {
+      sim = kernel_(graph_.neighbors(u), graph_.neighbors(v), min_cn);
+    }
+    const std::int32_t flag = sim ? kSimFlag : kNSimFlag;
+    sim_[e] = flag;
+    sim_[graph_.reverse_arc(u, e)] = flag;
+    apply_decision(u, v, sim);
+    return sim;
+  }
+
+  void check_core(VertexId u) {
+    if (sd_[u] < params_.mu && ed_[u] >= params_.mu) {
+      for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
+        std::int32_t value;
+        if (options_.collect_breakdown) {
+          ScopedAccumTimer timer(run_.stats.pruning_seconds);
+          value = touch_arc(u, e);
+        } else {
+          value = touch_arc(u, e);
+        }
+        if (value > 0) {
+          compute_arc(u, e, static_cast<std::uint32_t>(value));
+        }
+        if (sd_[u] >= params_.mu || ed_[u] < params_.mu) break;
+      }
+    }
+    run_.result.roles[u] =
+        sd_[u] >= params_.mu ? Role::Core : Role::NonCore;
+  }
+
+  void cluster_core(VertexId u) {
+    for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
+      const VertexId v = graph_.dst()[e];
+      // Only neighbors already known to be cores take part; the edge to a
+      // not-yet-processed core is handled later by ClusterCore(v).
+      if (sd_[v] < params_.mu) continue;
+      if (uf_.same_set(u, v)) continue;  // union-find pruning
+      std::int32_t value = touch_arc(u, e);
+      if (value > 0) {
+        value = compute_arc(u, e, static_cast<std::uint32_t>(value))
+                    ? kSimFlag
+                    : kNSimFlag;
+      }
+      if (value == kSimFlag) uf_.unite(u, v);
+    }
+  }
+
+  void cluster_noncores() {
+    // Cluster id of each set = minimum core id it contains.
+    std::vector<VertexId> cluster_id(graph_.num_vertices(), kInvalidVertex);
+    for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+      if (run_.result.roles[u] != Role::Core) continue;
+      const VertexId root = uf_.find(u);
+      cluster_id[root] = std::min(cluster_id[root], u);
+    }
+    for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+      if (run_.result.roles[u] != Role::Core) continue;
+      run_.result.core_cluster_id[u] = cluster_id[uf_.find(u)];
+    }
+    for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+      if (run_.result.roles[u] != Role::Core) continue;
+      for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
+        const VertexId v = graph_.dst()[e];
+        if (run_.result.roles[v] == Role::Core) continue;
+        std::int32_t value = touch_arc(u, e);
+        if (value > 0) {
+          value = compute_arc(u, e, static_cast<std::uint32_t>(value))
+                      ? kSimFlag
+                      : kNSimFlag;
+        }
+        if (value == kSimFlag) {
+          run_.result.noncore_memberships.emplace_back(
+              v, cluster_id[uf_.find(u)]);
+        }
+      }
+    }
+  }
+
+  const CsrGraph& graph_;
+  const ScanParams& params_;
+  const PscanOptions& options_;
+  SimilarFn kernel_;
+  std::vector<std::int32_t> sim_;
+  std::vector<std::uint32_t> sd_;
+  std::vector<std::uint32_t> ed_;
+  UnionFind uf_;
+  ScanRun run_;
+};
+
+}  // namespace
+
+ScanRun pscan(const CsrGraph& graph, const ScanParams& params,
+              const PscanOptions& options) {
+  return PscanRunner(graph, params, options).run();
+}
+
+}  // namespace ppscan

@@ -1,0 +1,36 @@
+// Sequential pSCAN (Chang et al., ICDE 2016) — paper Algorithm 2, the
+// state-of-the-art sequential baseline ppSCAN parallelizes.
+//
+// Pruning techniques implemented (paper §3.2):
+//  * similarity-predicate pruning — Sim/NSim decided from degrees alone
+//    where possible, otherwise the min_cn bound is cached per arc;
+//  * min-max pruning — per-vertex similar/effective degree bounds sd/ed with
+//    early termination of CheckCore;
+//  * similarity-value reuse — each decided arc is mirrored onto its reverse
+//    arc (binary-search lookup), so each edge is intersected at most once;
+//  * dynamic non-increasing ed order — vertices are processed from a lazy
+//    bucket queue keyed by the current effective degree;
+//  * union-find pruning — cores already in the same set skip the
+//    similarity computation during core clustering.
+#pragma once
+
+#include "scan/scan_common.hpp"
+#include "setops/intersect.hpp"
+
+namespace ppscan {
+
+struct PscanOptions {
+  /// Intersection kernel for CompSim. pSCAN's own kernel is the merge with
+  /// early termination; other kinds are exposed for ablation.
+  IntersectKind kernel = IntersectKind::MergeEarlyStop;
+  /// Collect the Figure-1 time breakdown (adds clock reads on the hot path).
+  bool collect_breakdown = false;
+  /// Process vertices in dynamic non-increasing ed order (pSCAN default).
+  /// Off = simple ascending vertex order, for the ordering ablation.
+  bool dynamic_ed_order = true;
+};
+
+ScanRun pscan(const CsrGraph& graph, const ScanParams& params,
+              const PscanOptions& options = {});
+
+}  // namespace ppscan

@@ -1,0 +1,136 @@
+#include "scan/quality.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace ppscan {
+
+PairwiseScores pairwise_scores(
+    const std::vector<std::vector<VertexId>>& clusters,
+    const std::vector<VertexId>& ground_truth) {
+  std::uint64_t found_pairs = 0, true_positive = 0;
+  for (const auto& cluster : clusters) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+        ++found_pairs;
+        if (ground_truth[cluster[i]] == ground_truth[cluster[j]]) {
+          ++true_positive;
+        }
+      }
+    }
+  }
+  std::map<VertexId, std::uint64_t> truth_sizes;
+  for (const VertexId c : ground_truth) ++truth_sizes[c];
+  std::uint64_t truth_pairs = 0;
+  for (const auto& [c, size] : truth_sizes) {
+    truth_pairs += size * (size - 1) / 2;
+  }
+
+  PairwiseScores s;
+  s.precision = found_pairs
+                    ? static_cast<double>(true_positive) /
+                          static_cast<double>(found_pairs)
+                    : 0;
+  s.recall = truth_pairs ? static_cast<double>(true_positive) /
+                               static_cast<double>(truth_pairs)
+                         : 0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2 * s.precision * s.recall / (s.precision + s.recall)
+             : 0;
+  return s;
+}
+
+double purity(const std::vector<std::vector<VertexId>>& clusters,
+              const std::vector<VertexId>& ground_truth) {
+  std::uint64_t majority_total = 0, member_total = 0;
+  for (const auto& cluster : clusters) {
+    std::unordered_map<VertexId, std::uint64_t> votes;
+    for (const VertexId v : cluster) ++votes[ground_truth[v]];
+    std::uint64_t best = 0;
+    for (const auto& [c, count] : votes) best = std::max(best, count);
+    majority_total += best;
+    member_total += cluster.size();
+  }
+  return member_total == 0 ? 0.0
+                           : static_cast<double>(majority_total) /
+                                 static_cast<double>(member_total);
+}
+
+namespace {
+
+/// One community per vertex: smallest cluster id for clustered vertices,
+/// a fresh singleton id otherwise (see header).
+std::vector<VertexId> single_assignment(const CsrGraph& graph,
+                                        const ScanResult& result) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> community(n, kInvalidVertex);
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] == Role::Core) {
+      community[u] = result.core_cluster_id[u];
+    }
+  }
+  for (const auto& [v, cid] : result.noncore_memberships) {
+    community[v] = std::min(community[v], cid);
+  }
+  // Singletons for the unclustered; ids above n collide with nothing
+  // (cluster ids are vertex ids).
+  VertexId next_singleton = n;
+  for (VertexId u = 0; u < n; ++u) {
+    if (community[u] == kInvalidVertex) community[u] = next_singleton++;
+  }
+  return community;
+}
+
+}  // namespace
+
+double modularity(const CsrGraph& graph, const ScanResult& result) {
+  const auto community = single_assignment(graph, result);
+  const double m2 = static_cast<double>(graph.num_arcs());  // 2|E|
+  if (m2 == 0) return 0;
+
+  // Q = Σ_c (intra_c / 2m  -  (vol_c / 2m)²)
+  std::unordered_map<VertexId, double> intra, volume;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    volume[community[u]] += graph.degree(u);
+    for (const VertexId v : graph.neighbors(u)) {
+      if (community[u] == community[v]) intra[community[u]] += 1;  // arcs
+    }
+  }
+  double q = 0;
+  for (const auto& [c, vol] : volume) {
+    const double internal = intra.count(c) ? intra.at(c) : 0;  // 2·edges
+    q += internal / m2 - (vol / m2) * (vol / m2);
+  }
+  return q;
+}
+
+double conductance(const CsrGraph& graph, const std::vector<VertexId>& set) {
+  std::vector<bool> inside(graph.num_vertices(), false);
+  for (const VertexId v : set) inside[v] = true;
+
+  std::uint64_t cut = 0, vol = 0;
+  for (const VertexId u : set) {
+    vol += graph.degree(u);
+    for (const VertexId v : graph.neighbors(u)) {
+      if (!inside[v]) ++cut;
+    }
+  }
+  const std::uint64_t vol_complement = graph.num_arcs() - vol;
+  const std::uint64_t denom = std::min(vol, vol_complement);
+  return denom == 0 ? 0.0
+                    : static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+double mean_cluster_conductance(const CsrGraph& graph,
+                                const ScanResult& result) {
+  const auto clusters = result.canonical_clusters();
+  if (clusters.empty()) return 0;
+  double sum = 0;
+  for (const auto& cluster : clusters) {
+    sum += conductance(graph, cluster);
+  }
+  return sum / static_cast<double>(clusters.size());
+}
+
+}  // namespace ppscan

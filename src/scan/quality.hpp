@@ -1,0 +1,51 @@
+// Clustering-quality metrics.
+//
+// Tools to evaluate a SCAN clustering against ground truth (planted
+// communities) or intrinsically (modularity, conductance). SCAN results
+// can overlap on non-cores and leave vertices unclustered, so each metric
+// states how it treats those cases.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+
+struct PairwiseScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Pairwise co-membership scores of `clusters` against a per-vertex ground
+/// truth: precision = fraction of same-cluster pairs that share a true
+/// community; recall = fraction of true co-membership pairs recovered.
+/// Overlapping vertices contribute a pair per shared cluster; unclustered
+/// vertices contribute no found pairs (they lower recall only).
+PairwiseScores pairwise_scores(
+    const std::vector<std::vector<VertexId>>& clusters,
+    const std::vector<VertexId>& ground_truth);
+
+/// Purity: clustered vertices whose cluster's majority community matches
+/// theirs, over all clustered vertices (overlaps counted per membership).
+/// 1.0 means every cluster is contained in one true community.
+double purity(const std::vector<std::vector<VertexId>>& clusters,
+              const std::vector<VertexId>& ground_truth);
+
+/// Newman modularity of the clustering. Each vertex is assigned one
+/// community: its cluster id (non-cores in several clusters take the
+/// smallest), unclustered vertices become singletons. Range (-0.5, 1].
+double modularity(const CsrGraph& graph, const ScanResult& result);
+
+/// Conductance of one vertex set: cut(S, V∖S) / min(vol(S), vol(V∖S));
+/// 0 for a perfectly separated set, approaching 1 for a random one.
+/// Returns 0 when either side has zero volume.
+double conductance(const CsrGraph& graph, const std::vector<VertexId>& set);
+
+/// Unweighted mean conductance over all clusters (lower is better).
+double mean_cluster_conductance(const CsrGraph& graph,
+                                const ScanResult& result);
+
+}  // namespace ppscan

@@ -1,0 +1,105 @@
+#include "scan/result_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppscan {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("scan result parse error: " + what);
+}
+
+char role_char(Role r) {
+  switch (r) {
+    case Role::Core: return 'C';
+    case Role::NonCore: return 'N';
+    case Role::Unknown: return 'U';
+  }
+  return '?';
+}
+
+Role char_role(char c) {
+  switch (c) {
+    case 'C': return Role::Core;
+    case 'N': return Role::NonCore;
+    case 'U': return Role::Unknown;
+    default: fail(std::string("bad role char '") + c + "'");
+  }
+}
+
+}  // namespace
+
+void write_scan_result(const ScanResult& result, std::ostream& os) {
+  os << "PPSCAN-RESULT 1\n";
+  os << "n " << result.roles.size() << "\n";
+  os << "roles ";
+  for (const Role r : result.roles) os << role_char(r);
+  os << "\n";
+  for (VertexId u = 0; u < result.roles.size(); ++u) {
+    if (result.roles[u] == Role::Core) {
+      os << "core " << u << ' ' << result.core_cluster_id[u] << "\n";
+    }
+  }
+  for (const auto& [v, cid] : result.noncore_memberships) {
+    os << "member " << v << ' ' << cid << "\n";
+  }
+  os << "end\n";
+}
+
+void write_scan_result(const ScanResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_scan_result(result, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+ScanResult read_scan_result(std::istream& is) {
+  std::string token;
+  int version = 0;
+  if (!(is >> token >> version) || token != "PPSCAN-RESULT" || version != 1) {
+    fail("bad header");
+  }
+  std::size_t n = 0;
+  if (!(is >> token >> n) || token != "n") fail("missing vertex count");
+
+  ScanResult result;
+  result.core_cluster_id.assign(n, kInvalidVertex);
+  if (!(is >> token) || token != "roles") fail("bad roles line");
+  std::string roles;
+  if (n > 0 && (!(is >> roles) || roles.size() != n)) {
+    fail("bad roles line");
+  }
+  result.roles.reserve(n);
+  for (const char c : roles) result.roles.push_back(char_role(c));
+
+  bool saw_end = false;
+  while (is >> token) {
+    if (token == "end") {
+      saw_end = true;
+      break;
+    }
+    VertexId u = 0, cid = 0;
+    if (!(is >> u >> cid) || u >= n) fail("bad record after '" + token + "'");
+    if (token == "core") {
+      if (result.roles[u] != Role::Core) fail("core record for non-core");
+      result.core_cluster_id[u] = cid;
+    } else if (token == "member") {
+      result.noncore_memberships.emplace_back(u, cid);
+    } else {
+      fail("unknown record '" + token + "'");
+    }
+  }
+  if (!saw_end) fail("missing end marker");
+  result.normalize();
+  return result;
+}
+
+ScanResult read_scan_result(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open result file: " + path);
+  return read_scan_result(in);
+}
+
+}  // namespace ppscan

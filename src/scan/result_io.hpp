@@ -1,0 +1,29 @@
+// Clustering-result persistence.
+//
+// A plain-text, diff-friendly format so results can be archived, compared
+// across machines, and consumed by downstream tooling (the CLI's `cluster`
+// and `classify` subcommands round-trip through it):
+//
+//   PPSCAN-RESULT 1
+//   n <num_vertices>
+//   roles <one char per vertex: C=core, N=non-core, U=unknown>
+//   core <vertex> <cluster-id>        (one line per core)
+//   member <vertex> <cluster-id>      (one line per non-core membership)
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+
+void write_scan_result(const ScanResult& result, std::ostream& os);
+void write_scan_result(const ScanResult& result, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+ScanResult read_scan_result(std::istream& is);
+ScanResult read_scan_result(const std::string& path);
+
+}  // namespace ppscan

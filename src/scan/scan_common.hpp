@@ -1,0 +1,106 @@
+// Shared vocabulary of every SCAN-family algorithm in the library: input
+// parameters, vertex roles, the clustering result with a canonical form for
+// cross-algorithm comparison, run statistics, and the hub/outlier post-pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "setops/similarity.hpp"
+#include "util/types.hpp"
+
+namespace ppscan {
+
+/// SCAN input parameters (paper §2): 0 < ε ≤ 1 and µ ≥ 1. A vertex is a
+/// core when it has at least µ ε-similar neighbors (|N_ε(u)| − 1 ≥ µ).
+struct ScanParams {
+  EpsRational eps{1, 5};
+  std::uint32_t mu = 5;
+
+  static ScanParams make(const std::string& eps_text, std::uint32_t mu) {
+    return {EpsRational::parse(eps_text), mu};
+  }
+};
+
+enum class Role : std::uint8_t { Unknown = 0, Core = 1, NonCore = 2 };
+
+/// Per-arc similarity state, stored in one int32 per directed arc:
+///   kSimFlag      — predicate decided true
+///   kNSimFlag     — predicate decided false
+///   kSimUncached  — undecided, min_cn not computed yet
+///   value >= 1    — undecided, value is the cached min_cn bound
+/// (the same packing as the pSCAN reference implementation).
+inline constexpr std::int32_t kSimFlag = -1;
+inline constexpr std::int32_t kNSimFlag = -2;
+inline constexpr std::int32_t kSimUncached = 0;
+
+/// Output of a clustering run.
+///
+/// Cores partition into disjoint clusters (paper Lemma 3.5) so they carry a
+/// direct id; non-cores may belong to several clusters (a border vertex can
+/// be ε-similar to cores of different clusters), hence the membership pair
+/// list — mirroring ppSCAN's own output layout.
+struct ScanResult {
+  std::vector<Role> roles;
+  /// Cluster id per vertex; meaningful only for cores (kInvalidVertex else).
+  std::vector<VertexId> core_cluster_id;
+  /// (non-core vertex, cluster id) memberships; may contain duplicates until
+  /// normalize() is called.
+  std::vector<std::pair<VertexId, VertexId>> noncore_memberships;
+
+  /// Sorts + dedupes the membership list.
+  void normalize();
+
+  /// Canonical clusters: each cluster a sorted vertex vector, clusters
+  /// sorted lexicographically. Cluster ids are ignored, so results from
+  /// different algorithms (different id conventions) compare equal when the
+  /// clusterings agree.
+  [[nodiscard]] std::vector<std::vector<VertexId>> canonical_clusters() const;
+
+  [[nodiscard]] std::size_t num_clusters() const;
+  [[nodiscard]] std::uint64_t num_cores() const;
+};
+
+/// True when both results agree on roles and canonical clusters.
+bool results_equivalent(const ScanResult& a, const ScanResult& b);
+
+/// Human-readable diff of the first disagreement (empty when equivalent).
+std::string describe_result_difference(const ScanResult& a,
+                                       const ScanResult& b);
+
+/// Final classification of every vertex (paper Definition 2.10).
+enum class VertexClass : std::uint8_t { Member, Hub, Outlier };
+
+/// O(|V| + |E|) hub/outlier post-pass: an unclustered vertex is a hub when
+/// its neighbors span at least two distinct clusters, else an outlier.
+std::vector<VertexClass> classify_hubs_outliers(const CsrGraph& graph,
+                                                const ScanResult& result);
+
+/// Instrumentation accumulated during a run. Which fields are populated
+/// depends on the algorithm; unused ones stay zero.
+struct RunStats {
+  std::uint64_t compsim_invocations = 0;
+  double total_seconds = 0;
+  /// Figure 1 breakdown: time inside set intersections vs the time spent in
+  /// pruning bookkeeping (sd/ed updates, predicate pruning); the remainder
+  /// of total_seconds is the paper's "other computation".
+  double similarity_seconds = 0;
+  double pruning_seconds = 0;
+  /// ppSCAN per-stage wall times (Figure 6).
+  double stage_prune_seconds = 0;
+  double stage_check_seconds = 0;
+  double stage_core_cluster_seconds = 0;
+  double stage_noncore_cluster_seconds = 0;
+  std::uint64_t tasks_submitted = 0;
+};
+
+/// Result + statistics bundle every algorithm entry point returns.
+struct ScanRun {
+  ScanResult result;
+  RunStats stats;
+};
+
+}  // namespace ppscan

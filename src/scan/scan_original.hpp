@@ -1,0 +1,22 @@
+// Original SCAN (Xu et al., KDD 2007) — paper Algorithm 1.
+//
+// Exhaustive similarity computation (a full merge intersection per directed
+// arc, no early termination, no reverse-arc reuse — total workload
+// 2·Σ d(v)², paper Theorem 3.4) with BFS cluster expansion from cores.
+// Serves as the correctness anchor and the slow end of Figures 1–3.
+#pragma once
+
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+
+struct ScanOriginalOptions {
+  /// Collect the Figure-1 time breakdown (adds one clock read per
+  /// similarity computation).
+  bool collect_breakdown = false;
+};
+
+ScanRun scan_original(const CsrGraph& graph, const ScanParams& params,
+                      const ScanOriginalOptions& options = {});
+
+}  // namespace ppscan

@@ -1,0 +1,127 @@
+#include "scan/scanxp.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "concurrent/task_scheduler.hpp"
+#include "concurrent/thread_pool.hpp"
+#include "concurrent/union_find.hpp"
+#include "setops/intersect.hpp"
+#include "util/timer.hpp"
+
+namespace ppscan {
+
+ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
+               const ScanXpOptions& options) {
+  WallTimer total;
+  const VertexId n = graph.num_vertices();
+  ScanRun run;
+  run.result.roles.assign(n, Role::Unknown);
+  run.result.core_cluster_id.assign(n, kInvalidVertex);
+
+  ThreadPool pool(options.num_threads);
+  const CountFn count = count_fn(options.count_kernel);
+  std::vector<std::int32_t> sim(graph.num_arcs(), kSimUncached);
+  std::atomic<std::uint64_t> invocations{0};
+  const auto degree_of = [&](VertexId u) { return graph.degree(u); };
+  const auto all = [](VertexId) { return true; };
+
+  // Phase 1: exhaustive similarity, one full intersection per edge. The
+  // u < v owner writes both arc directions; phases are separated by the
+  // pool barrier so there are no concurrent readers.
+  auto stats = schedule_vertex_tasks(
+      pool, n, degree_of, all,
+      [&](VertexId u) {
+        std::uint64_t local = 0;
+        for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
+          const VertexId v = graph.dst()[e];
+          if (u >= v) continue;
+          const std::uint64_t common =
+              count(graph.neighbors(u), graph.neighbors(v));
+          ++local;
+          const bool s = similarity_holds(params.eps, common + 2,
+                                          graph.degree(u), graph.degree(v));
+          const std::int32_t flag = s ? kSimFlag : kNSimFlag;
+          sim[e] = flag;
+          sim[graph.reverse_arc(u, e)] = flag;
+        }
+        invocations.fetch_add(local, std::memory_order_relaxed);
+      });
+  run.stats.tasks_submitted += stats.tasks_submitted;
+
+  // Phase 2: roles from the similar-degree counts.
+  stats = schedule_vertex_tasks(
+      pool, n, degree_of, all,
+      [&](VertexId u) {
+        std::uint32_t sd = 0;
+        for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
+          if (sim[e] == kSimFlag) ++sd;
+        }
+        run.result.roles[u] = sd >= params.mu ? Role::Core : Role::NonCore;
+      });
+  run.stats.tasks_submitted += stats.tasks_submitted;
+
+  // Phase 3: core clustering over similar core-core edges.
+  ParallelUnionFind uf(n);
+  stats = schedule_vertex_tasks(
+      pool, n, degree_of,
+      [&](VertexId u) { return run.result.roles[u] == Role::Core; },
+      [&](VertexId u) {
+        for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
+          const VertexId v = graph.dst()[e];
+          if (u >= v || sim[e] != kSimFlag) continue;
+          if (run.result.roles[v] == Role::Core) uf.unite(u, v);
+        }
+      });
+  run.stats.tasks_submitted += stats.tasks_submitted;
+
+  // Cluster ids: minimum core id per set (CAS-min).
+  AtomicArray<VertexId> cluster_id(n, kInvalidVertex);
+  stats = schedule_vertex_tasks(
+      pool, n, degree_of,
+      [&](VertexId u) { return run.result.roles[u] == Role::Core; },
+      [&](VertexId u) {
+        const VertexId root = uf.find(u);
+        VertexId current = cluster_id.load(root);
+        while (u < current &&
+               !cluster_id.compare_exchange(root, current, u)) {
+        }
+      });
+  run.stats.tasks_submitted += stats.tasks_submitted;
+
+  // Phase 4: non-core memberships, buffered per task then merged.
+  std::mutex merge_mutex;
+  stats = schedule_vertex_tasks(
+      pool, n, degree_of,
+      [&](VertexId u) { return run.result.roles[u] == Role::Core; },
+      [&](VertexId u) {
+        std::vector<std::pair<VertexId, VertexId>> local;
+        for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
+          const VertexId v = graph.dst()[e];
+          if (sim[e] != kSimFlag || run.result.roles[v] == Role::Core) {
+            continue;
+          }
+          local.emplace_back(v, cluster_id.load(uf.find(u)));
+        }
+        if (!local.empty()) {
+          std::lock_guard lock(merge_mutex);
+          run.result.noncore_memberships.insert(
+              run.result.noncore_memberships.end(), local.begin(),
+              local.end());
+        }
+      });
+  run.stats.tasks_submitted += stats.tasks_submitted;
+
+  for (VertexId u = 0; u < n; ++u) {
+    if (run.result.roles[u] == Role::Core) {
+      run.result.core_cluster_id[u] = cluster_id.load(uf.find(u));
+    }
+  }
+
+  run.result.normalize();
+  run.stats.compsim_invocations = invocations.load();
+  run.stats.total_seconds = total.elapsed_s();
+  return run;
+}
+
+}  // namespace ppscan

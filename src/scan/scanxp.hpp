@@ -1,0 +1,26 @@
+// SCAN-XP (Takahashi et al., NDA 2017) — the pruning-free parallel baseline
+// of Figures 2 and 3.
+//
+// SCAN-XP exploits thread- and instruction-level parallelism but performs
+// the similarity computation exhaustively: every edge is intersected with a
+// full (non-early-terminating) count regardless of ε, so its runtime is flat
+// in ε while ppSCAN's shrinks — the contrast the paper highlights.
+#pragma once
+
+#include "scan/scan_common.hpp"
+#include "setops/intersect.hpp"
+
+namespace ppscan {
+
+struct ScanXpOptions {
+  int num_threads = 1;
+  /// Exact-count intersection kernel. SCAN-XP's instruction-level
+  /// parallelism comes from the SIMD counts; Auto picks the best the CPU
+  /// supports, scalar kinds fall back to the merge count.
+  IntersectKind count_kernel = IntersectKind::Auto;
+};
+
+ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
+               const ScanXpOptions& options = {});
+
+}  // namespace ppscan

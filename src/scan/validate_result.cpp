@@ -1,0 +1,133 @@
+#include "scan/validate_result.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "concurrent/union_find.hpp"
+#include "setops/intersect.hpp"
+
+namespace ppscan {
+namespace {
+
+std::string vtx(VertexId u) { return std::to_string(u); }
+
+bool edge_similar(const CsrGraph& graph, const ScanParams& params, VertexId u,
+                  VertexId v) {
+  const std::uint32_t need =
+      min_common_neighbors(params.eps, graph.degree(u), graph.degree(v));
+  return similar_merge_early_stop(graph.neighbors(u), graph.neighbors(v),
+                                  need);
+}
+
+}  // namespace
+
+ValidationReport validate_scan_result(const CsrGraph& graph,
+                                      const ScanParams& params,
+                                      const ScanResult& result) {
+  ValidationReport report;
+  const VertexId n = graph.num_vertices();
+  if (result.roles.size() != n || result.core_cluster_id.size() != n) {
+    report.fail("result arrays do not match the graph's vertex count");
+    return report;
+  }
+
+  // Similarity of every edge (each direction checked from cached compute).
+  std::vector<std::vector<bool>> similar(n);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    similar[u].resize(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      similar[u][i] = edge_similar(graph, params, u, nbrs[i]);
+    }
+  }
+
+  // 1. Roles.
+  for (VertexId u = 0; u < n; ++u) {
+    std::uint32_t sd = 0;
+    for (const bool s : similar[u]) sd += s ? 1 : 0;
+    const Role expected = sd >= params.mu ? Role::Core : Role::NonCore;
+    if (result.roles[u] == Role::Unknown) {
+      report.fail("vertex " + vtx(u) + " has Unknown role");
+      return report;
+    }
+    if (result.roles[u] != expected) {
+      report.fail("vertex " + vtx(u) + " role mismatch (" +
+                  std::to_string(sd) + " similar neighbors, mu=" +
+                  std::to_string(params.mu) + ")");
+      return report;
+    }
+  }
+
+  // 2. Core clusters: compare against similar core-core components.
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] != Role::Core) continue;
+    const auto nbrs = graph.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (similar[u][i] && result.roles[nbrs[i]] == Role::Core) {
+        uf.unite(u, nbrs[i]);
+      }
+    }
+  }
+  // Cluster *ids* are a labeling convention (SCAN numbers clusters in BFS
+  // order, pSCAN/ppSCAN by minimum core id); what Definition 2.9 fixes is
+  // the partition. Check that the recorded ids induce exactly the expected
+  // components via a root ↔ id bijection.
+  std::map<VertexId, VertexId> root_to_id, id_to_root;
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] == Role::Core) {
+      const VertexId root = uf.find(u);
+      const VertexId id = result.core_cluster_id[u];
+      const auto [it, fresh] = root_to_id.emplace(root, id);
+      if (!fresh && it->second != id) {
+        report.fail("core " + vtx(u) + " splits its cluster: id " + vtx(id) +
+                    " vs " + vtx(it->second));
+        return report;
+      }
+      const auto [rit, rfresh] = id_to_root.emplace(id, root);
+      if (!rfresh && rit->second != root) {
+        report.fail("cluster id " + vtx(id) +
+                    " merges two core components (at core " + vtx(u) + ")");
+        return report;
+      }
+    } else if (result.core_cluster_id[u] != kInvalidVertex) {
+      report.fail("non-core " + vtx(u) + " carries a core cluster id");
+      return report;
+    }
+  }
+
+  // 3. Memberships, both directions, compared in root space.
+  std::set<std::pair<VertexId, VertexId>> expected_members;
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] != Role::Core) continue;
+    const auto nbrs = graph.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (similar[u][i] && result.roles[v] != Role::Core) {
+        expected_members.emplace(v, uf.find(u));
+      }
+    }
+  }
+  std::set<std::pair<VertexId, VertexId>> actual_members;
+  for (const auto& [v, id] : result.noncore_memberships) {
+    const auto it = id_to_root.find(id);
+    if (it == id_to_root.end()) {
+      report.fail("membership of " + vtx(v) + " references unknown cluster " +
+                  vtx(id));
+      return report;
+    }
+    actual_members.emplace(v, it->second);
+  }
+  if (actual_members != expected_members) {
+    report.fail("membership list mismatch: " +
+                std::to_string(actual_members.size()) + " recorded vs " +
+                std::to_string(expected_members.size()) + " expected");
+    return report;
+  }
+
+  return report;
+}
+
+}  // namespace ppscan

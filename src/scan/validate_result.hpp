@@ -1,0 +1,40 @@
+// Independent result validation.
+//
+// Checks a ScanResult against the paper's definitions directly — without
+// running any clustering algorithm — so a stored or third-party result can
+// be certified. Verifies:
+//   * role soundness: cores have ≥ µ ε-similar neighbors, non-cores fewer,
+//     no Unknown roles;
+//   * core clusters = connected components of the similar core-core
+//     subgraph (connectivity AND maximality, Definition 2.9), with the
+//     min-core-id labeling convention;
+//   * memberships: every (non-core, cluster) pair is backed by an
+//     ε-similar core neighbor in that cluster, and none is missing.
+// Cost: one intersection per edge incident to a checked vertex — this is
+// a verifier, not a fast path.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string first_error;  // empty when ok
+
+  void fail(std::string message) {
+    if (ok) {
+      ok = false;
+      first_error = std::move(message);
+    }
+  }
+};
+
+ValidationReport validate_scan_result(const CsrGraph& graph,
+                                      const ScanParams& params,
+                                      const ScanResult& result);
+
+}  // namespace ppscan

@@ -1,0 +1,84 @@
+#include "setops/intersect.hpp"
+
+#include <stdexcept>
+
+namespace ppscan {
+
+std::string to_string(IntersectKind kind) {
+  switch (kind) {
+    case IntersectKind::MergeEarlyStop: return "merge";
+    case IntersectKind::PivotScalar: return "pivot";
+    case IntersectKind::PivotAvx2: return "avx2";
+    case IntersectKind::PivotAvx512: return "avx512";
+    case IntersectKind::Auto: return "auto";
+  }
+  return "?";
+}
+
+IntersectKind parse_intersect_kind(const std::string& name) {
+  if (name == "merge") return IntersectKind::MergeEarlyStop;
+  if (name == "pivot") return IntersectKind::PivotScalar;
+  if (name == "avx2") return IntersectKind::PivotAvx2;
+  if (name == "avx512") return IntersectKind::PivotAvx512;
+  if (name == "auto") return IntersectKind::Auto;
+  throw std::invalid_argument("unknown intersect kind: " + name);
+}
+
+bool kernel_supported(IntersectKind kind) {
+  switch (kind) {
+    case IntersectKind::MergeEarlyStop:
+    case IntersectKind::PivotScalar:
+    case IntersectKind::Auto:
+      return true;
+    case IntersectKind::PivotAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case IntersectKind::PivotAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+}
+
+IntersectKind resolve_kernel(IntersectKind kind) {
+  if (kind == IntersectKind::Auto) {
+    if (kernel_supported(IntersectKind::PivotAvx512)) {
+      return IntersectKind::PivotAvx512;
+    }
+    if (kernel_supported(IntersectKind::PivotAvx2)) {
+      return IntersectKind::PivotAvx2;
+    }
+    return IntersectKind::PivotScalar;
+  }
+  if (!kernel_supported(kind)) {
+    throw std::runtime_error("intersect kernel not supported on this CPU: " +
+                             to_string(kind));
+  }
+  return kind;
+}
+
+CountFn count_fn(IntersectKind kind) {
+  switch (resolve_kernel(kind)) {
+    case IntersectKind::MergeEarlyStop:
+    case IntersectKind::PivotScalar:
+      return &intersect_count_merge;
+    case IntersectKind::PivotAvx2:
+      return &intersect_count_avx2;
+    case IntersectKind::PivotAvx512:
+      return &intersect_count_avx512;
+    case IntersectKind::Auto:
+      break;  // resolved above
+  }
+  throw std::logic_error("count_fn: unreachable");
+}
+
+SimilarFn similar_fn(IntersectKind kind) {
+  switch (resolve_kernel(kind)) {
+    case IntersectKind::MergeEarlyStop: return &similar_merge_early_stop;
+    case IntersectKind::PivotScalar: return &similar_pivot_scalar;
+    case IntersectKind::PivotAvx2: return &similar_pivot_avx2;
+    case IntersectKind::PivotAvx512: return &similar_pivot_avx512;
+    case IntersectKind::Auto: break;  // resolved above
+  }
+  throw std::logic_error("similar_fn: unreachable");
+}
+
+}  // namespace ppscan

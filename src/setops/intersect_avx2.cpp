@@ -1,0 +1,115 @@
+// AVX2 port of the paper's Algorithm 6 (the "CPU server" code path): 8 lanes
+// per step, the comparison mask extracted with movemask instead of AVX512's
+// native mask registers.
+#include <immintrin.h>
+
+#include "setops/intersect.hpp"
+
+namespace ppscan {
+
+namespace {
+constexpr std::size_t kLanes = 8;
+
+/// Number of elements in the 8-lane vector strictly below `pivot`.
+inline std::uint32_t count_below(const VertexId* ptr, VertexId pivot) {
+  const __m256i pivot_v = _mm256_set1_epi32(static_cast<int>(pivot));
+  const __m256i eles =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ptr));
+  const __m256i gt = _mm256_cmpgt_epi32(pivot_v, eles);
+  const auto mask = static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(gt)));
+  return static_cast<std::uint32_t>(_mm_popcnt_u32(mask));
+}
+
+}  // namespace
+
+bool similar_pivot_avx2(Neighbors nu, Neighbors nv, std::uint32_t min_cn) {
+  std::uint32_t cn = 2;
+  std::uint64_t du = nu.size() + 2;
+  std::uint64_t dv = nv.size() + 2;
+  if (cn >= min_cn) return true;
+  if (du < min_cn || dv < min_cn) return false;
+
+  std::size_t off_u = 0, off_v = 0;
+  while (off_u + kLanes <= nu.size() && off_v + kLanes <= nv.size()) {
+    while (off_u + kLanes <= nu.size()) {
+      const std::uint32_t bit_cnt = count_below(nu.data() + off_u, nv[off_v]);
+      off_u += bit_cnt;
+      du -= bit_cnt;
+      if (du < min_cn) return false;
+      if (bit_cnt < kLanes) break;
+    }
+    if (off_u + kLanes > nu.size()) break;
+
+    while (off_v + kLanes <= nv.size()) {
+      const std::uint32_t bit_cnt = count_below(nv.data() + off_v, nu[off_u]);
+      off_v += bit_cnt;
+      dv -= bit_cnt;
+      if (dv < min_cn) return false;
+      if (bit_cnt < kLanes) break;
+    }
+    if (off_v + kLanes > nv.size()) break;
+
+    if (nu[off_u] == nv[off_v]) {
+      if (++cn >= min_cn) return true;
+      ++off_u;
+      ++off_v;
+    }
+  }
+
+  return detail::pivot_scalar_tail(nu, nv, off_u, off_v, cn, du, dv, min_cn);
+}
+
+std::uint64_t intersect_count_blocked_simd(Neighbors a, Neighbors b) {
+  constexpr std::size_t kBlock = 4;
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i + kBlock <= a.size() && j + kBlock <= b.size()) {
+    // All-pairs comparison of one 4-element block from each side: broadcast
+    // each a-element across a 128-bit lane-quad and compare against the
+    // b-block; any hit marks one common element. Branch-free inner step —
+    // the whole point of the Inoue et al. design.
+    const __m128i block_b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    __m128i hits = _mm_setzero_si128();
+    for (std::size_t k = 0; k < kBlock; ++k) {
+      const __m128i va = _mm_set1_epi32(static_cast<int>(a[i + k]));
+      hits = _mm_or_si128(hits, _mm_cmpeq_epi32(va, block_b));
+    }
+    count += static_cast<std::uint64_t>(_mm_popcnt_u32(
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(hits)))));
+    // Advance the block whose last element is smaller (both when equal).
+    const VertexId last_a = a[i + kBlock - 1];
+    const VertexId last_b = b[j + kBlock - 1];
+    i += last_a <= last_b ? kBlock : 0;
+    j += last_b <= last_a ? kBlock : 0;
+  }
+  return detail::merge_count_tail(a, b, i, j, count);
+}
+
+std::uint64_t intersect_count_avx2(Neighbors a, Neighbors b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i + kLanes <= a.size() && j + kLanes <= b.size()) {
+    while (i + kLanes <= a.size()) {
+      const std::uint32_t bit_cnt = count_below(a.data() + i, b[j]);
+      i += bit_cnt;
+      if (bit_cnt < kLanes) break;
+    }
+    if (i + kLanes > a.size()) break;
+    while (j + kLanes <= b.size()) {
+      const std::uint32_t bit_cnt = count_below(b.data() + j, a[i]);
+      j += bit_cnt;
+      if (bit_cnt < kLanes) break;
+    }
+    if (j + kLanes > b.size()) break;
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return detail::merge_count_tail(a, b, i, j, count);
+}
+
+}  // namespace ppscan

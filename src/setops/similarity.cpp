@@ -1,0 +1,90 @@
+#include "setops/similarity.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ppscan {
+namespace {
+
+using U128 = unsigned __int128;
+
+/// cn²·b² ≥ a²·P with 128-bit intermediates.
+bool holds_raw(std::uint64_t cn, std::uint64_t a, std::uint64_t b, U128 p) {
+  const U128 lhs = U128(cn) * cn * b * b;
+  const U128 rhs = U128(a) * a * p;
+  return lhs >= rhs;
+}
+
+}  // namespace
+
+EpsRational EpsRational::parse(const std::string& text) {
+  std::uint64_t num = 0;
+  std::uint64_t den = 1;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  for (const char c : text) {
+    if (c == '.') {
+      if (seen_dot) throw std::invalid_argument("EpsRational: two dots");
+      seen_dot = true;
+      continue;
+    }
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("EpsRational: bad char in '" + text + "'");
+    }
+    seen_digit = true;
+    num = num * 10 + static_cast<std::uint64_t>(c - '0');
+    if (seen_dot) den *= 10;
+    if (den > 1'000'000'000ULL) {
+      throw std::invalid_argument("EpsRational: too many decimals");
+    }
+  }
+  if (!seen_digit) throw std::invalid_argument("EpsRational: empty");
+  if (num == 0 || num > den) {
+    throw std::invalid_argument("EpsRational: ε must be in (0, 1]: " + text);
+  }
+  const std::uint64_t g = std::gcd(num, den);
+  return {num / g, den / g};
+}
+
+EpsRational EpsRational::from_double(double value) {
+  if (!(value > 0.0) || value > 1.0) {
+    throw std::invalid_argument("EpsRational: ε must be in (0, 1]");
+  }
+  constexpr std::uint64_t kDen = 1'000'000;
+  auto num = static_cast<std::uint64_t>(value * kDen + 0.5);
+  if (num == 0) num = 1;
+  const std::uint64_t g = std::gcd(num, kDen);
+  return {num / g, kDen / g};
+}
+
+bool similarity_holds(const EpsRational& eps, std::uint64_t cn, VertexId d_u,
+                      VertexId d_v) {
+  const U128 p = U128(d_u + 1) * (d_v + 1);
+  return holds_raw(cn, eps.num, eps.den, p);
+}
+
+std::uint32_t min_common_neighbors(const EpsRational& eps, VertexId d_u,
+                                   VertexId d_v) {
+  const U128 p = U128(d_u + 1) * (d_v + 1);
+  // Double-precision first guess, then exact integer fix-up (±2 at most).
+  const double guess =
+      std::sqrt(static_cast<double>(d_u + 1) * static_cast<double>(d_v + 1)) *
+      eps.to_double();
+  auto c = static_cast<std::uint64_t>(guess);
+  while (!holds_raw(c, eps.num, eps.den, p)) ++c;
+  while (c > 0 && holds_raw(c - 1, eps.num, eps.den, p)) --c;
+  return static_cast<std::uint32_t>(c);
+}
+
+PruneOutcome predicate_prune(const EpsRational& eps, VertexId d_u,
+                             VertexId d_v) {
+  const std::uint32_t need = min_common_neighbors(eps, d_u, d_v);
+  // |Γ(u)∩Γ(v)| for adjacent u,v lies in [2, min(d_u, d_v) + 1].
+  if (need <= 2) return PruneOutcome::Sim;
+  const VertexId cap = std::min(d_u, d_v) + 1;
+  if (need > cap) return PruneOutcome::NSim;
+  return PruneOutcome::Unknown;
+}
+
+}  // namespace ppscan

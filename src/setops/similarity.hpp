@@ -1,0 +1,55 @@
+// Exact structural-similarity arithmetic (paper Definitions 2.2 and 3.9).
+//
+// The predicate  σ_ε(u,v) = |Γ(u)∩Γ(v)| ≥ ε·√((d_u+1)(d_v+1))  is decided
+// with integer arithmetic on a rational ε = a/b:
+//
+//     cn ≥ (a/b)·√P   ⇔   cn²·b² ≥ a²·P      (cn ≥ 0, P = (d_u+1)(d_v+1))
+//
+// so every algorithm in the library agrees bit-exactly and no result depends
+// on floating-point rounding — the same approach as the pSCAN reference
+// implementation. 128-bit intermediates rule out overflow for any 32-bit
+// degrees and ε denominators up to 10^6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ppscan {
+
+/// ε as an exact rational in (0, 1].
+struct EpsRational {
+  std::uint64_t num = 1;
+  std::uint64_t den = 1;
+
+  /// Parses decimal text such as "0.2", "0.35", ".5" or "1". Throws
+  /// std::invalid_argument outside (0, 1] or on malformed input.
+  static EpsRational parse(const std::string& text);
+
+  /// Rational with denominator 10^6 closest to `value` from below.
+  static EpsRational from_double(double value);
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// True iff cn common closed-neighbors satisfy the similarity predicate for
+/// degrees d_u, d_v.
+bool similarity_holds(const EpsRational& eps, std::uint64_t cn, VertexId d_u,
+                      VertexId d_v);
+
+/// ⌈ε·√((d_u+1)(d_v+1))⌉ as used by the early-termination bounds — the
+/// smallest integer cn for which similarity_holds() is true.
+std::uint32_t min_common_neighbors(const EpsRational& eps, VertexId d_u,
+                                   VertexId d_v);
+
+/// Outcome of the similarity-predicate pruning rules (paper §3.2.2): decide
+/// Sim/NSim from degrees alone when possible, else Unknown.
+enum class PruneOutcome : std::uint8_t { Sim, NSim, Unknown };
+
+PruneOutcome predicate_prune(const EpsRational& eps, VertexId d_u,
+                             VertexId d_v);
+
+}  // namespace ppscan

@@ -1,0 +1,71 @@
+// A heap-allocated array of std::atomic<T>.
+//
+// std::vector<std::atomic<T>> is unusable because atomics are not movable;
+// this wrapper owns the storage, provides bounds-checked debug access, and
+// exposes relaxed-by-default load/store helpers. The ppSCAN phases rely on
+// benign read/write races (e.g. a neighbor reading sim[e(u,v)] while the
+// owner thread writes it); making the element type atomic turns those races
+// into defined behavior at zero cost on x86 (relaxed atomic load/store
+// compiles to a plain MOV).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+namespace ppscan {
+
+template <typename T>
+class AtomicArray {
+ public:
+  AtomicArray() = default;
+
+  explicit AtomicArray(std::size_t n, T init = T{}) { assign(n, init); }
+
+  void assign(std::size_t n, T init = T{}) {
+    data_ = std::make_unique<std::atomic<T>[]>(n);
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      data_[i].store(init, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T load(std::size_t i,
+                       std::memory_order order = std::memory_order_relaxed) const {
+    assert(i < size_);
+    return data_[i].load(order);
+  }
+
+  void store(std::size_t i, T value,
+             std::memory_order order = std::memory_order_relaxed) {
+    assert(i < size_);
+    data_[i].store(value, order);
+  }
+
+  bool compare_exchange(std::size_t i, T& expected, T desired,
+                        std::memory_order order = std::memory_order_relaxed) {
+    assert(i < size_);
+    return data_[i].compare_exchange_strong(expected, desired, order);
+  }
+
+  T fetch_add(std::size_t i, T delta,
+              std::memory_order order = std::memory_order_relaxed) {
+    assert(i < size_);
+    return data_[i].fetch_add(delta, order);
+  }
+
+  std::atomic<T>& raw(std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T>[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ppscan

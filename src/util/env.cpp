@@ -1,0 +1,25 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace ppscan {
+
+double bench_scale() {
+  if (const char* s = std::getenv("PPSCAN_SCALE")) {
+    const double v = std::strtod(s, nullptr);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+int default_threads() {
+  if (const char* s = std::getenv("PPSCAN_THREADS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace ppscan

@@ -1,0 +1,14 @@
+// Environment knobs shared by the benchmark harnesses.
+#pragma once
+
+namespace ppscan {
+
+/// Value of PPSCAN_SCALE (default 1.0). Every bench dataset's edge budget is
+/// multiplied by this, so the same binaries scale from CI smoke runs to
+/// paper-sized experiments on a big machine.
+double bench_scale();
+
+/// Value of PPSCAN_THREADS if set, otherwise the hardware concurrency.
+int default_threads();
+
+}  // namespace ppscan

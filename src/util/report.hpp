@@ -1,0 +1,34 @@
+// Column-aligned table printer used by every figure/table harness in bench/.
+//
+// Each harness regenerates one table or figure from the paper; the output is
+// a plain-text table (also machine-parsable: cells never contain the column
+// separator) so runs can be diffed and re-plotted.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppscan {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  /// Renders the table with a title banner to `os`.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppscan

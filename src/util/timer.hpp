@@ -1,0 +1,43 @@
+// Monotonic wall-clock timing helpers used by the benchmark harnesses and the
+// per-stage instrumentation inside the algorithms.
+#pragma once
+
+#include <chrono>
+
+namespace ppscan {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit; lets callers sum the
+/// cost of a region executed many times.
+class ScopedAccumTimer {
+ public:
+  explicit ScopedAccumTimer(double& sink) : sink_(sink) {}
+  ~ScopedAccumTimer() { sink_ += timer_.elapsed_s(); }
+
+  ScopedAccumTimer(const ScopedAccumTimer&) = delete;
+  ScopedAccumTimer& operator=(const ScopedAccumTimer&) = delete;
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace ppscan

@@ -1,0 +1,18 @@
+// Fundamental integer types shared across the ppSCAN library.
+//
+// Vertices are 32-bit (the paper's largest graph, friendster, has 124.8M
+// vertices) while edge offsets are 64-bit so graphs with more than 2^32
+// directed edges remain addressable in CSR form.
+#pragma once
+
+#include <cstdint>
+
+namespace ppscan {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no vertex" (e.g. unassigned cluster id).
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+}  // namespace ppscan

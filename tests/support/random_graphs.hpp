@@ -1,0 +1,20 @@
+// Randomized graph suites shared by the property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "scan/scan_common.hpp"
+
+namespace ppscan::testing {
+
+/// A varied batch of small random graphs (ER at several densities, scale-
+/// free, planted communities, plus degenerate shapes) for property tests.
+std::vector<CsrGraph> property_test_graphs(std::uint64_t seed,
+                                           int count_per_family = 3);
+
+/// Parameter grid the cross-algorithm equivalence suites sweep.
+std::vector<ScanParams> parameter_grid();
+
+}  // namespace ppscan::testing

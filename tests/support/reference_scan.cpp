@@ -1,0 +1,100 @@
+#include "support/reference_scan.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace ppscan::testing {
+namespace {
+
+std::vector<VertexId> closed_neighborhood(const CsrGraph& graph, VertexId u) {
+  std::vector<VertexId> gamma(graph.neighbors(u).begin(),
+                              graph.neighbors(u).end());
+  gamma.push_back(u);
+  std::sort(gamma.begin(), gamma.end());
+  return gamma;
+}
+
+}  // namespace
+
+bool reference_similar(const CsrGraph& graph, const ScanParams& params,
+                       VertexId u, VertexId v) {
+  const auto gu = closed_neighborhood(graph, u);
+  const auto gv = closed_neighborhood(graph, v);
+  std::vector<VertexId> common;
+  std::set_intersection(gu.begin(), gu.end(), gv.begin(), gv.end(),
+                        std::back_inserter(common));
+  return similarity_holds(params.eps, common.size(), graph.degree(u),
+                          graph.degree(v));
+}
+
+ScanResult reference_scan(const CsrGraph& graph, const ScanParams& params) {
+  const VertexId n = graph.num_vertices();
+  ScanResult result;
+  result.roles.assign(n, Role::Unknown);
+  result.core_cluster_id.assign(n, kInvalidVertex);
+
+  // Similarity of every edge, both directions symmetric by construction.
+  std::vector<std::vector<bool>> similar(n);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    similar[u].resize(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      similar[u][i] = reference_similar(graph, params, u, nbrs[i]);
+    }
+  }
+
+  // Roles: core iff at least µ similar neighbors.
+  for (VertexId u = 0; u < n; ++u) {
+    std::uint32_t sd = 0;
+    for (const bool s : similar[u]) {
+      if (s) ++sd;
+    }
+    result.roles[u] = sd >= params.mu ? Role::Core : Role::NonCore;
+  }
+
+  // Core clusters: connected components of the similar core-core subgraph.
+  std::vector<VertexId> component(n, kInvalidVertex);
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (result.roles[seed] != Role::Core || component[seed] != kInvalidVertex) {
+      continue;
+    }
+    component[seed] = seed;
+    std::deque<VertexId> queue{seed};
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      const auto nbrs = graph.neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
+        if (!similar[u][i] || result.roles[v] != Role::Core) continue;
+        if (component[v] == kInvalidVertex) {
+          component[v] = seed;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] == Role::Core) {
+      result.core_cluster_id[u] = component[u];
+    }
+  }
+
+  // Non-core memberships: ε-similar neighbors of cores.
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.roles[u] != Role::Core) continue;
+    const auto nbrs = graph.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (similar[u][i] && result.roles[v] != Role::Core) {
+        result.noncore_memberships.emplace_back(v, component[u]);
+      }
+    }
+  }
+
+  result.normalize();
+  return result;
+}
+
+}  // namespace ppscan::testing

@@ -1,0 +1,21 @@
+// Brute-force SCAN reference, written directly from the paper's definitions
+// with none of the library's kernels or pruning — the independent oracle
+// every algorithm is compared against.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "scan/scan_common.hpp"
+
+namespace ppscan::testing {
+
+/// O(|V|·|E|)-ish naive SCAN: closed-neighborhood intersections via
+/// std::set_intersection, roles by counting, core clusters by BFS over
+/// similar core-core edges, memberships by direct enumeration.
+ScanResult reference_scan(const CsrGraph& graph, const ScanParams& params);
+
+/// Naive similarity predicate on closed neighborhoods (double sqrt with an
+/// exact tie handling via the rational form).
+bool reference_similar(const CsrGraph& graph, const ScanParams& params,
+                       VertexId u, VertexId v);
+
+}  // namespace ppscan::testing

@@ -1,0 +1,64 @@
+#include "util/atomic_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ppscan {
+namespace {
+
+TEST(AtomicArray, InitializesToGivenValue) {
+  AtomicArray<int> arr(16, 7);
+  ASSERT_EQ(arr.size(), 16u);
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr.load(i), 7);
+  }
+}
+
+TEST(AtomicArray, DefaultConstructedIsEmpty) {
+  AtomicArray<int> arr;
+  EXPECT_TRUE(arr.empty());
+  EXPECT_EQ(arr.size(), 0u);
+}
+
+TEST(AtomicArray, StoreLoadRoundTrip) {
+  AtomicArray<std::uint32_t> arr(4);
+  arr.store(2, 99);
+  EXPECT_EQ(arr.load(2), 99u);
+  EXPECT_EQ(arr.load(1), 0u);
+}
+
+TEST(AtomicArray, CompareExchangeSemantics) {
+  AtomicArray<int> arr(1, 5);
+  int expected = 4;
+  EXPECT_FALSE(arr.compare_exchange(0, expected, 9));
+  EXPECT_EQ(expected, 5);  // failure loads the live value
+  EXPECT_TRUE(arr.compare_exchange(0, expected, 9));
+  EXPECT_EQ(arr.load(0), 9);
+}
+
+TEST(AtomicArray, FetchAddAccumulatesAcrossThreads) {
+  AtomicArray<std::uint64_t> arr(1, 0);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) arr.fetch_add(0, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arr.load(0), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(AtomicArray, AssignReplacesContents) {
+  AtomicArray<int> arr(4, 1);
+  arr.assign(2, 3);
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.load(0), 3);
+  EXPECT_EQ(arr.load(1), 3);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,50 @@
+#include "scan/classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/generators.hpp"
+#include "support/random_graphs.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(ClassificationParallel, MatchesSequentialOnPropertySuite) {
+  for (const auto& g : testing::property_test_graphs(9001, 2)) {
+    for (const auto& params : testing::parameter_grid()) {
+      const auto run = ppscan(g, params);
+      const auto sequential = classify_hubs_outliers(g, run.result);
+      for (const int threads : {1, 4}) {
+        const auto parallel =
+            classify_hubs_outliers_parallel(g, run.result, threads);
+        ASSERT_EQ(parallel, sequential)
+            << "threads=" << threads << " eps=" << params.eps.to_double()
+            << " mu=" << params.mu;
+      }
+    }
+  }
+}
+
+TEST(ClassificationParallel, LargeCommunityGraph) {
+  LfrParams p;
+  p.n = 5000;
+  p.avg_degree = 16;
+  p.mixing = 0.35;
+  const auto g = lfr_like(p, 17);
+  const auto run = ppscan(g, ScanParams::make("0.5", 4));
+  const auto sequential = classify_hubs_outliers(g, run.result);
+  const auto parallel = classify_hubs_outliers_parallel(g, run.result, 8);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ClassificationParallel, AllOutliersWhenNoClusters) {
+  const auto g = erdos_renyi(200, 400, 3);
+  ScanResult empty;
+  empty.roles.assign(g.num_vertices(), Role::NonCore);
+  empty.core_cluster_id.assign(g.num_vertices(), kInvalidVertex);
+  const auto classes = classify_hubs_outliers_parallel(g, empty, 4);
+  for (const auto c : classes) EXPECT_EQ(c, VertexClass::Outlier);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,81 @@
+#include "bench_support/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.hpp"
+
+namespace ppscan {
+namespace {
+
+// Datasets load at a tiny scale so the suite stays fast; shape properties
+// (degrees, skew) must hold at any scale.
+constexpr double kTestScale = 0.05;
+
+TEST(Datasets, RegistryListsPaperStandIns) {
+  const auto real = real_world_datasets();
+  ASSERT_EQ(real.size(), 4u);
+  EXPECT_EQ(real[0].name, "orkut-sim");
+  EXPECT_EQ(real[3].name, "friendster-sim");
+  const auto roll = roll_datasets();
+  ASSERT_EQ(roll.size(), 4u);
+  EXPECT_EQ(roll[0].name, "roll-d40");
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(load_dataset("no-such-graph", 1.0), std::invalid_argument);
+  EXPECT_THROW(load_dataset("roll-d41", 1.0), std::invalid_argument);
+}
+
+TEST(Datasets, OrkutSimHasHighAverageDegree) {
+  const auto g = load_dataset("orkut-sim", kTestScale);
+  const auto s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 76, 15);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Datasets, WebbaseSimIsSparseAndSkewed) {
+  const auto g = load_dataset("webbase-sim", kTestScale);
+  const auto s = compute_stats(g);
+  EXPECT_LT(s.avg_degree, 15);
+  EXPECT_GT(s.max_degree, 20 * s.avg_degree);
+}
+
+TEST(Datasets, TwitterSimIsSkewed) {
+  const auto g = load_dataset("twitter-sim", kTestScale);
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.max_degree, 10 * s.avg_degree);
+}
+
+TEST(Datasets, RollDegreesMatchNames) {
+  for (const int d : {40, 80}) {
+    const auto g = load_dataset("roll-d" + std::to_string(d), kTestScale);
+    const auto s = compute_stats(g);
+    EXPECT_NEAR(s.avg_degree, d, d * 0.15) << "roll-d" << d;
+  }
+}
+
+TEST(Datasets, RollGraphsShareTheEdgeBudget) {
+  const auto a = compute_stats(load_dataset("roll-d40", kTestScale));
+  const auto b = compute_stats(load_dataset("roll-d80", kTestScale));
+  // Same |E| by design (Table 2), within generator slack.
+  const double ratio = static_cast<double>(a.num_edges) /
+                       static_cast<double>(b.num_edges);
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+TEST(Datasets, ScaleGrowsTheGraph) {
+  const auto small = load_dataset("livejournal-sim", 0.02);
+  const auto large = load_dataset("livejournal-sim", 0.06);
+  EXPECT_GT(large.num_edges(), 2 * small.num_edges());
+}
+
+TEST(Datasets, CachedLoadIsIdentical) {
+  // Second load must hit the binary cache and reproduce the same graph.
+  const auto first = load_dataset("twitter-sim", kTestScale);
+  const auto second = load_dataset("twitter-sim", kTestScale);
+  EXPECT_EQ(first.offsets(), second.offsets());
+  EXPECT_EQ(first.dst(), second.dst());
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,120 @@
+// Differential fuzzing: random graphs × random (ε, µ) × every algorithm,
+// every kernel, the GS*-Index, and permutation-equivariance — all checked
+// against the brute-force oracle in one loop. Catches interaction bugs the
+// per-module suites cannot (e.g. a kernel edge case that only appears with
+// a particular pruning state).
+#include <gtest/gtest.h>
+
+#include "bench_support/algorithms.hpp"
+#include "core/ppscan.hpp"
+#include "graph/generators.hpp"
+#include "index/gs_index.hpp"
+#include "scan/relabel.hpp"
+#include "support/reference_scan.hpp"
+#include "util/rng.hpp"
+
+namespace ppscan {
+namespace {
+
+CsrGraph random_graph(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: {
+      const auto n = static_cast<VertexId>(20 + rng.next_below(150));
+      const EdgeId max_m = static_cast<EdgeId>(n) * (n - 1) / 2;
+      const EdgeId m = 1 + rng.next_below(std::min<EdgeId>(max_m, n * 6));
+      return erdos_renyi(n, m, rng.next_u64());
+    }
+    case 1: {
+      const auto m = static_cast<VertexId>(1 + rng.next_below(6));
+      const auto n = static_cast<VertexId>(m + 2 + rng.next_below(150));
+      return barabasi_albert(n, m, rng.next_u64());
+    }
+    case 2: {
+      RmatParams p;
+      p.scale = 6 + static_cast<int>(rng.next_below(3));
+      p.edge_factor = 2 + static_cast<double>(rng.next_below(8));
+      return rmat(p, rng.next_u64());
+    }
+    default: {
+      LfrParams p;
+      p.n = static_cast<VertexId>(60 + rng.next_below(200));
+      p.avg_degree = 4 + static_cast<double>(rng.next_below(16));
+      p.mixing = 0.05 + 0.4 * rng.next_double();
+      p.min_community = 5;
+      p.max_community = 50;
+      return lfr_like(p, rng.next_u64());
+    }
+  }
+}
+
+ScanParams random_params(Rng& rng) {
+  // Random rational ε in (0,1] with denominators that produce awkward
+  // thresholds (ties, near-integers).
+  const std::uint64_t den = 2 + rng.next_below(999);
+  const std::uint64_t num = 1 + rng.next_below(den);
+  ScanParams params;
+  params.eps = {num, den};
+  params.mu = static_cast<std::uint32_t>(1 + rng.next_below(8));
+  return params;
+}
+
+TEST(DifferentialFuzz, AllImplementationsAgreeWithTheOracle) {
+  Rng rng(0xf0226d);
+  constexpr int kRounds = 80;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto graph = random_graph(rng);
+    const auto params = random_params(rng);
+    const auto expected = testing::reference_scan(graph, params);
+    const std::string context =
+        "round " + std::to_string(round) + " |V|=" +
+        std::to_string(graph.num_vertices()) + " |E|=" +
+        std::to_string(graph.num_edges()) + " eps=" +
+        std::to_string(params.eps.num) + "/" + std::to_string(params.eps.den) +
+        " mu=" + std::to_string(params.mu);
+
+    AlgorithmConfig config;
+    config.num_threads = 1 + static_cast<int>(rng.next_below(6));
+    for (const auto& name : algorithm_names()) {
+      const auto run = run_algorithm(name, graph, params, config);
+      ASSERT_TRUE(results_equivalent(expected, run.result))
+          << name << " @ " << context << ": "
+          << describe_result_difference(expected, run.result);
+    }
+
+    // Every intersection kernel through ppSCAN.
+    for (const auto kind :
+         {IntersectKind::MergeEarlyStop, IntersectKind::PivotScalar,
+          IntersectKind::PivotAvx2, IntersectKind::PivotAvx512}) {
+      if (!kernel_supported(kind)) continue;
+      PpScanOptions options;
+      options.num_threads = config.num_threads;
+      options.kernel = kind;
+      options.use_reverse_index = (round % 2) == 0;
+      const auto run = ppscan(graph, params, options);
+      ASSERT_TRUE(results_equivalent(expected, run.result))
+          << "ppSCAN/" << to_string(kind) << " @ " << context;
+    }
+
+    // Index queries.
+    const GsIndex index(graph);
+    ASSERT_TRUE(results_equivalent(expected, index.query(params).result))
+        << "GsIndex @ " << context;
+
+    // Permutation equivariance through a random relabeling.
+    std::vector<VertexId> perm(graph.num_vertices());
+    for (VertexId i = 0; i < graph.num_vertices(); ++i) perm[i] = i;
+    for (VertexId i = graph.num_vertices(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_below(i)]);
+    }
+    const auto relabeling = make_relabeling(std::move(perm));
+    const auto relabeled_run =
+        ppscan(apply_relabeling(graph, relabeling), params);
+    const auto mapped =
+        map_result_to_original(relabeled_run.result, relabeling);
+    ASSERT_TRUE(results_equivalent(expected, mapped))
+        << "relabeled ppSCAN @ " << context;
+  }
+}
+
+}  // namespace
+}  // namespace ppscan

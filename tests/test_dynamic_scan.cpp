@@ -1,0 +1,171 @@
+#include "dynamic/dynamic_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
+#include "support/reference_scan.hpp"
+#include "util/rng.hpp"
+
+namespace ppscan {
+namespace {
+
+/// The invariant every test leans on: after any update sequence, the
+/// dynamic result equals a from-scratch run on the current graph.
+void expect_matches_static(DynamicScan& dynamic, const ScanParams& params) {
+  const auto graph = dynamic.snapshot();
+  ASSERT_NO_THROW(graph.validate());
+  const auto expected = testing::reference_scan(graph, params);
+  ASSERT_TRUE(results_equivalent(expected, dynamic.result()))
+      << describe_result_difference(expected, dynamic.result());
+}
+
+TEST(DynamicScan, InitialStateMatchesStatic) {
+  const auto g = erdos_renyi(200, 1200, 3);
+  const auto params = ScanParams::make("0.5", 3);
+  DynamicScan dynamic(g, params);
+  expect_matches_static(dynamic, params);
+}
+
+TEST(DynamicScan, SingleInsertionUpdatesClusters) {
+  // Two cliques plus the bridge-closing edge: inserting it can merge
+  // nothing (bridge vertices stay dissimilar), but the similarity flags
+  // around the endpoints must all refresh correctly.
+  const auto g = make_two_cliques_bridge(5);
+  const auto params = ScanParams::make("0.7", 3);
+  DynamicScan dynamic(g, params);
+  EXPECT_TRUE(dynamic.insert_edge(4, 6));
+  expect_matches_static(dynamic, params);
+}
+
+TEST(DynamicScan, InsertRejectsDuplicatesAndSelfLoops) {
+  const auto g = make_clique(4);
+  DynamicScan dynamic(g, ScanParams::make("0.5", 2));
+  EXPECT_FALSE(dynamic.insert_edge(0, 1));
+  EXPECT_FALSE(dynamic.insert_edge(2, 2));
+  EXPECT_EQ(dynamic.num_edges(), 6u);
+}
+
+TEST(DynamicScan, RemoveRejectsMissing) {
+  const auto g = make_path(4);
+  DynamicScan dynamic(g, ScanParams::make("0.5", 1));
+  EXPECT_FALSE(dynamic.remove_edge(0, 3));
+  EXPECT_FALSE(dynamic.remove_edge(1, 1));
+  EXPECT_EQ(dynamic.num_edges(), 3u);
+}
+
+TEST(DynamicScan, InsertThenRemoveRestoresOriginalResult) {
+  const auto g = erdos_renyi(150, 900, 8);
+  const auto params = ScanParams::make("0.4", 2);
+  DynamicScan dynamic(g, params);
+  const auto before = dynamic.result();
+  EXPECT_TRUE(dynamic.insert_edge(0, 149));
+  EXPECT_TRUE(dynamic.remove_edge(0, 149));
+  EXPECT_TRUE(results_equivalent(before, dynamic.result()));
+}
+
+TEST(DynamicScan, GrowsVertexSetOnDemand) {
+  const auto g = make_clique(4);
+  const auto params = ScanParams::make("0.5", 2);
+  DynamicScan dynamic(g, params);
+  EXPECT_TRUE(dynamic.insert_edge(3, 10));
+  EXPECT_EQ(dynamic.num_vertices(), 11u);
+  expect_matches_static(dynamic, params);
+}
+
+TEST(DynamicScan, EdgeRemovalCanSplitACluster) {
+  // A clique chain clustered as one piece at lenient parameters; cutting
+  // the joint edge must split it.
+  const auto g = make_clique_chain(2, 5);
+  const auto params = ScanParams::make("0.3", 2);
+  DynamicScan dynamic(g, params);
+  const auto before_clusters = dynamic.result().num_clusters();
+  EXPECT_TRUE(dynamic.remove_edge(4, 5));
+  expect_matches_static(dynamic, params);
+  EXPECT_GE(dynamic.result().num_clusters(), before_clusters);
+}
+
+TEST(DynamicScan, BuildGraphFromScratchByInsertions) {
+  // Start empty; inserting every edge one by one must land on the same
+  // result as the static run on the final graph.
+  const auto target = lfr_like(
+      [] {
+        LfrParams p;
+        p.n = 120;
+        p.avg_degree = 10;
+        p.min_community = 10;
+        p.max_community = 40;
+        return p;
+      }(),
+      99);
+  const auto params = ScanParams::make("0.4", 2);
+  DynamicScan dynamic(GraphBuilder::from_edges({}, target.num_vertices()),
+                      params);
+  for (VertexId u = 0; u < target.num_vertices(); ++u) {
+    for (const VertexId v : target.neighbors(u)) {
+      if (u < v) dynamic.insert_edge(u, v);
+    }
+  }
+  expect_matches_static(dynamic, params);
+  EXPECT_EQ(dynamic.num_edges(), target.num_edges());
+}
+
+TEST(DynamicScan, RandomizedUpdateStream) {
+  // The main property test: a random mix of insertions and deletions, with
+  // the dynamic result checked against the oracle after every batch.
+  Rng rng(2718);
+  const auto params = ScanParams::make("0.5", 3);
+  auto base = erdos_renyi(80, 320, 31);
+  DynamicScan dynamic(base, params);
+
+  constexpr int kBatches = 15;
+  constexpr int kUpdatesPerBatch = 10;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int i = 0; i < kUpdatesPerBatch; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_below(80));
+      const auto v = static_cast<VertexId>(rng.next_below(80));
+      if (u == v) continue;
+      if (rng.next_bool(0.5)) {
+        dynamic.insert_edge(u, v);
+      } else {
+        dynamic.remove_edge(u, v);
+      }
+    }
+    expect_matches_static(dynamic, params);
+  }
+  EXPECT_GT(dynamic.stats().intersections, 0u);
+  EXPECT_GT(dynamic.stats().cluster_rebuilds, 0u);
+}
+
+TEST(DynamicScan, UpdateCostIsLocal) {
+  // An update touches only arcs incident to the endpoints: on a large
+  // sparse graph the incremental recompute must stay tiny relative to a
+  // full pass.
+  LfrParams p;
+  p.n = 4000;
+  p.avg_degree = 16;
+  const auto g = lfr_like(p, 55);
+  DynamicScan dynamic(g, ScanParams::make("0.5", 4));
+  const auto before = dynamic.stats().arcs_recomputed;
+  dynamic.insert_edge(0, 2000);
+  const auto touched = dynamic.stats().arcs_recomputed - before;
+  // d(0) + d(2000) + the new edge's two arcs, far below |arcs| = 2|E|.
+  EXPECT_LT(touched, 200u);
+}
+
+TEST(DynamicScan, ResultIsCachedBetweenReads) {
+  const auto g = make_clique(6);
+  DynamicScan dynamic(g, ScanParams::make("0.5", 2));
+  (void)dynamic.result();
+  const auto rebuilds = dynamic.stats().cluster_rebuilds;
+  (void)dynamic.result();
+  EXPECT_EQ(dynamic.stats().cluster_rebuilds, rebuilds);
+  dynamic.insert_edge(0, 6);  // new vertex; invalidates
+  (void)dynamic.result();
+  EXPECT_EQ(dynamic.stats().cluster_rebuilds, rebuilds + 1);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,112 @@
+#include "graph/edge_list_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace ppscan {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EdgeListIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ppscan-io-test-" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(EdgeListIoTest, TextRoundTrip) {
+  const auto g = erdos_renyi(50, 200, 1);
+  write_edge_list_text(g, path("g.txt"));
+  const auto loaded = read_edge_list_text(path("g.txt"));
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.dst(), g.dst());
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+}
+
+TEST_F(EdgeListIoTest, TextReaderSkipsComments) {
+  std::ofstream out(path("c.txt"));
+  out << "# comment\n% another comment\n0 1\n\n1 2\n";
+  out.close();
+  const auto g = read_edge_list_text(path("c.txt"));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(EdgeListIoTest, TextReaderHandlesDuplicatesAndSelfLoops) {
+  std::ofstream out(path("d.txt"));
+  out << "0 1\n1 0\n2 2\n0 1\n";
+  out.close();
+  const auto g = read_edge_list_text(path("d.txt"));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST_F(EdgeListIoTest, TextReaderRejectsMissingFile) {
+  EXPECT_THROW(read_edge_list_text(path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, TextReaderRejectsGarbage) {
+  std::ofstream out(path("bad.txt"));
+  out << "hello world\n";
+  out.close();
+  EXPECT_THROW(read_edge_list_text(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, TextReaderRejectsLineWithOneEndpoint) {
+  std::ofstream out(path("half.txt"));
+  out << "42\n";
+  out.close();
+  EXPECT_THROW(read_edge_list_text(path("half.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, BinaryRoundTrip) {
+  const auto g = erdos_renyi(100, 500, 2);
+  write_csr_binary(g, path("g.bin"));
+  const auto loaded = read_csr_binary(path("g.bin"));
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+  EXPECT_EQ(loaded.dst(), g.dst());
+}
+
+TEST_F(EdgeListIoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(path("bad.bin"), std::ios::binary);
+  out << "NOTMAGIC plus some bytes that are long enough for a header";
+  out.close();
+  EXPECT_THROW(read_csr_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, BinaryRejectsTruncatedFile) {
+  const auto g = erdos_renyi(50, 100, 3);
+  write_csr_binary(g, path("t.bin"));
+  // Truncate the body.
+  const auto full = fs::file_size(path("t.bin"));
+  fs::resize_file(path("t.bin"), full / 2);
+  EXPECT_THROW(read_csr_binary(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, EmptyGraphRoundTrips) {
+  const auto g = GraphBuilder::from_edges({}, 4);
+  write_csr_binary(g, path("e.bin"));
+  const auto loaded = read_csr_binary(path("e.bin"));
+  EXPECT_EQ(loaded.num_vertices(), 4u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,67 @@
+// The library's central property: every algorithm — SCAN, pSCAN, SCAN-XP,
+// anySCAN-lite, ppSCAN under any configuration — produces the same roles and
+// clusters as the brute-force reference, on a randomized graph/parameter
+// grid. This is the cross-algorithm suite DESIGN.md §6 calls for.
+#include <gtest/gtest.h>
+
+#include "bench_support/algorithms.hpp"
+#include "support/random_graphs.hpp"
+#include "support/reference_scan.hpp"
+
+namespace ppscan {
+namespace {
+
+using testing::reference_scan;
+
+struct Case {
+  std::string algorithm;
+  int threads;
+};
+
+class AlgorithmEquivalenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AlgorithmEquivalenceTest, MatchesReferenceAcrossGraphsAndParams) {
+  const auto& [algorithm, threads] = GetParam();
+  AlgorithmConfig config;
+  config.num_threads = threads;
+  for (const auto& g : testing::property_test_graphs(5001, 2)) {
+    for (const auto& params : testing::parameter_grid()) {
+      const auto expected = reference_scan(g, params);
+      const auto run = run_algorithm(algorithm, g, params, config);
+      ASSERT_TRUE(results_equivalent(expected, run.result))
+          << algorithm << " eps=" << params.eps.to_double()
+          << " mu=" << params.mu << ": "
+          << describe_result_difference(expected, run.result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmEquivalenceTest,
+    ::testing::Values(Case{"SCAN", 1}, Case{"pSCAN", 1}, Case{"anySCAN", 4},
+                      Case{"SCAN-XP", 4}, Case{"ppSCAN", 4},
+                      Case{"ppSCAN-NO", 4}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.algorithm + "_t" +
+                         std::to_string(info.param.threads);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(AlgorithmRegistry, ListsThePaperAlgorithms) {
+  const auto names = algorithm_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "SCAN");
+  EXPECT_EQ(names.back(), "ppSCAN-NO");
+}
+
+TEST(AlgorithmRegistry, RejectsUnknownName) {
+  const auto g = testing::property_test_graphs(5002, 1).front();
+  EXPECT_THROW(run_algorithm("turboSCAN", g, ScanParams::make("0.5", 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,66 @@
+#include "graph/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppscan {
+namespace {
+
+TEST(Fixtures, Clique) {
+  const auto g = make_clique(7);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (VertexId u = 0; u < 7; ++u) EXPECT_EQ(g.degree(u), 6u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Fixtures, Path) {
+  const auto g = make_path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+}
+
+TEST(Fixtures, Cycle) {
+  const auto g = make_cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (VertexId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Fixtures, Star) {
+  const auto g = make_star(8);
+  EXPECT_EQ(g.degree(0), 7u);
+  for (VertexId u = 1; u < 8; ++u) EXPECT_EQ(g.degree(u), 1u);
+}
+
+TEST(Fixtures, TwoCliquesBridge) {
+  const auto g = make_two_cliques_bridge(4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 6 + 1);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(0, 7));
+}
+
+TEST(Fixtures, CliqueChain) {
+  const auto g = make_clique_chain(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 6 + 2);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_TRUE(g.has_edge(7, 8));
+  EXPECT_FALSE(g.has_edge(3, 8));
+}
+
+TEST(Fixtures, ScanPaperExampleShape) {
+  const auto g = make_scan_paper_example();
+  EXPECT_EQ(g.num_vertices(), 14u);
+  EXPECT_NO_THROW(g.validate());
+  // Vertex 6 bridges the groups; vertex 13 hangs off vertex 12.
+  EXPECT_TRUE(g.has_edge(5, 6));
+  EXPECT_TRUE(g.has_edge(6, 7));
+  EXPECT_EQ(g.degree(13), 1u);
+}
+
+}  // namespace
+}  // namespace ppscan

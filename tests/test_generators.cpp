@@ -1,0 +1,184 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_stats.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const auto g = erdos_renyi(100, 400, 7);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 400u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  const auto a = erdos_renyi(80, 300, 5);
+  const auto b = erdos_renyi(80, 300, 5);
+  EXPECT_EQ(a.dst(), b.dst());
+  const auto c = erdos_renyi(80, 300, 6);
+  EXPECT_NE(a.dst(), c.dst());
+}
+
+TEST(ErdosRenyi, FullDensitySupported) {
+  const auto g = erdos_renyi(10, 45, 1);  // complete graph
+  EXPECT_EQ(g.num_edges(), 45u);
+  for (VertexId u = 0; u < 10; ++u) EXPECT_EQ(g.degree(u), 9u);
+}
+
+TEST(ErdosRenyi, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW(erdos_renyi(10, 46, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(1, 0, 1), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, AverageDegreeNearTarget) {
+  const auto g = barabasi_albert(5000, 8, 3);
+  const auto s = compute_stats(g);
+  // Average degree converges to 2m = 16 (slightly less from dedup).
+  EXPECT_NEAR(s.avg_degree, 16.0, 1.0);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  const auto g = barabasi_albert(5000, 4, 11);
+  const auto s = compute_stats(g);
+  // Preferential attachment: the max degree is far above the average.
+  EXPECT_GT(s.max_degree, 5 * s.avg_degree);
+}
+
+TEST(BarabasiAlbert, Deterministic) {
+  const auto a = barabasi_albert(500, 3, 9);
+  const auto b = barabasi_albert(500, 3, 9);
+  EXPECT_EQ(a.dst(), b.dst());
+}
+
+TEST(BarabasiAlbert, EveryLateVertexHasAtLeastM) {
+  const auto g = barabasi_albert(300, 5, 2);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_GE(g.degree(u), 5u) << "vertex " << u;
+  }
+}
+
+TEST(BarabasiAlbert, RejectsBadParams) {
+  EXPECT_THROW(barabasi_albert(5, 5, 1), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, 1), std::invalid_argument);
+}
+
+TEST(Rmat, ProducesRequestedScale) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto g = rmat(p, 4);
+  EXPECT_EQ(g.num_vertices(), 1u << 12);
+  // Dedup and self-loop removal lose some attempts but most survive.
+  EXPECT_GT(g.num_edges(), static_cast<EdgeId>(0.5 * 8 * (1 << 12)));
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Rmat, SkewedTowardHubs) {
+  RmatParams p;
+  p.scale = 13;
+  p.edge_factor = 8;
+  const auto g = rmat(p, 21);
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.max_degree, 10 * s.avg_degree);
+}
+
+TEST(Rmat, Deterministic) {
+  RmatParams p;
+  p.scale = 10;
+  const auto a = rmat(p, 5);
+  const auto b = rmat(p, 5);
+  EXPECT_EQ(a.dst(), b.dst());
+}
+
+TEST(Rmat, RejectsBadQuadrantProbabilities) {
+  RmatParams p;
+  p.a = 0.9;
+  p.b = 0.2;  // sum > 1
+  EXPECT_THROW(rmat(p, 1), std::invalid_argument);
+  RmatParams q;
+  q.scale = 0;
+  EXPECT_THROW(rmat(q, 1), std::invalid_argument);
+}
+
+TEST(LfrLike, HitsEdgeBudgetApproximately) {
+  LfrParams p;
+  p.n = 5000;
+  p.avg_degree = 20;
+  p.mixing = 0.2;
+  const auto g = lfr_like(p, 8);
+  const auto s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 20.0, 3.0);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(LfrLike, GroundTruthCoversAllVertices) {
+  LfrParams p;
+  p.n = 2000;
+  std::vector<VertexId> truth;
+  const auto g = lfr_like(p, 9, &truth);
+  ASSERT_EQ(truth.size(), g.num_vertices());
+  const VertexId max_cid = *std::max_element(truth.begin(), truth.end());
+  EXPECT_GT(max_cid, 0u);  // more than one community
+}
+
+TEST(LfrLike, CommunitySizesWithinBounds) {
+  LfrParams p;
+  p.n = 3000;
+  p.min_community = 20;
+  p.max_community = 100;
+  std::vector<VertexId> truth;
+  lfr_like(p, 10, &truth);
+  std::vector<VertexId> sizes(*std::max_element(truth.begin(), truth.end()) +
+                              1);
+  for (const VertexId c : truth) ++sizes[c];
+  for (std::size_t c = 0; c + 1 < sizes.size(); ++c) {
+    EXPECT_GE(sizes[c], p.min_community);
+    EXPECT_LE(sizes[c], p.max_community);
+  }
+  // The last community may be truncated by n but never oversized.
+  EXPECT_LE(sizes.back(), p.max_community);
+}
+
+TEST(LfrLike, MostEdgesAreIntraCommunity) {
+  LfrParams p;
+  p.n = 4000;
+  p.avg_degree = 16;
+  p.mixing = 0.2;
+  std::vector<VertexId> truth;
+  const auto g = lfr_like(p, 12, &truth);
+  EdgeId intra = 0, inter = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) (truth[u] == truth[v] ? intra : inter) += 1;
+    }
+  }
+  const double inter_fraction =
+      static_cast<double>(inter) / static_cast<double>(intra + inter);
+  EXPECT_NEAR(inter_fraction, p.mixing, 0.08);
+}
+
+TEST(LfrLike, Deterministic) {
+  LfrParams p;
+  p.n = 1000;
+  const auto a = lfr_like(p, 13);
+  const auto b = lfr_like(p, 13);
+  EXPECT_EQ(a.dst(), b.dst());
+}
+
+TEST(LfrLike, RejectsBadParams) {
+  LfrParams p;
+  p.mixing = 1.5;
+  EXPECT_THROW(lfr_like(p, 1), std::invalid_argument);
+  LfrParams q;
+  q.min_community = 1;
+  EXPECT_THROW(lfr_like(q, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,77 @@
+// Golden regression anchors.
+//
+// Every generator and algorithm in the library is deterministic, so these
+// exact outputs — cluster census and intersection counts on fixed
+// (graph, seed, ε, µ) points — must never drift. A change here means either
+// the PRNG stream, a generator, the similarity arithmetic, or a pruning
+// rule changed semantics; all of those invalidate cached datasets and
+// published numbers and deserve a deliberate decision, not a silent pass.
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/generators.hpp"
+
+namespace ppscan {
+namespace {
+
+struct Census {
+  std::uint64_t cores;
+  std::size_t clusters;
+  std::size_t memberships;
+  std::uint64_t invocations;
+};
+
+Census census(const CsrGraph& g, const char* eps, std::uint32_t mu) {
+  const auto run = ppscan(g, ScanParams::make(eps, mu));
+  return {run.result.num_cores(), run.result.num_clusters(),
+          run.result.noncore_memberships.size(),
+          run.stats.compsim_invocations};
+}
+
+void expect_census(const Census& got, const Census& want) {
+  EXPECT_EQ(got.cores, want.cores);
+  EXPECT_EQ(got.clusters, want.clusters);
+  EXPECT_EQ(got.memberships, want.memberships);
+  EXPECT_EQ(got.invocations, want.invocations);
+}
+
+TEST(GoldenRegression, ErdosRenyi500) {
+  const auto g = erdos_renyi(500, 3000, 42);
+  // Sparse uniform graphs have almost no triangles: no cores is correct.
+  expect_census(census(g, "0.3", 3), {0, 0, 0, 2718});
+  expect_census(census(g, "0.5", 3), {0, 0, 0, 2698});
+}
+
+TEST(GoldenRegression, LfrCommunity1000) {
+  LfrParams p;
+  p.n = 1000;
+  p.avg_degree = 16;
+  p.mixing = 0.2;
+  const auto g = lfr_like(p, 7);
+  expect_census(census(g, "0.4", 4), {46, 6, 13, 6679});
+  expect_census(census(g, "0.6", 4), {17, 2, 12, 6718});
+}
+
+TEST(GoldenRegression, Rmat4096) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto g = rmat(p, 5);
+  expect_census(census(g, "0.5", 5), {0, 0, 0, 11426});
+}
+
+TEST(GoldenRegression, GeneratorEdgeCountsPinned) {
+  EXPECT_EQ(erdos_renyi(500, 3000, 42).num_edges(), 3000u);
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  EXPECT_EQ(rmat(p, 5).num_edges(), 26720u);
+  LfrParams q;
+  q.n = 1000;
+  q.avg_degree = 16;
+  q.mixing = 0.2;
+  EXPECT_EQ(lfr_like(q, 7).num_edges(), 7949u);
+}
+
+}  // namespace
+}  // namespace ppscan

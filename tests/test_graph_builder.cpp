@@ -1,0 +1,82 @@
+#include "graph/graph_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ppscan {
+namespace {
+
+TEST(GraphBuilder, SymmetrizesEdges) {
+  const auto g = GraphBuilder::from_edges({{0, 1}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  const auto g = GraphBuilder::from_edges({{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  const auto g = GraphBuilder::from_edges({{0, 1}, {1, 0}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, InfersVertexCountFromEndpoints) {
+  const auto g = GraphBuilder::from_edges({{3, 7}});
+  EXPECT_EQ(g.num_vertices(), 8u);
+}
+
+TEST(GraphBuilder, RespectsExplicitVertexCount) {
+  const auto g = GraphBuilder::from_edges({{0, 1}}, 10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+}
+
+TEST(GraphBuilder, EmptyEdgeListWithVertices) {
+  const auto g = GraphBuilder::from_edges({}, 5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(GraphBuilder, IncrementalAddEdge) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edges({{2, 3}, {3, 0}});
+  const auto g = b.build();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(GraphBuilder, BuildsValidGraphFromMessyInput) {
+  // Duplicates, self loops, reversed duplicates, arbitrary order.
+  const auto g = GraphBuilder::from_edges(
+      {{5, 2}, {2, 5}, {1, 1}, {0, 4}, {4, 0}, {0, 4}, {3, 1}, {1, 3}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ToEdgeList, RoundTripsThroughBuilder) {
+  const EdgeList original = {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {1, 4}};
+  const auto g = GraphBuilder::from_edges(original);
+  auto extracted = to_edge_list(g);
+  auto sorted_original = original;
+  std::sort(sorted_original.begin(), sorted_original.end());
+  std::sort(extracted.begin(), extracted.end());
+  EXPECT_EQ(extracted, sorted_original);
+}
+
+TEST(ToEdgeList, EmitsEachEdgeOnce) {
+  const auto g = GraphBuilder::from_edges({{0, 1}, {1, 2}});
+  EXPECT_EQ(to_edge_list(g).size(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace ppscan

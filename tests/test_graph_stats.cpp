@@ -1,0 +1,81 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/fixtures.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(GraphStats, CliqueStats) {
+  const auto g = make_clique(6);
+  const auto s = compute_stats(g, /*with_triangles=*/true);
+  EXPECT_EQ(s.num_vertices, 6u);
+  EXPECT_EQ(s.num_edges, 15u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 5.0);
+  EXPECT_EQ(s.max_degree, 5u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  // C(6,3) = 20 triangles.
+  EXPECT_EQ(s.triangles, 20u);
+}
+
+TEST(GraphStats, PathHasNoTriangles) {
+  const auto s = compute_stats(make_path(10), true);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.max_degree, 2u);
+}
+
+TEST(GraphStats, StarStats) {
+  const auto s = compute_stats(make_star(9), true);
+  EXPECT_EQ(s.max_degree, 8u);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0 * 8 / 9);
+}
+
+TEST(GraphStats, CountsIsolatedVertices) {
+  const auto g = GraphBuilder::from_edges({{0, 1}}, 5);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.isolated_vertices, 3u);
+}
+
+TEST(GraphStats, TriangleCountOnKnownGraph) {
+  // Two triangles sharing edge (0,1): {0,1,2} and {0,1,3}.
+  const auto g = GraphBuilder::from_edges({{0, 1}, {0, 2}, {1, 2}, {0, 3},
+                                           {1, 3}});
+  EXPECT_EQ(compute_stats(g, true).triangles, 2u);
+}
+
+TEST(GraphStats, EmptyGraph) {
+  const auto s = compute_stats(GraphBuilder::from_edges({}, 0));
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+}
+
+TEST(GraphStats, ToStringMentionsCounts) {
+  const auto s = compute_stats(make_clique(4));
+  const auto text = s.to_string();
+  EXPECT_NE(text.find("|V|=4"), std::string::npos);
+  EXPECT_NE(text.find("|E|=6"), std::string::npos);
+}
+
+TEST(DegreeHistogram, BucketsSumToVertexCount) {
+  const auto g = make_star(100);
+  const auto hist = degree_histogram(g);
+  const auto total = std::accumulate(hist.begin(), hist.end(),
+                                     std::uint64_t{0});
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(DegreeHistogram, StarHasOneHighBucketEntry) {
+  const auto hist = degree_histogram(make_star(100));
+  // 99 leaves with degree 1 in bucket 0; the hub (degree 99) in bucket 6.
+  EXPECT_EQ(hist[0], 99u);
+  ASSERT_GE(hist.size(), 7u);
+  EXPECT_EQ(hist[6], 1u);
+}
+
+}  // namespace
+}  // namespace ppscan

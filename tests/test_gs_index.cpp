@@ -1,0 +1,121 @@
+#include "index/gs_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
+#include "support/random_graphs.hpp"
+#include "support/reference_scan.hpp"
+
+namespace ppscan {
+namespace {
+
+using testing::property_test_graphs;
+using testing::reference_scan;
+
+TEST(GsIndex, QueryMatchesReferenceAcrossTheGrid) {
+  for (const auto& g : property_test_graphs(6001, 2)) {
+    const GsIndex index(g);
+    for (const auto& params : testing::parameter_grid()) {
+      const auto expected = reference_scan(g, params);
+      const auto run = index.query(params);
+      EXPECT_TRUE(results_equivalent(expected, run.result))
+          << "eps=" << params.eps.to_double() << " mu=" << params.mu << ": "
+          << describe_result_difference(expected, run.result);
+    }
+  }
+}
+
+TEST(GsIndex, ParallelConstructionMatchesSequential) {
+  const auto g = erdos_renyi(400, 3000, 19);
+  GsIndex::BuildOptions sequential;
+  GsIndex::BuildOptions parallel;
+  parallel.num_threads = 4;
+  const GsIndex a(g, sequential);
+  const GsIndex b(g, parallel);
+  const auto params = ScanParams::make("0.5", 3);
+  EXPECT_TRUE(results_equivalent(a.query(params).result,
+                                 b.query(params).result));
+}
+
+TEST(GsIndex, CountKernelChoiceDoesNotChangeTheIndex) {
+  const auto g = erdos_renyi(300, 2500, 23);
+  for (const auto kind : {IntersectKind::MergeEarlyStop,
+                          IntersectKind::PivotAvx2,
+                          IntersectKind::PivotAvx512}) {
+    if (!kernel_supported(kind)) continue;
+    GsIndex::BuildOptions options;
+    options.count_kernel = kind;
+    const GsIndex index(g, options);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (EdgeId e = g.offset_begin(u); e < g.offset_end(u); ++e) {
+        const VertexId v = g.dst()[e];
+        const auto expected = static_cast<std::uint32_t>(
+            intersect_count_merge(g.neighbors(u), g.neighbors(v)) + 2);
+        ASSERT_EQ(index.arc_overlap(e), expected)
+            << to_string(kind) << " arc (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(GsIndex, ConstructionDoesOneIntersectionPerEdge) {
+  const auto g = erdos_renyi(200, 1200, 29);
+  const GsIndex index(g);
+  EXPECT_EQ(index.build_stats().intersections, g.num_edges());
+  EXPECT_GT(index.build_stats().construction_seconds, 0.0);
+}
+
+TEST(GsIndex, MemoryFootprintIsPerArc) {
+  const auto g = erdos_renyi(100, 600, 31);
+  const GsIndex index(g);
+  EXPECT_EQ(index.memory_bytes(),
+            g.num_arcs() * (sizeof(std::uint32_t) + sizeof(EdgeId)));
+}
+
+TEST(GsIndex, ManyQueriesAgainstPpScan) {
+  // The index's reason to exist: repeated (ε, µ) queries. Each must agree
+  // with a fresh ppSCAN run.
+  LfrParams p;
+  p.n = 800;
+  p.avg_degree = 14;
+  const auto g = lfr_like(p, 67);
+  GsIndex::BuildOptions options;
+  options.num_threads = 2;
+  const GsIndex index(g, options);
+  for (const char* eps : {"0.25", "0.45", "0.65", "0.85"}) {
+    for (const std::uint32_t mu : {2u, 5u, 8u}) {
+      const auto params = ScanParams::make(eps, mu);
+      const auto from_index = index.query(params);
+      const auto online = ppscan(g, params);
+      EXPECT_TRUE(
+          results_equivalent(from_index.result, online.result))
+          << "eps=" << eps << " mu=" << mu;
+    }
+  }
+}
+
+TEST(GsIndex, CliqueAndPathEdgeCases) {
+  const auto clique = make_clique(6);
+  const GsIndex clique_index(clique);
+  const auto run = clique_index.query(ScanParams::make("0.5", 2));
+  EXPECT_EQ(run.result.num_clusters(), 1u);
+
+  const auto path = make_path(8);
+  const GsIndex path_index(path);
+  const auto path_run = path_index.query(ScanParams::make("0.9", 2));
+  EXPECT_EQ(path_run.result.num_clusters(), 0u);
+}
+
+TEST(GsIndex, EmptyGraph) {
+  const auto g = GraphBuilder::from_edges({}, 5);
+  const GsIndex index(g);
+  const auto run = index.query(ScanParams::make("0.5", 1));
+  EXPECT_EQ(run.result.num_clusters(), 0u);
+  EXPECT_EQ(run.result.num_cores(), 0u);
+}
+
+}  // namespace
+}  // namespace ppscan

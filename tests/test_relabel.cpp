@@ -1,0 +1,96 @@
+#include "scan/relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+#include "support/random_graphs.hpp"
+#include "support/reference_scan.hpp"
+#include "util/rng.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(Relabel, DegreeOrderIsNonIncreasing) {
+  const auto g = barabasi_albert(300, 4, 3);
+  const auto r = degree_descending_order(g);
+  const auto relabeled = apply_relabeling(g, r);
+  for (VertexId u = 0; u + 1 < relabeled.num_vertices(); ++u) {
+    EXPECT_GE(relabeled.degree(u), relabeled.degree(u + 1));
+  }
+}
+
+TEST(Relabel, RoundTripsThroughInverse) {
+  const auto g = erdos_renyi(100, 400, 5);
+  const auto r = degree_descending_order(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(r.to_old[r.to_new[u]], u);
+    EXPECT_EQ(r.to_new[r.to_old[u]], u);
+  }
+}
+
+TEST(Relabel, PreservesGraphStructure) {
+  const auto g = erdos_renyi(80, 300, 7);
+  const auto r = degree_descending_order(g);
+  const auto relabeled = apply_relabeling(g, r);
+  EXPECT_EQ(relabeled.num_edges(), g.num_edges());
+  EXPECT_NO_THROW(relabeled.validate());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(relabeled.degree(r.to_new[u]), g.degree(u));
+    for (const VertexId v : g.neighbors(u)) {
+      EXPECT_TRUE(relabeled.has_edge(r.to_new[u], r.to_new[v]));
+    }
+  }
+}
+
+TEST(Relabel, MakeRelabelingValidatesBijection) {
+  EXPECT_NO_THROW(make_relabeling({2, 0, 1}));
+  EXPECT_THROW(make_relabeling({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(make_relabeling({0, 3, 1}), std::invalid_argument);
+}
+
+TEST(Relabel, ClusteringIsPermutationEquivariant) {
+  // ppSCAN(relabel(G)) mapped back must equal ppSCAN(G) — for the degree
+  // order and for random permutations.
+  Rng rng(11);
+  for (const auto& g : testing::property_test_graphs(7001, 1)) {
+    const auto params = ScanParams::make("0.5", 3);
+    const auto direct = ppscan(g, params);
+
+    std::vector<Relabeling> relabelings{degree_descending_order(g)};
+    std::vector<VertexId> shuffled(g.num_vertices());
+    for (VertexId i = 0; i < g.num_vertices(); ++i) shuffled[i] = i;
+    for (VertexId i = g.num_vertices(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    relabelings.push_back(make_relabeling(shuffled));
+
+    for (const auto& r : relabelings) {
+      const auto relabeled_graph = apply_relabeling(g, r);
+      const auto relabeled_run = ppscan(relabeled_graph, params);
+      const auto mapped = map_result_to_original(relabeled_run.result, r);
+      EXPECT_TRUE(results_equivalent(direct.result, mapped))
+          << describe_result_difference(direct.result, mapped);
+    }
+  }
+}
+
+TEST(Relabel, MappedResultMatchesReferenceOnOriginal) {
+  const auto g = make_clique_chain(4, 6);
+  const auto params = ScanParams::make("0.6", 3);
+  const auto r = degree_descending_order(g);
+  const auto run = ppscan(apply_relabeling(g, r), params);
+  const auto mapped = map_result_to_original(run.result, r);
+  const auto expected = testing::reference_scan(g, params);
+  EXPECT_TRUE(results_equivalent(expected, mapped));
+}
+
+TEST(Relabel, SizeMismatchRejected) {
+  const auto g = make_clique(4);
+  Relabeling r = degree_descending_order(make_clique(5));
+  EXPECT_THROW(apply_relabeling(g, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppscan

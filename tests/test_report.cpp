@@ -1,0 +1,58 @@
+#include "util/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppscan {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table table({"dataset", "runtime"});
+  table.add_row({"orkut-sim", "1.234"});
+  table.add_row({"twitter-sim", "5.678"});
+  std::ostringstream os;
+  table.print(os, "Figure X");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Figure X =="), std::string::npos);
+  EXPECT_NE(out.find("dataset"), std::string::npos);
+  EXPECT_NE(out.find("orkut-sim"), std::string::npos);
+  EXPECT_NE(out.find("5.678"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  table.print(os, "t");
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+}
+
+TEST(Table, FmtIntegers) {
+  EXPECT_EQ(Table::fmt(std::uint64_t{12345}), "12345");
+  EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table table({"x", "y"});
+  table.add_row({"longcellvalue", "1"});
+  std::ostringstream os;
+  table.print(os, "t");
+  // The header row must be padded at least as wide as the longest cell.
+  const std::string out = os.str();
+  const auto header_pos = out.find("x ");
+  ASSERT_NE(header_pos, std::string::npos);
+  const auto newline = out.find('\n', header_pos);
+  const auto y_pos = out.find('y', header_pos);
+  ASSERT_NE(y_pos, std::string::npos);
+  EXPECT_LT(y_pos, newline);
+  EXPECT_GE(y_pos - header_pos, std::string("longcellvalue").size());
+}
+
+}  // namespace
+}  // namespace ppscan

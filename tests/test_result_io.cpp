@@ -1,0 +1,87 @@
+#include "scan/result_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/ppscan.hpp"
+#include "graph/generators.hpp"
+#include "support/random_graphs.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(ResultIo, RoundTripsThroughText) {
+  for (const auto& g : testing::property_test_graphs(10001, 1)) {
+    const auto run = ppscan(g, ScanParams::make("0.5", 3));
+    std::stringstream stream;
+    write_scan_result(run.result, stream);
+    const auto loaded = read_scan_result(stream);
+    EXPECT_TRUE(results_equivalent(run.result, loaded))
+        << describe_result_difference(run.result, loaded);
+    EXPECT_EQ(loaded.core_cluster_id, run.result.core_cluster_id);
+  }
+}
+
+TEST(ResultIo, RejectsBadHeader) {
+  std::stringstream s("NOT-A-RESULT 1\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, RejectsWrongVersion) {
+  std::stringstream s("PPSCAN-RESULT 2\nn 0\nroles \nend\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, RejectsRoleLengthMismatch) {
+  std::stringstream s("PPSCAN-RESULT 1\nn 3\nroles CN\nend\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, RejectsBadRoleChar) {
+  std::stringstream s("PPSCAN-RESULT 1\nn 2\nroles CX\nend\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, RejectsMissingEnd) {
+  std::stringstream s("PPSCAN-RESULT 1\nn 1\nroles N\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, RejectsCoreRecordForNonCore) {
+  std::stringstream s("PPSCAN-RESULT 1\nn 2\nroles NN\ncore 0 0\nend\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, RejectsOutOfRangeVertex) {
+  std::stringstream s("PPSCAN-RESULT 1\nn 2\nroles CN\ncore 5 0\nend\n");
+  EXPECT_THROW(read_scan_result(s), std::runtime_error);
+}
+
+TEST(ResultIo, EmptyResultRoundTrips) {
+  ScanResult empty;
+  std::stringstream stream;
+  write_scan_result(empty, stream);
+  const auto loaded = read_scan_result(stream);
+  EXPECT_TRUE(loaded.roles.empty());
+  EXPECT_TRUE(loaded.noncore_memberships.empty());
+}
+
+TEST(ResultIo, FileRoundTrip) {
+  const auto g = erdos_renyi(100, 500, 21);
+  const auto run = ppscan(g, ScanParams::make("0.4", 2));
+  const std::string path = ::testing::TempDir() + "ppscan_result_io_test.txt";
+  write_scan_result(run.result, path);
+  const auto loaded = read_scan_result(path);
+  EXPECT_TRUE(results_equivalent(run.result, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ResultIo, MissingFileThrows) {
+  EXPECT_THROW(read_scan_result(std::string("/nonexistent/r.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,72 @@
+#include "graph/reverse_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ppscan.hpp"
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+#include "support/random_graphs.hpp"
+#include "support/reference_scan.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(ReverseArcIndex, MatchesBinarySearchOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto g = erdos_renyi(150, 800, seed);
+    const ReverseArcIndex index(g);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (EdgeId e = g.offset_begin(u); e < g.offset_end(u); ++e) {
+        ASSERT_EQ(index.reverse(e), g.reverse_arc(u, e));
+      }
+    }
+  }
+}
+
+TEST(ReverseArcIndex, IsAnInvolution) {
+  const auto g = barabasi_albert(200, 4, 9);
+  const ReverseArcIndex index(g);
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    EXPECT_EQ(index.reverse(index.reverse(e)), e);
+    EXPECT_NE(index.reverse(e), e);
+  }
+}
+
+TEST(ReverseArcIndex, SkewedGraph) {
+  // Hubs exercise the cursor logic over long neighbor ranges.
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  const auto g = rmat(p, 13);
+  const ReverseArcIndex index(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.offset_begin(u); e < g.offset_end(u); ++e) {
+      ASSERT_EQ(g.dst()[index.reverse(e)], u);
+    }
+  }
+}
+
+TEST(ReverseArcIndex, EmptyAndDefaultStates) {
+  const ReverseArcIndex empty;
+  EXPECT_TRUE(empty.empty());
+  const auto g = make_clique(3);
+  const ReverseArcIndex built(g);
+  EXPECT_FALSE(built.empty());
+  EXPECT_EQ(built.memory_bytes(), g.num_arcs() * sizeof(EdgeId));
+}
+
+TEST(ReverseArcIndex, PpScanResultUnchanged) {
+  for (const auto& g : testing::property_test_graphs(8001, 1)) {
+    const auto params = ScanParams::make("0.5", 3);
+    PpScanOptions with_index;
+    with_index.use_reverse_index = true;
+    with_index.num_threads = 4;
+    const auto a = ppscan(g, params);
+    const auto b = ppscan(g, params, with_index);
+    EXPECT_TRUE(results_equivalent(a.result, b.result))
+        << describe_result_difference(a.result, b.result);
+  }
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,83 @@
+#include "scan/scan_original.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.hpp"
+#include "graph/graph_builder.hpp"
+#include "support/random_graphs.hpp"
+#include "support/reference_scan.hpp"
+
+namespace ppscan {
+namespace {
+
+using testing::property_test_graphs;
+using testing::reference_scan;
+
+TEST(ScanOriginal, CliqueIsOneCluster) {
+  const auto g = make_clique(6);
+  const auto run = scan_original(g, ScanParams::make("0.5", 2));
+  EXPECT_EQ(run.result.num_clusters(), 1u);
+  EXPECT_EQ(run.result.num_cores(), 6u);
+}
+
+TEST(ScanOriginal, PathHasNoCoresAtHighMu) {
+  const auto g = make_path(10);
+  const auto run = scan_original(g, ScanParams::make("0.5", 3));
+  EXPECT_EQ(run.result.num_cores(), 0u);
+  EXPECT_EQ(run.result.num_clusters(), 0u);
+}
+
+TEST(ScanOriginal, TwoCliquesBridgeSeparates) {
+  const auto g = make_two_cliques_bridge(5);
+  const auto run = scan_original(g, ScanParams::make("0.7", 3));
+  EXPECT_EQ(run.result.num_clusters(), 2u);
+}
+
+TEST(ScanOriginal, AllRolesAssigned) {
+  const auto g = make_scan_paper_example();
+  const auto run = scan_original(g, ScanParams::make("0.6", 2));
+  for (const Role r : run.result.roles) {
+    EXPECT_NE(r, Role::Unknown);
+  }
+}
+
+TEST(ScanOriginal, MatchesReferenceOnPropertySuite) {
+  for (const auto& g : property_test_graphs(1001)) {
+    for (const auto& params : testing::parameter_grid()) {
+      const auto expected = reference_scan(g, params);
+      const auto run = scan_original(g, params);
+      EXPECT_TRUE(results_equivalent(expected, run.result))
+          << "eps=" << params.eps.to_double() << " mu=" << params.mu << ": "
+          << describe_result_difference(expected, run.result);
+    }
+  }
+}
+
+TEST(ScanOriginal, CountsInvocations) {
+  const auto g = make_clique(8);
+  const auto run = scan_original(g, ScanParams::make("0.5", 2));
+  // Exhaustive SCAN intersects every directed arc at most once per
+  // endpoint's CheckCore; on a clique where all checks run it is exactly
+  // the number of arcs.
+  EXPECT_GT(run.stats.compsim_invocations, 0u);
+  EXPECT_LE(run.stats.compsim_invocations, g.num_arcs());
+}
+
+TEST(ScanOriginal, BreakdownTimersFillWhenRequested) {
+  ScanOriginalOptions options;
+  options.collect_breakdown = true;
+  const auto g = make_clique(16);
+  const auto run = scan_original(g, ScanParams::make("0.5", 2), options);
+  EXPECT_GT(run.stats.similarity_seconds, 0.0);
+  EXPECT_GE(run.stats.total_seconds, run.stats.similarity_seconds);
+}
+
+TEST(ScanOriginal, EmptyGraph) {
+  const auto g = GraphBuilder::from_edges({}, 3);
+  const auto run = scan_original(g, ScanParams::make("0.5", 1));
+  EXPECT_EQ(run.result.num_clusters(), 0u);
+  for (const Role r : run.result.roles) EXPECT_EQ(r, Role::NonCore);
+}
+
+}  // namespace
+}  // namespace ppscan

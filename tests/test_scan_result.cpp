@@ -1,0 +1,87 @@
+#include "scan/scan_common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppscan {
+namespace {
+
+ScanResult tiny_result() {
+  // 5 vertices: cores 0,1 in cluster 0; core 3 in cluster 3; non-core 2
+  // belongs to both clusters; vertex 4 unclustered.
+  ScanResult r;
+  r.roles = {Role::Core, Role::Core, Role::NonCore, Role::Core,
+             Role::NonCore};
+  r.core_cluster_id = {0, 0, kInvalidVertex, 3, kInvalidVertex};
+  r.noncore_memberships = {{2, 0}, {2, 3}, {2, 0}};  // duplicate on purpose
+  return r;
+}
+
+TEST(ScanResult, NormalizeDeduplicatesMemberships) {
+  auto r = tiny_result();
+  r.normalize();
+  EXPECT_EQ(r.noncore_memberships.size(), 2u);
+}
+
+TEST(ScanResult, CanonicalClustersMergeCoresAndNonCores) {
+  auto r = tiny_result();
+  r.normalize();
+  const auto clusters = r.canonical_clusters();
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<VertexId>{2, 3}));
+}
+
+TEST(ScanResult, CountsCores) {
+  EXPECT_EQ(tiny_result().num_cores(), 3u);
+}
+
+TEST(ScanResult, NumClusters) {
+  EXPECT_EQ(tiny_result().num_clusters(), 2u);
+}
+
+TEST(ResultsEquivalent, IgnoresClusterIdNumbering) {
+  auto a = tiny_result();
+  auto b = tiny_result();
+  // Renumber b's clusters: 0 → 7, 3 → 1.
+  b.core_cluster_id = {7, 7, kInvalidVertex, 1, kInvalidVertex};
+  b.noncore_memberships = {{2, 7}, {2, 1}};
+  a.normalize();
+  b.normalize();
+  EXPECT_TRUE(results_equivalent(a, b));
+}
+
+TEST(ResultsEquivalent, DetectsRoleDifference) {
+  auto a = tiny_result();
+  auto b = tiny_result();
+  b.roles[4] = Role::Core;
+  EXPECT_FALSE(results_equivalent(a, b));
+  EXPECT_NE(describe_result_difference(a, b).find("role of vertex 4"),
+            std::string::npos);
+}
+
+TEST(ResultsEquivalent, DetectsMembershipDifference) {
+  auto a = tiny_result();
+  auto b = tiny_result();
+  b.noncore_memberships = {{2, 0}};  // drop the membership in cluster 3
+  a.normalize();
+  b.normalize();
+  EXPECT_FALSE(results_equivalent(a, b));
+  EXPECT_FALSE(describe_result_difference(a, b).empty());
+}
+
+TEST(ResultsEquivalent, EmptyDifferenceWhenEqual) {
+  auto a = tiny_result();
+  auto b = tiny_result();
+  a.normalize();
+  b.normalize();
+  EXPECT_TRUE(describe_result_difference(a, b).empty());
+}
+
+TEST(ScanParams, MakeParsesEps) {
+  const auto p = ScanParams::make("0.4", 7);
+  EXPECT_EQ(p.mu, 7u);
+  EXPECT_DOUBLE_EQ(p.eps.to_double(), 0.4);
+}
+
+}  // namespace
+}  // namespace ppscan

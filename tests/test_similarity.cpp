@@ -1,0 +1,146 @@
+#include "setops/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(EpsRational, ParsesPlainDecimal) {
+  const auto e = EpsRational::parse("0.2");
+  EXPECT_EQ(e.num, 1u);
+  EXPECT_EQ(e.den, 5u);
+}
+
+TEST(EpsRational, ParsesWithoutLeadingZero) {
+  const auto e = EpsRational::parse(".5");
+  EXPECT_EQ(e.num, 1u);
+  EXPECT_EQ(e.den, 2u);
+}
+
+TEST(EpsRational, ParsesOne) {
+  const auto e = EpsRational::parse("1");
+  EXPECT_EQ(e.num, 1u);
+  EXPECT_EQ(e.den, 1u);
+}
+
+TEST(EpsRational, ParsesLongDecimal) {
+  const auto e = EpsRational::parse("0.35");
+  EXPECT_EQ(e.num, 7u);
+  EXPECT_EQ(e.den, 20u);
+}
+
+TEST(EpsRational, RejectsOutOfRange) {
+  EXPECT_THROW(EpsRational::parse("0"), std::invalid_argument);
+  EXPECT_THROW(EpsRational::parse("0.0"), std::invalid_argument);
+  EXPECT_THROW(EpsRational::parse("1.5"), std::invalid_argument);
+}
+
+TEST(EpsRational, RejectsMalformed) {
+  EXPECT_THROW(EpsRational::parse(""), std::invalid_argument);
+  EXPECT_THROW(EpsRational::parse("0..5"), std::invalid_argument);
+  EXPECT_THROW(EpsRational::parse("0.x"), std::invalid_argument);
+  EXPECT_THROW(EpsRational::parse("0.1234567890123"), std::invalid_argument);
+}
+
+TEST(EpsRational, FromDoubleApproximates) {
+  const auto e = EpsRational::from_double(0.25);
+  EXPECT_DOUBLE_EQ(e.to_double(), 0.25);
+  EXPECT_THROW(EpsRational::from_double(0.0), std::invalid_argument);
+  EXPECT_THROW(EpsRational::from_double(1.1), std::invalid_argument);
+}
+
+TEST(Similarity, MatchesDefinitionOnSmallCases) {
+  // d_u = d_v = 3: threshold ε·√16 = 4ε. With ε = 0.5 → need cn ≥ 2.
+  const auto eps = EpsRational::parse("0.5");
+  EXPECT_TRUE(similarity_holds(eps, 2, 3, 3));
+  EXPECT_FALSE(similarity_holds(eps, 1, 3, 3));
+}
+
+TEST(Similarity, BoundaryIsInclusive) {
+  // ε = 0.5, d_u = d_v = 7: threshold = 0.5·√64 = 4 exactly; cn = 4 is Sim.
+  const auto eps = EpsRational::parse("0.5");
+  EXPECT_TRUE(similarity_holds(eps, 4, 7, 7));
+  EXPECT_FALSE(similarity_holds(eps, 3, 7, 7));
+}
+
+TEST(MinCommonNeighbors, IsTheSmallestSatisfyingCount) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto du = static_cast<VertexId>(rng.next_below(500));
+    const auto dv = static_cast<VertexId>(rng.next_below(500));
+    EpsRational eps{1 + rng.next_below(99), 100};
+    const std::uint32_t need = min_common_neighbors(eps, du, dv);
+    EXPECT_TRUE(similarity_holds(eps, need, du, dv));
+    if (need > 0) {
+      EXPECT_FALSE(similarity_holds(eps, need - 1, du, dv));
+    }
+  }
+}
+
+TEST(MinCommonNeighbors, AgreesWithCeilFormulaAwayFromTies) {
+  Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto du = static_cast<VertexId>(rng.next_below(2000));
+    const auto dv = static_cast<VertexId>(rng.next_below(2000));
+    EpsRational eps{1 + rng.next_below(9), 10};
+    const double exact = eps.to_double() *
+                         std::sqrt(static_cast<double>(du + 1) *
+                                   static_cast<double>(dv + 1));
+    const std::uint32_t need = min_common_neighbors(eps, du, dv);
+    // min_cn is the ceiling of the exact threshold (ties resolve downward
+    // because the predicate is >=).
+    EXPECT_GE(static_cast<double>(need) + 1e-9, exact);
+    EXPECT_LE(static_cast<double>(need) - 1.0 - 1e-9, exact);
+  }
+}
+
+TEST(MinCommonNeighbors, ExactOnHugeDegrees) {
+  // 128-bit arithmetic must survive degrees near the 32-bit limit.
+  const EpsRational eps{999'999, 1'000'000};
+  const VertexId big = 2'000'000'000;
+  const std::uint32_t need = min_common_neighbors(eps, big, big);
+  EXPECT_TRUE(similarity_holds(eps, need, big, big));
+  EXPECT_FALSE(similarity_holds(eps, need - 1, big, big));
+}
+
+TEST(PredicatePrune, SimWhenThresholdAtMostTwo) {
+  // Tiny degrees: ε·√((1+1)(1+1)) = 2ε ≤ 2 → adjacency alone suffices.
+  EXPECT_EQ(predicate_prune(EpsRational::parse("0.9"), 1, 1),
+            PruneOutcome::Sim);
+}
+
+TEST(PredicatePrune, NSimWhenDegreeGapTooLarge) {
+  // d_u = 1 caps the intersection at 2 < need for a high-degree partner.
+  EXPECT_EQ(predicate_prune(EpsRational::parse("0.8"), 1, 1000),
+            PruneOutcome::NSim);
+}
+
+TEST(PredicatePrune, UnknownInBetween) {
+  EXPECT_EQ(predicate_prune(EpsRational::parse("0.5"), 20, 20),
+            PruneOutcome::Unknown);
+}
+
+TEST(PredicatePrune, ConsistentWithPredicateExtremes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto du = static_cast<VertexId>(rng.next_below(100));
+    const auto dv = static_cast<VertexId>(rng.next_below(100));
+    EpsRational eps{1 + rng.next_below(99), 100};
+    const auto outcome = predicate_prune(eps, du, dv);
+    // cn for adjacent vertices lies in [2, min+1]; Sim/NSim prunes must
+    // agree with the predicate at the corresponding extreme.
+    if (outcome == PruneOutcome::Sim) {
+      EXPECT_TRUE(similarity_holds(eps, 2, du, dv));
+    } else if (outcome == PruneOutcome::NSim) {
+      EXPECT_FALSE(
+          similarity_holds(eps, std::min(du, dv) + 1, du, dv));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,161 @@
+#include "concurrent/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(5);
+  for (VertexId i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+  }
+  EXPECT_FALSE(uf.same_set(0, 1));
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same_set(0, 1));
+  EXPECT_FALSE(uf.same_set(0, 2));
+  EXPECT_FALSE(uf.unite(1, 0));  // already same set
+}
+
+TEST(UnionFind, TransitiveClosure) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same_set(0, 3));
+  EXPECT_FALSE(uf.same_set(0, 4));
+}
+
+TEST(UnionFind, ChainCompresses) {
+  constexpr VertexId n = 1000;
+  UnionFind uf(n);
+  for (VertexId i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  const VertexId root = uf.find(0);
+  for (VertexId i = 0; i < n; ++i) EXPECT_EQ(uf.find(i), root);
+}
+
+TEST(ParallelUnionFind, SequentialSemanticsMatch) {
+  Rng rng(31);
+  constexpr VertexId n = 200;
+  UnionFind seq(n);
+  ParallelUnionFind par(n);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    EXPECT_EQ(seq.unite(a, b), par.unite(a, b));
+  }
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      EXPECT_EQ(seq.same_set(a, b), par.same_set(a, b));
+    }
+  }
+}
+
+TEST(ParallelUnionFind, ExactlyOneWinnerPerLink) {
+  // Many threads race to unite the same pair; exactly one unite() returns
+  // true per merged component.
+  constexpr VertexId n = 2;
+  constexpr int kThreads = 8;
+  ParallelUnionFind uf(n);
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      if (uf.unite(0, 1)) winners.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_TRUE(uf.same_set(0, 1));
+}
+
+TEST(ParallelUnionFind, ConcurrentChainStress) {
+  // Threads unite interleaved chains; the final structure must be a single
+  // component with n-1 successful links in total.
+  constexpr VertexId n = 10000;
+  constexpr int kThreads = 8;
+  ParallelUnionFind uf(n);
+  std::atomic<std::uint64_t> links{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (VertexId i = static_cast<VertexId>(t); i + 1 < n; i += kThreads) {
+        if (uf.unite(i, i + 1)) links.fetch_add(1);
+      }
+      // Cross-links so every thread's chains connect.
+      if (t > 0) {
+        if (uf.unite(0, static_cast<VertexId>(t))) links.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const VertexId root = uf.find(0);
+  for (VertexId i = 0; i < n; ++i) EXPECT_EQ(uf.find(i), root);
+  EXPECT_EQ(links.load(), n - 1);
+}
+
+TEST(ParallelUnionFind, ConcurrentRandomUnitesMatchSequentialComponents) {
+  // Apply the same random edge set concurrently and sequentially; the
+  // resulting partitions must be identical.
+  constexpr VertexId n = 3000;
+  constexpr int kThreads = 8;
+  Rng rng(77);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (int i = 0; i < 6000; ++i) {
+    edges.emplace_back(static_cast<VertexId>(rng.next_below(n)),
+                       static_cast<VertexId>(rng.next_below(n)));
+  }
+
+  ParallelUnionFind par(n);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < edges.size();
+           i += kThreads) {
+        par.unite(edges[i].first, edges[i].second);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  UnionFind seq(n);
+  for (const auto& [a, b] : edges) seq.unite(a, b);
+
+  // Compare partitions via canonical root labeling.
+  std::vector<VertexId> seq_label(n), par_label(n);
+  std::vector<VertexId> seq_min(n, kInvalidVertex), par_min(n, kInvalidVertex);
+  for (VertexId i = 0; i < n; ++i) {
+    seq_min[seq.find(i)] = std::min(seq_min[seq.find(i)], i);
+    par_min[par.find(i)] = std::min(par_min[par.find(i)], i);
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    seq_label[i] = seq_min[seq.find(i)];
+    par_label[i] = par_min[par.find(i)];
+  }
+  EXPECT_EQ(seq_label, par_label);
+}
+
+TEST(ParallelUnionFind, SameSetNeverFalsePositive) {
+  // same_set(a, b) == true must imply the pair was truly united.
+  constexpr VertexId n = 100;
+  ParallelUnionFind uf(n);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_FALSE(uf.same_set(1, 3));
+  EXPECT_TRUE(uf.same_set(2, 1));
+  EXPECT_FALSE(uf.same_set(0, 99));
+}
+
+}  // namespace
+}  // namespace ppscan

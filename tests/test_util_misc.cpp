@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(WallTimer, ElapsedIsMonotoneNonNegative) {
+  WallTimer timer;
+  const double first = timer.elapsed_s();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double second = timer.elapsed_s();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 0.004);
+}
+
+TEST(WallTimer, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_s(), 0.009);
+}
+
+TEST(WallTimer, MillisecondsMatchSeconds) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double s = timer.elapsed_s();
+  const double ms = timer.elapsed_ms();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);
+}
+
+TEST(ScopedAccumTimer, AccumulatesAcrossScopes) {
+  double sink = 0;
+  for (int i = 0; i < 3; ++i) {
+    ScopedAccumTimer timer(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_GE(sink, 0.008);
+}
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(Env, BenchScaleReadsEnvironment) {
+  EnvGuard guard("PPSCAN_SCALE", "2.5");
+  EXPECT_DOUBLE_EQ(bench_scale(), 2.5);
+}
+
+TEST(Env, BenchScaleRejectsNonPositive) {
+  EnvGuard guard("PPSCAN_SCALE", "-3");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  EnvGuard guard2("PPSCAN_SCALE", "garbage");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+}
+
+TEST(Env, DefaultThreadsReadsEnvironment) {
+  EnvGuard guard("PPSCAN_THREADS", "7");
+  EXPECT_EQ(default_threads(), 7);
+}
+
+TEST(Env, DefaultThreadsFallsBackToHardware) {
+  EnvGuard guard("PPSCAN_THREADS", "0");
+  EXPECT_GE(default_threads(), 1);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,128 @@
+#include "scan/validate_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/algorithms.hpp"
+#include "graph/fixtures.hpp"
+#include "support/random_graphs.hpp"
+
+namespace ppscan {
+namespace {
+
+TEST(ValidateResult, AcceptsEveryAlgorithmsOutput) {
+  AlgorithmConfig config;
+  config.num_threads = 2;
+  for (const auto& g : testing::property_test_graphs(11001, 1)) {
+    for (const auto& params : testing::parameter_grid()) {
+      for (const auto& name : algorithm_names()) {
+        const auto run = run_algorithm(name, g, params, config);
+        const auto report = validate_scan_result(g, params, run.result);
+        ASSERT_TRUE(report.ok)
+            << name << " eps=" << params.eps.to_double()
+            << " mu=" << params.mu << ": " << report.first_error;
+      }
+    }
+  }
+}
+
+class ValidateResultCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The classic example graph: has cores, non-core members (13), a hub
+    // (6) and multiple clusters — every corruption case below is reachable.
+    graph_ = make_scan_paper_example();
+    params_ = ScanParams::make("0.6", 2);
+    good_ = run_algorithm("ppSCAN", graph_, params_).result;
+    ASSERT_TRUE(validate_scan_result(graph_, params_, good_).ok);
+    ASSERT_GT(good_.num_cores(), 0u);
+    ASSERT_FALSE(good_.noncore_memberships.empty());
+  }
+
+  CsrGraph graph_;
+  ScanParams params_;
+  ScanResult good_;
+};
+
+TEST_F(ValidateResultCorruption, DetectsFlippedRole) {
+  auto bad = good_;
+  for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+    if (bad.roles[u] == Role::NonCore) {
+      bad.roles[u] = Role::Core;
+      bad.core_cluster_id[u] = 0;
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+TEST_F(ValidateResultCorruption, DetectsUnknownRole) {
+  auto bad = good_;
+  bad.roles[0] = Role::Unknown;
+  const auto report = validate_scan_result(graph_, params_, bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.first_error.find("Unknown"), std::string::npos);
+}
+
+TEST_F(ValidateResultCorruption, DetectsWrongClusterId) {
+  auto bad = good_;
+  for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+    if (bad.roles[u] == Role::Core) {
+      bad.core_cluster_id[u] = graph_.num_vertices() - 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+TEST_F(ValidateResultCorruption, DetectsSplitCluster) {
+  // Relabel one whole cluster with a bogus id: connectivity of the
+  // union-find components no longer matches the min-core-id convention.
+  auto bad = good_;
+  const auto clusters = good_.canonical_clusters();
+  ASSERT_GT(clusters.size(), 1u);
+  bool split = false;
+  for (const VertexId v : clusters[0]) {
+    if (bad.roles[v] == Role::Core) {
+      if (!split) {
+        split = true;
+        continue;  // first core keeps its id; the rest move
+      }
+      bad.core_cluster_id[v] = bad.core_cluster_id[v] + 100;
+    }
+  }
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+TEST_F(ValidateResultCorruption, DetectsExtraMembership) {
+  auto bad = good_;
+  bad.noncore_memberships.emplace_back(graph_.num_vertices() - 1, 0);
+  bad.normalize();
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+TEST_F(ValidateResultCorruption, DetectsMissingMembership) {
+  auto bad = good_;
+  ASSERT_FALSE(bad.noncore_memberships.empty());
+  bad.noncore_memberships.pop_back();
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+TEST_F(ValidateResultCorruption, DetectsSizeMismatch) {
+  auto bad = good_;
+  bad.roles.pop_back();
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+TEST_F(ValidateResultCorruption, DetectsCoreIdOnNonCore) {
+  auto bad = good_;
+  for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+    if (bad.roles[u] == Role::NonCore) {
+      bad.core_cluster_id[u] = 0;
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_scan_result(graph_, params_, bad).ok);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,0 +1,298 @@
+// ppscan_cli — the library's command-line front end.
+//
+//   ppscan_cli generate --type er|ba|rmat|lfr --out g.txt [generator flags]
+//   ppscan_cli stats    <graph> [--triangles] [--histogram]
+//   ppscan_cli convert  <graph> --out <file>      (.txt <-> .bin by suffix)
+//   ppscan_cli cluster  <graph> [--eps 0.5] [--mu 5] [--algorithm ppSCAN]
+//                       [--threads N] [--kernel auto] [--out result.txt]
+//   ppscan_cli classify <graph> <result.txt> [--threads N]
+//   ppscan_cli query    <graph> [--eps 0.2,0.5] [--mu 2,5] [--threads N]
+//                       (builds a GS*-Index once, then answers the grid)
+//
+// Graph files: text edge lists ("u v" per line, SNAP style) or the binary
+// CSR snapshot format; the suffix ".bin"/".csrbin" selects binary.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_support/algorithms.hpp"
+#include "graph/edge_list_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "index/gs_index.hpp"
+#include "scan/classification.hpp"
+#include "scan/result_io.hpp"
+#include "scan/validate_result.hpp"
+#include "util/env.hpp"
+#include "util/flags.hpp"
+#include "util/report.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ppscan;
+
+bool is_binary_path(const std::string& path) {
+  const auto ends_with = [&](const std::string& suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  };
+  return ends_with(".bin") || ends_with(".csrbin");
+}
+
+CsrGraph load_graph(const std::string& path) {
+  return is_binary_path(path) ? read_csr_binary(path)
+                              : read_edge_list_text(path);
+}
+
+void save_graph(const CsrGraph& graph, const std::string& path) {
+  if (is_binary_path(path)) {
+    write_csr_binary(graph, path);
+  } else {
+    write_edge_list_text(graph, path);
+  }
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const auto comma = text.find(',', begin);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+int cmd_generate(const Flags& flags) {
+  const auto type = flags.get_string("type", "lfr");
+  const auto out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "generate: --out is required\n";
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto n = static_cast<VertexId>(flags.get_int("n", 10000));
+
+  CsrGraph graph;
+  if (type == "er") {
+    const auto m = static_cast<EdgeId>(
+        flags.get_int("m", static_cast<std::int64_t>(n) * 8));
+    graph = erdos_renyi(n, m, seed);
+  } else if (type == "ba") {
+    const auto m = static_cast<VertexId>(flags.get_int("edges-per-vertex", 8));
+    graph = barabasi_albert(n, m, seed);
+  } else if (type == "rmat") {
+    RmatParams p;
+    p.scale = static_cast<int>(flags.get_int("scale", 14));
+    p.edge_factor = flags.get_double("edge-factor", 16);
+    graph = rmat(p, seed);
+  } else if (type == "lfr") {
+    LfrParams p;
+    p.n = n;
+    p.avg_degree = flags.get_double("avg-degree", 20);
+    p.mixing = flags.get_double("mixing", 0.2);
+    p.min_community = static_cast<VertexId>(flags.get_int("min-community", 16));
+    p.max_community =
+        static_cast<VertexId>(flags.get_int("max-community", 512));
+    graph = lfr_like(p, seed);
+  } else {
+    std::cerr << "generate: unknown --type '" << type
+              << "' (er|ba|rmat|lfr)\n";
+    return 2;
+  }
+  save_graph(graph, out);
+  std::cout << "generated " << type << ": " << compute_stats(graph).to_string()
+            << " -> " << out << "\n";
+  return 0;
+}
+
+int cmd_stats(const Flags& flags) {
+  if (flags.positionals().size() < 2) {
+    std::cerr << "stats: missing graph file\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  const auto stats = compute_stats(graph, flags.get_bool("triangles", false));
+  std::cout << stats.to_string() << "\n";
+  if (flags.get_bool("histogram", false)) {
+    const auto hist = degree_histogram(graph);
+    Table table({"degree-bucket", "vertices"});
+    for (std::size_t k = 0; k < hist.size(); ++k) {
+      table.add_row({"[" + std::to_string(1u << k) + ", " +
+                         std::to_string(2u << k) + ")",
+                     Table::fmt(hist[k])});
+    }
+    table.print(std::cout, "log2-degree histogram");
+  }
+  return 0;
+}
+
+int cmd_convert(const Flags& flags) {
+  if (flags.positionals().size() < 2 || !flags.has("out")) {
+    std::cerr << "convert: usage: convert <graph> --out <file>\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  save_graph(graph, flags.get_string("out", ""));
+  std::cout << "wrote " << flags.get_string("out", "") << " ("
+            << graph.num_vertices() << " vertices, " << graph.num_edges()
+            << " edges)\n";
+  return 0;
+}
+
+int cmd_cluster(const Flags& flags) {
+  if (flags.positionals().size() < 2) {
+    std::cerr << "cluster: missing graph file\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  const auto params = ScanParams::make(flags.get_string("eps", "0.5"),
+                                       static_cast<std::uint32_t>(
+                                           flags.get_int("mu", 5)));
+  AlgorithmConfig config;
+  config.num_threads =
+      static_cast<int>(flags.get_int("threads", default_threads()));
+  config.kernel = parse_intersect_kind(flags.get_string("kernel", "auto"));
+  const auto algorithm = flags.get_string("algorithm", "ppSCAN");
+
+  const auto run = run_algorithm(algorithm, graph, params, config);
+  std::cout << algorithm << " eps=" << params.eps.to_double()
+            << " mu=" << params.mu << ": " << run.result.num_clusters()
+            << " clusters, " << run.result.num_cores() << " cores in "
+            << run.stats.total_seconds << " s ("
+            << run.stats.compsim_invocations << " intersections)\n";
+
+  const auto out = flags.get_string("out", "");
+  if (!out.empty()) {
+    write_scan_result(run.result, out);
+    std::cout << "result -> " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_classify(const Flags& flags) {
+  if (flags.positionals().size() < 3) {
+    std::cerr << "classify: usage: classify <graph> <result.txt>\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  const auto result = read_scan_result(flags.positionals()[2]);
+  if (result.roles.size() != graph.num_vertices()) {
+    std::cerr << "classify: result has " << result.roles.size()
+              << " vertices but graph has " << graph.num_vertices() << "\n";
+    return 1;
+  }
+  const auto classes = classify_hubs_outliers_parallel(
+      graph, result,
+      static_cast<int>(flags.get_int("threads", default_threads())));
+  std::uint64_t members = 0, hubs = 0, outliers = 0;
+  for (const auto c : classes) {
+    if (c == VertexClass::Member) ++members;
+    if (c == VertexClass::Hub) ++hubs;
+    if (c == VertexClass::Outlier) ++outliers;
+  }
+  std::cout << "members " << members << "\nhubs " << hubs << "\noutliers "
+            << outliers << "\n";
+  if (flags.get_bool("list-hubs", false)) {
+    std::cout << "hub-vertices:";
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+      if (classes[u] == VertexClass::Hub) std::cout << ' ' << u;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const Flags& flags) {
+  if (flags.positionals().size() < 3) {
+    std::cerr << "validate: usage: validate <graph> <result.txt> "
+                 "[--eps E] [--mu M]\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  const auto result = read_scan_result(flags.positionals()[2]);
+  const auto params = ScanParams::make(flags.get_string("eps", "0.5"),
+                                       static_cast<std::uint32_t>(
+                                           flags.get_int("mu", 5)));
+  const auto report = validate_scan_result(graph, params, result);
+  if (report.ok) {
+    std::cout << "VALID: result satisfies the SCAN definitions for eps="
+              << params.eps.to_double() << " mu=" << params.mu << "\n";
+    return 0;
+  }
+  std::cout << "INVALID: " << report.first_error << "\n";
+  return 1;
+}
+
+int cmd_query(const Flags& flags) {
+  if (flags.positionals().size() < 2) {
+    std::cerr << "query: missing graph file\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  GsIndex::BuildOptions build;
+  build.num_threads =
+      static_cast<int>(flags.get_int("threads", default_threads()));
+  WallTimer build_timer;
+  const GsIndex index(graph, build);
+  std::cout << "index built in " << build_timer.elapsed_s() << " s ("
+            << index.memory_bytes() / (1024 * 1024) << " MiB)\n";
+
+  Table table({"eps", "mu", "clusters", "cores", "query(s)"});
+  for (const auto& eps : split_list(flags.get_string("eps", "0.2,0.5,0.8"))) {
+    for (const auto& mu_text : split_list(flags.get_string("mu", "2,5"))) {
+      const auto params = ScanParams::make(
+          eps, static_cast<std::uint32_t>(std::atoi(mu_text.c_str())));
+      const auto run = index.query(params);
+      table.add_row({eps, mu_text,
+                     Table::fmt(std::uint64_t{run.result.num_clusters()}),
+                     Table::fmt(run.result.num_cores()),
+                     Table::fmt(run.stats.total_seconds)});
+    }
+  }
+  table.print(std::cout, "GS*-Index query grid");
+  return 0;
+}
+
+void usage() {
+  std::cerr
+      << "usage: ppscan_cli <command> [args]\n"
+         "commands:\n"
+         "  generate --type er|ba|rmat|lfr --out <file> [params]\n"
+         "  stats <graph> [--triangles] [--histogram]\n"
+         "  convert <graph> --out <file>\n"
+         "  cluster <graph> [--eps E] [--mu M] [--algorithm A] [--out R]\n"
+         "  classify <graph> <result>\n"
+         "  validate <graph> <result> [--eps E] [--mu M]\n"
+         "  query <graph> [--eps list] [--mu list]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const Flags flags(argc, argv);
+  const std::string command = flags.positionals().empty()
+                                  ? ""
+                                  : flags.positionals().front();
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "convert") return cmd_convert(flags);
+    if (command == "cluster") return cmd_cluster(flags);
+    if (command == "classify") return cmd_classify(flags);
+    if (command == "validate") return cmd_validate(flags);
+    if (command == "query") return cmd_query(flags);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "ppscan_cli " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
