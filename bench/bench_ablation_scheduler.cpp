@@ -1,13 +1,28 @@
-// Ablation: task scheduling policy and degree threshold (DESIGN.md §4).
+// Ablation: task scheduling policy, execution runtime, degree threshold
+// (DESIGN.md §4).
 //
 // The paper tunes the degree-sum threshold to 32768 by doubling from 1
 // until load balance degrades or queue overhead vanishes; this harness
 // regenerates that tuning curve and compares the degree-sum policy against
-// static ranges and fixed-size chunks on the skewed twitter stand-in.
+// static ranges and fixed-size chunks on the skewed twitter stand-in. On
+// top of the policy sweep it crosses each policy with both execution
+// runtimes — the lock-free work-stealing executor and the seed mutex/condvar
+// pool — and reports the executor's claim/steal/busy/idle counters so the
+// runtime win is quantified rather than asserted.
 #include <iostream>
 
 #include "common.hpp"
 #include "core/ppscan.hpp"
+
+namespace {
+
+std::string idle_share(const ppscan::RunStats& stats) {
+  const double total = stats.busy_seconds + stats.idle_seconds;
+  if (total <= 0) return "-";
+  return ppscan::Table::fmt_percent(stats.idle_seconds / total);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ppscan;
@@ -21,20 +36,31 @@ int main(int argc, char** argv) {
   const auto mu = static_cast<std::uint32_t>(flags.get_int("mu", 5));
   const auto params = ScanParams::make(flags.get_string("eps", "0.2"), mu);
 
-  Table policy_table({"policy", "runtime(s)", "tasks"});
+  Table policy_table({"policy", "runtime-kind", "runtime(s)", "tasks",
+                      "claimed", "steals", "busy(s)", "idle(s)",
+                      "idle-share"});
   for (const auto kind : {SchedulerKind::DegreeSum, SchedulerKind::StaticRange,
                           SchedulerKind::FixedChunk,
                           SchedulerKind::OmpDynamic}) {
-    PpScanOptions options;
-    options.num_threads = threads;
-    options.scheduler.kind = kind;
-    const auto run = ppscan::ppscan(graph, params, options);
-    policy_table.add_row({to_string(kind), Table::fmt(run.stats.total_seconds),
-                          Table::fmt(run.stats.tasks_submitted)});
+    for (const auto runtime : {RuntimeKind::WorkSteal, RuntimeKind::MutexPool}) {
+      PpScanOptions options;
+      options.num_threads = threads;
+      options.scheduler.kind = kind;
+      options.scheduler.runtime = runtime;
+      const auto run = ppscan::ppscan(graph, params, options);
+      policy_table.add_row(
+          {to_string(kind), to_string(runtime),
+           Table::fmt(run.stats.total_seconds),
+           Table::fmt(run.stats.tasks_submitted),
+           Table::fmt(run.stats.tasks_executed), Table::fmt(run.stats.steals),
+           Table::fmt(run.stats.busy_seconds),
+           Table::fmt(run.stats.idle_seconds), idle_share(run.stats)});
+    }
   }
-  policy_table.print(std::cout, "Scheduling policy on " + dataset);
+  policy_table.print(std::cout, "Scheduling policy x runtime on " + dataset);
 
-  Table threshold_table({"degree-threshold", "runtime(s)", "tasks"});
+  Table threshold_table({"degree-threshold", "runtime(s)", "tasks", "steals",
+                         "idle-share"});
   for (const std::uint64_t threshold :
        {1024ULL, 4096ULL, 32768ULL, 262144ULL, 2097152ULL}) {
     PpScanOptions options;
@@ -44,7 +70,9 @@ int main(int argc, char** argv) {
     const auto run = ppscan::ppscan(graph, params, options);
     threshold_table.add_row({Table::fmt(std::uint64_t{threshold}),
                              Table::fmt(run.stats.total_seconds),
-                             Table::fmt(run.stats.tasks_submitted)});
+                             Table::fmt(run.stats.tasks_submitted),
+                             Table::fmt(run.stats.steals),
+                             idle_share(run.stats)});
   }
   threshold_table.print(std::cout,
                         "Degree-sum threshold sweep (paper value: 32768)");

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   }
 
   Table table({"dataset", "threads", "prune(s)", "check(s)", "core-clu(s)",
-               "noncore-clu(s)", "total(s)", "self-speedup", "tasks"});
+               "noncore-clu(s)", "total(s)", "self-speedup", "tasks", "steals",
+               "busy(s)", "idle(s)"});
   for (const auto& name : bench::dataset_flag(flags)) {
     const auto graph = load_dataset(name);
     const auto params = ScanParams::make(eps, mu);
@@ -53,7 +54,10 @@ int main(int argc, char** argv) {
                      Table::fmt(run.stats.stage_noncore_cluster_seconds),
                      Table::fmt(run.stats.total_seconds),
                      Table::fmt(base_seconds / run.stats.total_seconds, 2),
-                     Table::fmt(run.stats.tasks_submitted)});
+                     Table::fmt(run.stats.tasks_submitted),
+                     Table::fmt(run.stats.steals),
+                     Table::fmt(run.stats.busy_seconds),
+                     Table::fmt(run.stats.idle_seconds)});
     }
   }
   table.print(std::cout, "Figure 6: per-stage runtime vs threads, eps=" + eps +

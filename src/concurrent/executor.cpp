@@ -1,0 +1,279 @@
+#include "concurrent/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace ppscan {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Consecutive empty scans a worker tolerates (with yields) before parking
+/// on the futex. Small: phases are dense, so an empty scan usually means
+/// the phase tail is draining and the next wake is the phase barrier.
+constexpr int kSpinRounds = 64;
+
+constexpr std::uint64_t kLow32 = 0xffffffffull;
+
+std::uint64_t tag_of(std::uint64_t packed) { return packed >> 32; }
+
+std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+// Identifies the calling thread as worker `t_index` of executor `t_owner`
+// (set once per worker thread; foreign threads keep the nullptr default).
+thread_local const Executor* t_owner = nullptr;
+thread_local int t_index = -1;
+
+}  // namespace
+
+Executor::Executor(int num_threads) : num_workers_(num_threads) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("Executor: need at least one thread");
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int i = 0; i < num_threads; ++i) {
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() {
+  stop_.store(true, std::memory_order_release);
+  wake_workers();
+  for (auto& w : workers_) w->thread.join();
+}
+
+int Executor::current_worker() const {
+  return t_owner == this ? t_index : -1;
+}
+
+void Executor::begin_phase(RangeFn fn, void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  tasks_ = nullptr;
+  // Publishing the new phase tag invalidates every segment cursor (their
+  // tags are now stale) and makes fn_/ctx_ visible to any worker that
+  // acquires phase_ or pops a range pushed after this store.
+  phase_.store(phase_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+}
+
+void Executor::run(const TaskRange* tasks, std::size_t count, RangeFn fn,
+                   void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  tasks_ = tasks;
+  const std::uint32_t p = phase_.load(std::memory_order_relaxed) + 1;
+  if (count > 0) {
+    pending_.fetch_add(static_cast<std::uint32_t>(count),
+                       std::memory_order_relaxed);
+    // Contiguous per-worker segments of the flat task array: worker w owns
+    // [count*w/W, count*(w+1)/W). Claims are CASes on the tagged cursors,
+    // so exhausted workers drain neighbors' segments with the same
+    // one-CAS operation (= stealing).
+    const auto total = static_cast<std::uint64_t>(count);
+    const auto workers = static_cast<std::uint64_t>(num_workers_);
+    for (std::uint64_t w = 0; w < workers; ++w) {
+      const std::uint64_t beg = total * w / workers;
+      const std::uint64_t end = total * (w + 1) / workers;
+      Worker& worker = *workers_[static_cast<std::size_t>(w)];
+      worker.segment_end.store((static_cast<std::uint64_t>(p) << 32) | end,
+                               std::memory_order_relaxed);
+      worker.cursor.store((static_cast<std::uint64_t>(p) << 32) | beg,
+                          std::memory_order_relaxed);
+    }
+  }
+  phase_.store(p, std::memory_order_release);
+  if (count > 0) wake_workers();
+  wait_idle();
+}
+
+void Executor::submit(TaskRange range) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  const int w = current_worker();
+  if (w >= 0) {
+    workers_[static_cast<std::size_t>(w)]->deque.push(pack(range));
+  } else {
+    // Master thread (the only permitted non-worker submitter).
+    injector_.push(pack(range));
+  }
+  wake_workers();
+}
+
+void Executor::wait_idle() {
+  std::uint32_t outstanding = pending_.load(std::memory_order_acquire);
+  while (outstanding != 0) {
+    pending_.wait(outstanding, std::memory_order_acquire);
+    outstanding = pending_.load(std::memory_order_acquire);
+  }
+}
+
+void Executor::wake_workers() {
+  epoch_.fetch_add(1, std::memory_order_release);
+  // libstdc++ tracks waiters per futex word and skips the syscall when no
+  // worker is parked, so this is cheap on the submit-heavy path.
+  epoch_.notify_all();
+}
+
+void Executor::finish_one_task() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Phase drained: wake the master (pending_) and any worker parked
+    // mid-phase (epoch_) so it can close its idle stopwatch.
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    pending_.notify_all();
+  }
+}
+
+bool Executor::claim_from_segment(int victim, std::uint32_t tag,
+                                  std::uint32_t* out) {
+  Worker& w = *workers_[static_cast<std::size_t>(victim)];
+  const std::uint64_t end_packed =
+      w.segment_end.load(std::memory_order_relaxed);
+  if (tag_of(end_packed) != tag) return false;
+  const std::uint64_t end = end_packed & kLow32;
+  std::uint64_t cur = w.cursor.load(std::memory_order_relaxed);
+  while (tag_of(cur) == tag && (cur & kLow32) < end) {
+    // Same-tag increment never carries into the tag bits: index < end.
+    if (w.cursor.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+      *out = static_cast<std::uint32_t>(cur & kLow32);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Executor::try_claim(int self, TaskRange* out) {
+  // Visibility: this acquire pairs with the release store in run() /
+  // begin_phase(), so a tag-validated claim below implies fn_/ctx_/tasks_
+  // of that phase are visible.
+  const auto p = phase_.load(std::memory_order_acquire);
+  Worker& me = *workers_[static_cast<std::size_t>(self)];
+  std::uint32_t index;
+  if (claim_from_segment(self, p, &index)) {
+    *out = tasks_[index];
+    return true;
+  }
+  std::uint64_t packed;
+  if (me.deque.pop(&packed)) {
+    *out = unpack(packed);
+    return true;
+  }
+  for (int d = 1; d < num_workers_; ++d) {
+    const int victim = (self + d) % num_workers_;
+    if (claim_from_segment(victim, p, &index)) {
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      *out = tasks_[index];
+      return true;
+    }
+    if (workers_[static_cast<std::size_t>(victim)]->deque.steal(&packed)) {
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      *out = unpack(packed);
+      return true;
+    }
+  }
+  // Master-submitted ranges are not counted as steals: the injector deque
+  // has no owning worker to steal from.
+  if (injector_.steal(&packed)) {
+    *out = unpack(packed);
+    return true;
+  }
+  return false;
+}
+
+void Executor::execute(TaskRange range, Worker& self) {
+  const auto t0 = Clock::now();
+  fn_(ctx_, range.beg, range.end);
+  self.busy_ns.fetch_add(elapsed_ns(t0, Clock::now()),
+                         std::memory_order_relaxed);
+  self.executed.fetch_add(1, std::memory_order_relaxed);
+  finish_one_task();
+}
+
+void Executor::worker_loop(int index) {
+  t_owner = this;
+  t_index = index;
+  Worker& self = *workers_[static_cast<std::size_t>(index)];
+
+  // Idle stopwatch: runs from the first failed scan while a phase is in
+  // flight until the next claim (or the phase barrier), so it measures load
+  // imbalance rather than master-side serial gaps between phases.
+  bool idling = false;
+  Clock::time_point idle_start;
+  const auto flush_idle = [&] {
+    if (idling) {
+      self.idle_ns.fetch_add(elapsed_ns(idle_start, Clock::now()),
+                             std::memory_order_relaxed);
+      idling = false;
+    }
+  };
+
+  int failures = 0;
+  TaskRange range;
+  for (;;) {
+    const std::uint32_t seen = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) == 0) {
+      // Drain-before-exit: stop_ alone is not enough, submitted work must
+      // finish (parity with the legacy pool's destructor contract).
+      flush_idle();
+      return;
+    }
+    if (try_claim(index, &range)) {
+      flush_idle();
+      failures = 0;
+      execute(range, self);
+      continue;
+    }
+    if (pending_.load(std::memory_order_relaxed) != 0) {
+      if (!idling) {
+        idling = true;
+        idle_start = Clock::now();
+      }
+      if (++failures < kSpinRounds) {
+        std::this_thread::yield();
+        continue;
+      }
+    } else {
+      flush_idle();
+    }
+    failures = 0;
+    // epoch_ was read before the scan, so any work published after that
+    // read makes this wait return immediately — no missed wakeup.
+    epoch_.wait(seen, std::memory_order_acquire);
+  }
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  bool first = true;
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->executed.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    const double busy =
+        static_cast<double>(w->busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    s.busy_seconds += busy;
+    s.idle_seconds +=
+        static_cast<double>(w->idle_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    s.max_worker_busy_seconds =
+        first ? busy : std::max(s.max_worker_busy_seconds, busy);
+    s.min_worker_busy_seconds =
+        first ? busy : std::min(s.min_worker_busy_seconds, busy);
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace ppscan

@@ -1,0 +1,287 @@
+// Lock-free work-stealing execution runtime for the phase-structured
+// algorithms (ppSCAN, SCAN-XP, anySCAN, GS*-Index construction).
+//
+// The seed ThreadPool funnels every task through one mutex/condvar-protected
+// std::deque<std::function>: each degree-bundled task pays a heap allocation,
+// a global lock on submit and a second on completion. This executor drives
+// that overhead to near zero:
+//
+//   * Persistent workers — spawned once, parked on a futex (C++20
+//     std::atomic::wait) between phases, no condvar and no mutex anywhere.
+//   * Flat-array phase fast path — the master precomputes the task
+//     boundaries of a phase into a flat TaskRange array; each worker owns a
+//     contiguous segment of task indices and claims them one CAS at a time
+//     from a per-worker (phase-tagged) cursor. When its segment drains it
+//     claims from neighbors' cursors instead: stealing is the same one-CAS
+//     operation, so load balance costs nothing extra.
+//   * Inline task storage — a task is the POD pair {beg, end} (packed into
+//     one uint64); the per-phase body is installed once as a plain function
+//     pointer + context. The per-task hot path performs zero allocations
+//     and acquires zero mutexes.
+//   * Chase–Lev deques — each worker (plus one injector slot for the master
+//     thread) owns a lock-free deque of packed ranges for dynamically
+//     submitted work: streamed phases, nested submits from inside tasks.
+//     Owner pushes/pops the bottom; thieves CAS the top.
+//   * wait_idle() — an atomic outstanding-task counter; the master parks on
+//     it with a futex wait and is woken by the worker whose decrement
+//     reaches zero.
+//
+// Per-worker counters (tasks executed, steals, busy/idle nanoseconds) are
+// accumulated with relaxed atomics and aggregated by stats() at a barrier,
+// feeding the scheduler-ablation and scalability harnesses.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ppscan {
+
+/// One task: a half-open vertex range. POD, packed into a single uint64 in
+/// every queue so the hot path never allocates.
+struct TaskRange {
+  VertexId beg;
+  VertexId end;
+};
+
+/// Per-phase task body, type-erased without allocation.
+using RangeFn = void (*)(void* ctx, VertexId beg, VertexId end);
+
+/// Aggregate runtime counters since construction (ppSCAN constructs one
+/// executor per clustering call, so these are per-run numbers).
+struct ExecutorStats {
+  std::uint64_t tasks_executed = 0;  ///< ranges claimed and run by workers
+  std::uint64_t steals = 0;          ///< claims taken from another worker
+  double busy_seconds = 0;           ///< summed in-task time over workers
+  double idle_seconds = 0;           ///< summed mid-phase scan/park time
+  double max_worker_busy_seconds = 0;
+  double min_worker_busy_seconds = 0;
+};
+
+namespace detail {
+
+/// Chase–Lev work-stealing deque of packed uint64 ranges (Chase & Lev,
+/// SPAA'05; memory orderings after Lê et al., PPoPP'13, with the standalone
+/// fences replaced by seq_cst operations on top_/bottom_ so ThreadSanitizer
+/// — which does not model fences — can verify the executor).
+class RangeDeque {
+ public:
+  RangeDeque() : array_(new Array(kInitialCapacity)) {}
+  ~RangeDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+  RangeDeque(const RangeDeque&) = delete;
+  RangeDeque& operator=(const RangeDeque&) = delete;
+
+  /// Owner only. Grows (amortized, cold path) when full.
+  void push(std::uint64_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) a = grow(a, b, t);
+    a->put(b, value);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only.
+  bool pop(std::uint64_t* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    bool taken = false;
+    if (t <= b) {
+      *out = a->get(b);
+      taken = true;
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          taken = false;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return taken;
+  }
+
+  /// Any thread.
+  bool steal(std::uint64_t* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Array* a = array_.load(std::memory_order_acquire);
+    const std::uint64_t value = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost the race; caller retries elsewhere
+    }
+    *out = value;
+    return true;
+  }
+
+  [[nodiscard]] bool maybe_nonempty() const {
+    return top_.load(std::memory_order_relaxed) <
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<std::uint64_t>[]>(
+              static_cast<std::size_t>(cap))) {}
+    void put(std::int64_t i, std::uint64_t v) {
+      slots[static_cast<std::size_t>(i & mask)].store(
+          v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    std::int64_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  };
+
+  Array* grow(Array* old, std::int64_t b, std::int64_t t) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // Thieves may still be reading `old`; retire it until destruction
+    // instead of freeing (the memory cost is bounded by 2x the peak size).
+    retired_.push_back(old);
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  static constexpr std::int64_t kInitialCapacity = 256;  // power of two
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_;
+  std::vector<Array*> retired_;  // owner-only, freed in the destructor
+};
+
+}  // namespace detail
+
+class Executor {
+ public:
+  /// Spawns `num_threads` persistent workers (>= 1).
+  explicit Executor(int num_threads);
+
+  /// Drains outstanding work (parity with the legacy pool), then joins.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_workers_; }
+
+  /// Fast path: runs `fn(ctx, r.beg, r.end)` for every range in
+  /// [tasks, tasks + count) plus any ranges submitted by the tasks
+  /// themselves, then returns (full barrier). The array must stay alive for
+  /// the duration of the call; it is claimed in place — nothing is copied,
+  /// allocated, or locked per task.
+  void run(const TaskRange* tasks, std::size_t count, RangeFn fn, void* ctx);
+
+  /// Same, with any callable `body(VertexId beg, VertexId end)`.
+  template <typename Body>
+  void run(const TaskRange* tasks, std::size_t count, Body&& body) {
+    using B = std::remove_reference_t<Body>;
+    run(tasks, count,
+        [](void* ctx, VertexId beg, VertexId end) {
+          (*static_cast<B*>(ctx))(beg, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
+
+  /// Streaming mode: installs the phase body so ranges can be submit()ted
+  /// incrementally (overlapping master-side bundling with execution).
+  /// Terminate the phase with wait_idle(). Must not be called while a
+  /// previous phase is still in flight.
+  void begin_phase(RangeFn fn, void* ctx);
+
+  /// Enqueues one range for the current phase. Callable from the master
+  /// thread (injector deque) or from inside a task (owner deque → enables
+  /// nested parallelism). Never blocks; allocation only on deque growth.
+  void submit(TaskRange range);
+
+  /// Blocks until every outstanding range has finished; futex park, no
+  /// mutex. The executor remains usable afterwards — this is the
+  /// inter-phase barrier.
+  void wait_idle();
+
+  /// Index of the calling thread if it is a worker of *this* executor,
+  /// -1 otherwise (master / foreign threads). Worker-local data structures
+  /// (e.g. the phase-7 membership buffers) key on this.
+  [[nodiscard]] int current_worker() const;
+
+  /// Aggregated counters; call at a barrier for exact numbers.
+  [[nodiscard]] ExecutorStats stats() const;
+
+ private:
+  // One cache line per worker: the phase-tagged claim cursor plus the
+  // owner-written counters. The Chase–Lev deque and the thread handle live
+  // alongside (they have their own internal layout).
+  struct alignas(64) Worker {
+    /// (phase_tag << 32) | next_task_index. Claims CAS the low half up; a
+    /// tag mismatch means the slot belongs to another phase and is empty.
+    std::atomic<std::uint64_t> cursor{0};
+    /// (phase_tag << 32) | one_past_last_task_index. Tagged like cursor so
+    /// a stale cursor can never be validated against a fresh end (the
+    /// cross-phase claim race): a claim needs tag(cursor) == tag(end) ==
+    /// the phase the claimer read.
+    std::atomic<std::uint64_t> segment_end{0};
+    detail::RangeDeque deque;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::thread thread;
+  };
+
+  void worker_loop(int index);
+  /// Claims one range: own segment, own deque, then neighbors' segments and
+  /// deques, then the injector. Counts steals on `self`.
+  bool try_claim(int self, TaskRange* out);
+  /// CAS-claims one task index from `victim`'s segment for phase `tag`.
+  bool claim_from_segment(int victim, std::uint32_t tag, std::uint32_t* out);
+  void execute(TaskRange range, Worker& self);
+  void finish_one_task();
+  void wake_workers();
+
+  static std::uint64_t pack(TaskRange r) {
+    return (static_cast<std::uint64_t>(r.beg) << 32) | r.end;
+  }
+  static TaskRange unpack(std::uint64_t v) {
+    return {static_cast<VertexId>(v >> 32),
+            static_cast<VertexId>(v & 0xffffffffu)};
+  }
+
+  const int num_workers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  detail::RangeDeque injector_;  // owned by the master thread
+
+  // Phase state: written by the master between barriers, published by the
+  // release store to phase_ and read by workers after the matching acquire.
+  RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  const TaskRange* tasks_ = nullptr;
+  std::atomic<std::uint32_t> phase_{0};
+
+  std::atomic<std::uint32_t> pending_{0};  // outstanding (unfinished) tasks
+  std::atomic<std::uint32_t> epoch_{0};    // bumped on new work; futex word
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ppscan

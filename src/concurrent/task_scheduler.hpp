@@ -2,16 +2,26 @@
 //
 // The master thread sweeps the vertex range, accumulating the degrees of
 // vertices that still need work; once the accumulated degree sum exceeds a
-// threshold (paper default 32768) the pending range [beg, u+1) is submitted
-// as one task. Workers re-test the per-vertex predicate inside the task, so
-// a vertex whose role was settled between submission and execution is
-// skipped for free. Degree sum is a good workload proxy because every vertex
+// threshold (paper default 32768) the pending range [beg, u+1) becomes one
+// task. Workers re-test the per-vertex predicate inside the task, so a
+// vertex whose role was settled between bundling and execution is skipped
+// for free. Degree sum is a good workload proxy because every vertex
 // computation in SCAN touches each neighbor at most a constant number of
 // times, and consecutive vertex ranges keep the edge-array accesses of a
 // task contiguous.
 //
-// Two alternative policies are provided for the scheduler ablation bench:
-// static (equal vertex ranges, one per thread) and fixed vertex-count chunks.
+// Two execution runtimes are provided:
+//   * Executor (default) — the lock-free work-stealing runtime: the master
+//     precomputes the task boundaries of the whole phase into a flat
+//     TaskRange array (reusable scratch, so steady-state phases allocate
+//     nothing) and workers claim/steal indices with single CAS operations.
+//     No std::function, no mutex, no per-task allocation.
+//   * ThreadPool — the seed centralized mutex/condvar queue, kept as the
+//     measured baseline of bench_ablation_scheduler.
+//
+// Alternative bundling policies for the scheduler ablation bench: static
+// (equal vertex ranges, one per thread) and fixed vertex-count chunks, plus
+// OpenMP `schedule(dynamic)` as the off-the-shelf alternative.
 #pragma once
 
 #include <omp.h>
@@ -20,7 +30,9 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "concurrent/executor.hpp"
 #include "concurrent/thread_pool.hpp"
 #include "util/types.hpp"
 
@@ -51,8 +63,29 @@ inline std::string to_string(SchedulerKind kind) {
   return "?";
 }
 
+/// Execution runtime the bundled tasks run on.
+enum class RuntimeKind : std::uint8_t {
+  WorkSteal,  // lock-free work-stealing Executor (default)
+  MutexPool,  // seed mutex/condvar ThreadPool — the ablation baseline
+};
+
+inline RuntimeKind parse_runtime_kind(const std::string& name) {
+  if (name == "worksteal") return RuntimeKind::WorkSteal;
+  if (name == "mutex") return RuntimeKind::MutexPool;
+  throw std::invalid_argument("unknown runtime kind: " + name);
+}
+
+inline std::string to_string(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::WorkSteal: return "worksteal";
+    case RuntimeKind::MutexPool: return "mutex";
+  }
+  return "?";
+}
+
 struct SchedulerOptions {
   SchedulerKind kind = SchedulerKind::DegreeSum;
+  RuntimeKind runtime = RuntimeKind::WorkSteal;
   std::uint64_t degree_threshold = 32768;  // paper's tuned value
   VertexId chunk_size = 4096;              // for FixedChunk
 };
@@ -62,28 +95,25 @@ struct ScheduleStats {
   std::uint64_t tasks_submitted = 0;
 };
 
-/// Runs `work(u)` for every u in [0, n) with `needs_work(u)` true, bundling
-/// vertices into pool tasks according to `options`. `degree_of(u)` feeds the
-/// degree-sum policy. Blocks until all tasks finish (pool barrier).
-///
-/// NeedsWork and Work must be safe to invoke concurrently from pool threads;
-/// NeedsWork is additionally evaluated on the master thread while bundling.
-template <typename DegreeOf, typename NeedsWork, typename Work>
-ScheduleStats schedule_vertex_tasks(ThreadPool& pool, VertexId n,
-                                    DegreeOf&& degree_of,
-                                    NeedsWork&& needs_work, Work&& work,
-                                    const SchedulerOptions& options = {}) {
-  ScheduleStats stats;
-  auto submit_range = [&](VertexId beg, VertexId end) {
-    if (beg >= end) return;
-    ++stats.tasks_submitted;
-    pool.submit([beg, end, &needs_work, &work] {
-      for (VertexId u = beg; u < end; ++u) {
-        if (needs_work(u)) work(u);
-      }
-    });
-  };
+namespace detail {
 
+/// Bundles [0, n) into TaskRange boundaries according to `options`,
+/// appending to `ranges` (not cleared). Vertices failing `needs_work` still
+/// land inside some range under non-degree policies; the worker-side
+/// re-test skips them. Returns the number of ranges appended.
+///
+/// Guards the degenerate inputs (n == 0, n < num_threads, zero-width
+/// ranges) that made the seed StaticRange math hazardous.
+template <typename DegreeOf, typename NeedsWork>
+std::uint64_t bundle_ranges(std::vector<TaskRange>& ranges, VertexId n,
+                            int num_threads, DegreeOf&& degree_of,
+                            NeedsWork&& needs_work,
+                            const SchedulerOptions& options) {
+  const std::size_t before = ranges.size();
+  if (n == 0) return 0;
+  const auto push = [&](VertexId beg, VertexId end) {
+    if (beg < end) ranges.push_back({beg, end});
+  };
   switch (options.kind) {
     case SchedulerKind::DegreeSum: {
       std::uint64_t deg_sum = 0;
@@ -92,44 +122,109 @@ ScheduleStats schedule_vertex_tasks(ThreadPool& pool, VertexId n,
         if (!needs_work(u)) continue;
         deg_sum += degree_of(u);
         if (deg_sum > options.degree_threshold) {
-          submit_range(beg, u + 1);
+          push(beg, u + 1);
           deg_sum = 0;
           beg = u + 1;
         }
       }
-      submit_range(beg, n);
+      push(beg, n);
       break;
     }
     case SchedulerKind::StaticRange: {
-      const auto t = static_cast<VertexId>(pool.num_threads());
-      const VertexId width = (n + t - 1) / t;
+      const auto t = static_cast<VertexId>(std::max(1, num_threads));
+      const VertexId width = std::max<VertexId>(1, (n + t - 1) / t);
       for (VertexId beg = 0; beg < n; beg += width) {
-        submit_range(beg, std::min<VertexId>(beg + width, n));
+        push(beg, std::min<VertexId>(beg + width, n));
       }
       break;
     }
     case SchedulerKind::FixedChunk: {
       const VertexId width = std::max<VertexId>(1, options.chunk_size);
       for (VertexId beg = 0; beg < n; beg += width) {
-        submit_range(beg, std::min<VertexId>(beg + width, n));
+        push(beg, std::min<VertexId>(beg + width, n));
       }
       break;
     }
-    case SchedulerKind::OmpDynamic: {
-      // Bypasses the thread pool entirely: the off-the-shelf baseline the
-      // paper's custom scheduler is measured against.
-      const std::int64_t count = n;
-#pragma omp parallel for schedule(dynamic, 256) \
-    num_threads(pool.num_threads())
-      for (std::int64_t u = 0; u < count; ++u) {
-        if (needs_work(static_cast<VertexId>(u))) {
-          work(static_cast<VertexId>(u));
-        }
-      }
-      return stats;  // no pool tasks were submitted
+    case SchedulerKind::OmpDynamic:
+      break;  // handled by the callers (no bundling)
+  }
+  return ranges.size() - before;
+}
+
+template <typename NeedsWork, typename Work>
+void run_omp_dynamic(int num_threads, VertexId n, NeedsWork&& needs_work,
+                     Work&& work) {
+  const std::int64_t count = n;
+#pragma omp parallel for schedule(dynamic, 256) num_threads(num_threads)
+  for (std::int64_t u = 0; u < count; ++u) {
+    if (needs_work(static_cast<VertexId>(u))) {
+      work(static_cast<VertexId>(u));
     }
   }
+}
 
+}  // namespace detail
+
+/// Runs `work(u)` for every u in [0, n) with `needs_work(u)` true on the
+/// work-stealing executor, bundling vertices into ranges according to
+/// `options`. `degree_of(u)` feeds the degree-sum policy. Blocks until all
+/// tasks finish (executor barrier).
+///
+/// `scratch`, when given, is reused for the flat boundary array so
+/// steady-state phases perform zero allocations end to end (the per-task
+/// path never allocates either way).
+///
+/// NeedsWork and Work must be safe to invoke concurrently from worker
+/// threads; NeedsWork is additionally evaluated on the master while
+/// bundling (degree policy only).
+template <typename DegreeOf, typename NeedsWork, typename Work>
+ScheduleStats schedule_vertex_tasks(Executor& executor, VertexId n,
+                                    DegreeOf&& degree_of,
+                                    NeedsWork&& needs_work, Work&& work,
+                                    const SchedulerOptions& options = {},
+                                    std::vector<TaskRange>* scratch =
+                                        nullptr) {
+  ScheduleStats stats;
+  if (options.kind == SchedulerKind::OmpDynamic) {
+    detail::run_omp_dynamic(executor.num_threads(), n, needs_work, work);
+    return stats;  // bypasses the executor entirely
+  }
+  std::vector<TaskRange> local;
+  std::vector<TaskRange>& ranges = scratch != nullptr ? *scratch : local;
+  ranges.clear();
+  stats.tasks_submitted = detail::bundle_ranges(
+      ranges, n, executor.num_threads(), degree_of, needs_work, options);
+  const auto body = [&](VertexId beg, VertexId end) {
+    for (VertexId u = beg; u < end; ++u) {
+      if (needs_work(u)) work(u);
+    }
+  };
+  executor.run(ranges.data(), ranges.size(), body);
+  return stats;
+}
+
+/// Legacy overload on the seed mutex-queue ThreadPool; identical semantics,
+/// kept as the measured baseline for the scheduler/runtime ablation.
+template <typename DegreeOf, typename NeedsWork, typename Work>
+ScheduleStats schedule_vertex_tasks(ThreadPool& pool, VertexId n,
+                                    DegreeOf&& degree_of,
+                                    NeedsWork&& needs_work, Work&& work,
+                                    const SchedulerOptions& options = {}) {
+  ScheduleStats stats;
+  if (options.kind == SchedulerKind::OmpDynamic) {
+    detail::run_omp_dynamic(pool.num_threads(), n, needs_work, work);
+    return stats;  // no pool tasks were submitted
+  }
+  std::vector<TaskRange> ranges;
+  stats.tasks_submitted = detail::bundle_ranges(
+      ranges, n, pool.num_threads(), degree_of, needs_work, options);
+  for (const TaskRange r : ranges) {
+    pool.submit([r, &needs_work, &work] {
+      for (VertexId u = r.beg; u < r.end; ++u) {
+        if (needs_work(u)) work(u);
+      }
+    });
+  }
   pool.wait_idle();
   return stats;
 }

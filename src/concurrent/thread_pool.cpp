@@ -3,6 +3,12 @@
 #include <stdexcept>
 
 namespace ppscan {
+namespace {
+
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_pool_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) {
@@ -10,8 +16,12 @@ ThreadPool::ThreadPool(int num_threads) {
   }
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+int ThreadPool::current_worker() const {
+  return t_pool == this ? t_pool_index : -1;
 }
 
 ThreadPool::~ThreadPool() {
@@ -37,7 +47,9 @@ void ThreadPool::wait_idle() {
   all_idle_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  t_pool = this;
+  t_pool_index = index;
   for (;;) {
     std::function<void()> task;
     {

@@ -35,8 +35,13 @@ class ThreadPool {
     return static_cast<int>(workers_.size());
   }
 
+  /// Index of the calling thread if it is a worker of *this* pool, -1
+  /// otherwise. Lets per-worker buffers (e.g. phase-7 membership lists)
+  /// work on both execution runtimes.
+  [[nodiscard]] int current_worker() const;
+
  private:
-  void worker_loop();
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <memory>
 
+#include "concurrent/executor.hpp"
 #include "concurrent/thread_pool.hpp"
 #include "concurrent/union_find.hpp"
 #include "graph/reverse_index.hpp"
@@ -21,12 +22,21 @@ class PpScanRunner {
         params_(params),
         options_(options),
         kernel_(similar_fn(options.kernel)),
-        pool_(options.num_threads),
         uf_(graph.num_vertices()) {
+    if (options.scheduler.runtime == RuntimeKind::MutexPool) {
+      pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    } else {
+      exec_ = std::make_unique<Executor>(options.num_threads);
+    }
     sim_.assign(graph.num_arcs(), kSimUncached);
     roles_.assign(graph.num_vertices(),
                   static_cast<std::uint8_t>(Role::Unknown));
     cluster_id_.assign(graph.num_vertices(), kInvalidVertex);
+    // One membership buffer per worker plus a trailing slot for the master
+    // (serial fallbacks) — the OpenMP policy's thread ids also land in
+    // [0, num_threads). Padded so concurrent appends never share a line.
+    membership_slots_.resize(
+        static_cast<std::size_t>(options.num_threads) + 1);
   }
 
   ScanRun run() {
@@ -56,6 +66,13 @@ class PpScanRunner {
     ScanRun run = assemble_result();
     run.stats = stats_;
     run.stats.compsim_invocations = invocations_.load();
+    if (exec_) {
+      const ExecutorStats es = exec_->stats();
+      run.stats.tasks_executed = es.tasks_executed;
+      run.stats.steals = es.steals;
+      run.stats.busy_seconds = es.busy_seconds;
+      run.stats.idle_seconds = es.idle_seconds;
+    }
     run.stats.total_seconds = total.elapsed_s();
     return run;
   }
@@ -70,11 +87,19 @@ class PpScanRunner {
 
   template <typename NeedsWork, typename Work>
   void run_phase(NeedsWork&& needs_work, Work&& work) {
-    const auto st = schedule_vertex_tasks(
-        pool_, graph_.num_vertices(),
-        [this](VertexId u) { return graph_.degree(u); },
-        std::forward<NeedsWork>(needs_work), std::forward<Work>(work),
-        options_.scheduler);
+    const auto degree = [this](VertexId u) { return graph_.degree(u); };
+    ScheduleStats st;
+    if (exec_) {
+      st = schedule_vertex_tasks(*exec_, graph_.num_vertices(), degree,
+                                 std::forward<NeedsWork>(needs_work),
+                                 std::forward<Work>(work), options_.scheduler,
+                                 &range_scratch_);
+    } else {
+      st = schedule_vertex_tasks(*pool_, graph_.num_vertices(), degree,
+                                 std::forward<NeedsWork>(needs_work),
+                                 std::forward<Work>(work),
+                                 options_.scheduler);
+    }
     stats_.tasks_submitted += st.tasks_submitted;
   }
 
@@ -257,14 +282,34 @@ class PpScanRunner {
         });
   }
 
+  /// Membership buffer the calling thread may append to without
+  /// synchronization: its worker slot on either runtime, its OpenMP thread
+  /// slot under the omp policy, or the trailing master slot.
+  [[nodiscard]] std::size_t membership_slot() const {
+    if (exec_) {
+      const int w = exec_->current_worker();
+      if (w >= 0) return static_cast<std::size_t>(w);
+    }
+    if (pool_) {
+      const int w = pool_->current_worker();
+      if (w >= 0) return static_cast<std::size_t>(w);
+    }
+    if (omp_in_parallel() != 0) {
+      return static_cast<std::size_t>(omp_get_thread_num()) %
+             membership_slots_.size();
+    }
+    return membership_slots_.size() - 1;
+  }
+
   // Phase 7 — cores assign their cluster id to ε-similar non-core
-  // neighbors. Task-local pair buffers are flushed to the global list once
-  // per task (the paper's pipelined copy-back).
+  // neighbors. Each worker appends to its own padded buffer — no lock on
+  // the clustering hot path — and the buffers are merged once at the
+  // barrier with a prefix-sum copy.
   void phase_cluster_noncore() {
     run_phase(
         [this](VertexId u) { return role_of(u) == Role::Core; },
         [this](VertexId u) {
-          std::vector<std::pair<VertexId, VertexId>> local;
+          auto& local = membership_slots_[membership_slot()].pairs;
           const VertexId cid = cluster_id_.load(uf_.find(u));
           for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
                ++e) {
@@ -278,12 +323,40 @@ class PpScanRunner {
             }
             if (value == kSimFlag) local.emplace_back(v, cid);
           }
-          if (!local.empty()) {
-            std::lock_guard lock(membership_mutex_);
-            memberships_.insert(memberships_.end(), local.begin(),
-                                local.end());
-          }
         });
+    merge_memberships();
+  }
+
+  /// Prefix-sum copy of the per-worker buffers into the flat membership
+  /// list; parallel on the executor (one copy task per buffer), serial on
+  /// the fallback runtimes.
+  void merge_memberships() {
+    const std::size_t slots = membership_slots_.size();
+    std::vector<std::size_t> offset(slots + 1, 0);
+    for (std::size_t i = 0; i < slots; ++i) {
+      offset[i + 1] = offset[i] + membership_slots_[i].pairs.size();
+    }
+    memberships_.resize(offset[slots]);
+    const auto copy_slot = [&](std::size_t i) {
+      const auto& pairs = membership_slots_[i].pairs;
+      std::copy(pairs.begin(), pairs.end(),
+                memberships_.begin() + static_cast<std::ptrdiff_t>(offset[i]));
+    };
+    if (exec_ && offset[slots] > 0) {
+      std::vector<TaskRange> copies;
+      for (std::size_t i = 0; i < slots; ++i) {
+        if (!membership_slots_[i].pairs.empty()) {
+          copies.push_back({static_cast<VertexId>(i),
+                            static_cast<VertexId>(i + 1)});
+        }
+      }
+      exec_->run(copies.data(), copies.size(),
+                 [&](VertexId beg, VertexId end) {
+                   for (VertexId i = beg; i < end; ++i) copy_slot(i);
+                 });
+    } else {
+      for (std::size_t i = 0; i < slots; ++i) copy_slot(i);
+    }
   }
 
   ScanRun assemble_result() {
@@ -302,17 +375,23 @@ class PpScanRunner {
     return run;
   }
 
+  struct alignas(64) MembershipSlot {
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+  };
+
   const CsrGraph& graph_;
   const ScanParams& params_;
   const PpScanOptions& options_;
   SimilarFn kernel_;
-  ThreadPool pool_;
+  std::unique_ptr<Executor> exec_;
+  std::unique_ptr<ThreadPool> pool_;  // legacy mutex-queue baseline
+  std::vector<TaskRange> range_scratch_;
   ReverseArcIndex reverse_index_;
   ParallelUnionFind uf_;
   AtomicArray<std::int32_t> sim_;
   AtomicArray<std::uint8_t> roles_;
   AtomicArray<VertexId> cluster_id_;
-  std::mutex membership_mutex_;
+  std::vector<MembershipSlot> membership_slots_;
   std::vector<std::pair<VertexId, VertexId>> memberships_;
   std::atomic<std::uint64_t> invocations_{0};
   RunStats stats_;

@@ -19,7 +19,8 @@
 //                        core-core edges, skipping same-set pairs.
 //   6. InitClusterId    — CAS-min core id per union-find set.
 //   7. ClusterNonCore   — cores hand their cluster id to ε-similar non-core
-//                        neighbors (task-local buffers, merged at task end).
+//                        neighbors (worker-local buffers, merged once at the
+//                        barrier with a prefix-sum copy — no lock).
 //
 // All vertex computations are bundled by the degree-based dynamic task
 // scheduler (Algorithm 5). Per-arc state lives in one relaxed-atomic int32

@@ -4,7 +4,7 @@
 #include <atomic>
 
 #include "concurrent/task_scheduler.hpp"
-#include "concurrent/thread_pool.hpp"
+#include "concurrent/executor.hpp"
 #include "concurrent/union_find.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
@@ -41,7 +41,7 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
       overlap_(graph.num_arcs(), 0),
       ordered_arcs_(graph.num_arcs(), 0) {
   WallTimer timer;
-  ThreadPool pool(options.num_threads);
+  Executor pool(options.num_threads);
   const CountFn count = count_fn(options.count_kernel);
   std::atomic<std::uint64_t> intersections{0};
   const auto degree_of = [&](VertexId u) { return graph_.degree(u); };

@@ -5,7 +5,7 @@
 #include <mutex>
 
 #include "concurrent/task_scheduler.hpp"
-#include "concurrent/thread_pool.hpp"
+#include "concurrent/executor.hpp"
 #include "concurrent/union_find.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
@@ -43,7 +43,7 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
   run.result.roles.assign(n, Role::Unknown);
   run.result.core_cluster_id.assign(n, kInvalidVertex);
 
-  ThreadPool pool(options.num_threads);
+  Executor pool(options.num_threads);
   // Per-arc cache owned by the arc's tail; no reverse mirroring.
   std::vector<std::int32_t> sim(graph.num_arcs(), kSimUncached);
   std::atomic<std::uint64_t> invocations{0};

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "concurrent/executor.hpp"
 #include "concurrent/task_scheduler.hpp"
-#include "concurrent/thread_pool.hpp"
 
 namespace ppscan {
 
@@ -38,10 +38,10 @@ std::vector<VertexClass> classify_hubs_outliers_parallel(
     }
   }
 
-  ThreadPool pool(num_threads);
+  Executor executor(num_threads);
   std::vector<VertexClass> classes(n, VertexClass::Outlier);
   schedule_vertex_tasks(
-      pool, n, [&](VertexId u) { return graph.degree(u); },
+      executor, n, [&](VertexId u) { return graph.degree(u); },
       [](VertexId) { return true; },
       [&](VertexId u) {
         if (member_offset[u] != member_offset[u + 1]) {

@@ -95,6 +95,15 @@ struct RunStats {
   double stage_core_cluster_seconds = 0;
   double stage_noncore_cluster_seconds = 0;
   std::uint64_t tasks_submitted = 0;
+  /// Work-stealing executor counters (zero on the mutex-pool / OpenMP
+  /// runtimes): ranges actually claimed and run by workers, how many of
+  /// those were taken from another worker's share, and the summed per-worker
+  /// in-task vs mid-phase-waiting time — the load-balance signal the
+  /// scheduler ablation compares policies on.
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  double busy_seconds = 0;
+  double idle_seconds = 0;
 };
 
 /// Result + statistics bundle every algorithm entry point returns.

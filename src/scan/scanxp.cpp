@@ -1,10 +1,9 @@
 #include "scan/scanxp.hpp"
 
 #include <atomic>
-#include <mutex>
 
+#include "concurrent/executor.hpp"
 #include "concurrent/task_scheduler.hpp"
-#include "concurrent/thread_pool.hpp"
 #include "concurrent/union_find.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
@@ -19,7 +18,8 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
   run.result.roles.assign(n, Role::Unknown);
   run.result.core_cluster_id.assign(n, kInvalidVertex);
 
-  ThreadPool pool(options.num_threads);
+  Executor executor(options.num_threads);
+  std::vector<TaskRange> scratch;  // flat boundary array, reused per phase
   const CountFn count = count_fn(options.count_kernel);
   std::vector<std::int32_t> sim(graph.num_arcs(), kSimUncached);
   std::atomic<std::uint64_t> invocations{0};
@@ -28,9 +28,9 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
 
   // Phase 1: exhaustive similarity, one full intersection per edge. The
   // u < v owner writes both arc directions; phases are separated by the
-  // pool barrier so there are no concurrent readers.
+  // executor barrier so there are no concurrent readers.
   auto stats = schedule_vertex_tasks(
-      pool, n, degree_of, all,
+      executor, n, degree_of, all,
       [&](VertexId u) {
         std::uint64_t local = 0;
         for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
@@ -46,25 +46,27 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
           sim[graph.reverse_arc(u, e)] = flag;
         }
         invocations.fetch_add(local, std::memory_order_relaxed);
-      });
+      },
+      {}, &scratch);
   run.stats.tasks_submitted += stats.tasks_submitted;
 
   // Phase 2: roles from the similar-degree counts.
   stats = schedule_vertex_tasks(
-      pool, n, degree_of, all,
+      executor, n, degree_of, all,
       [&](VertexId u) {
         std::uint32_t sd = 0;
         for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
           if (sim[e] == kSimFlag) ++sd;
         }
         run.result.roles[u] = sd >= params.mu ? Role::Core : Role::NonCore;
-      });
+      },
+      {}, &scratch);
   run.stats.tasks_submitted += stats.tasks_submitted;
 
   // Phase 3: core clustering over similar core-core edges.
   ParallelUnionFind uf(n);
   stats = schedule_vertex_tasks(
-      pool, n, degree_of,
+      executor, n, degree_of,
       [&](VertexId u) { return run.result.roles[u] == Role::Core; },
       [&](VertexId u) {
         for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
@@ -72,13 +74,14 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
           if (u >= v || sim[e] != kSimFlag) continue;
           if (run.result.roles[v] == Role::Core) uf.unite(u, v);
         }
-      });
+      },
+      {}, &scratch);
   run.stats.tasks_submitted += stats.tasks_submitted;
 
   // Cluster ids: minimum core id per set (CAS-min).
   AtomicArray<VertexId> cluster_id(n, kInvalidVertex);
   stats = schedule_vertex_tasks(
-      pool, n, degree_of,
+      executor, n, degree_of,
       [&](VertexId u) { return run.result.roles[u] == Role::Core; },
       [&](VertexId u) {
         const VertexId root = uf.find(u);
@@ -86,16 +89,24 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
         while (u < current &&
                !cluster_id.compare_exchange(root, current, u)) {
         }
-      });
+      },
+      {}, &scratch);
   run.stats.tasks_submitted += stats.tasks_submitted;
 
-  // Phase 4: non-core memberships, buffered per task then merged.
-  std::mutex merge_mutex;
+  // Phase 4: non-core memberships into per-worker buffers (no merge lock),
+  // concatenated with a prefix-sum copy at the barrier.
+  struct alignas(64) Slot {
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(options.num_threads) + 1);
   stats = schedule_vertex_tasks(
-      pool, n, degree_of,
+      executor, n, degree_of,
       [&](VertexId u) { return run.result.roles[u] == Role::Core; },
       [&](VertexId u) {
-        std::vector<std::pair<VertexId, VertexId>> local;
+        const int w = executor.current_worker();
+        auto& local =
+            slots[w >= 0 ? static_cast<std::size_t>(w) : slots.size() - 1]
+                .pairs;
         for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
           const VertexId v = graph.dst()[e];
           if (sim[e] != kSimFlag || run.result.roles[v] == Role::Core) {
@@ -103,14 +114,16 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
           }
           local.emplace_back(v, cluster_id.load(uf.find(u)));
         }
-        if (!local.empty()) {
-          std::lock_guard lock(merge_mutex);
-          run.result.noncore_memberships.insert(
-              run.result.noncore_memberships.end(), local.begin(),
-              local.end());
-        }
-      });
+      },
+      {}, &scratch);
   run.stats.tasks_submitted += stats.tasks_submitted;
+  std::size_t member_count = 0;
+  for (const auto& s : slots) member_count += s.pairs.size();
+  run.result.noncore_memberships.reserve(member_count);
+  for (const auto& s : slots) {
+    run.result.noncore_memberships.insert(run.result.noncore_memberships.end(),
+                                          s.pairs.begin(), s.pairs.end());
+  }
 
   for (VertexId u = 0; u < n; ++u) {
     if (run.result.roles[u] == Role::Core) {
@@ -120,6 +133,11 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
 
   run.result.normalize();
   run.stats.compsim_invocations = invocations.load();
+  const ExecutorStats es = executor.stats();
+  run.stats.tasks_executed = es.tasks_executed;
+  run.stats.steals = es.steals;
+  run.stats.busy_seconds = es.busy_seconds;
+  run.stats.idle_seconds = es.idle_seconds;
   run.stats.total_seconds = total.elapsed_s();
   return run;
 }

@@ -1,8 +1,46 @@
 #include "setops/intersect.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace ppscan {
+namespace {
+
+/// Degree-skew ratio above which the Auto dispatcher switches a pair to the
+/// galloping kernel: galloping wins once the longer list is so much longer
+/// that jumping beats scanning. Tunable via PPSCAN_GALLOP_SKEW (docs/
+/// tuning.md); 0 disables galloping entirely.
+std::size_t gallop_skew_threshold() {
+  static const std::size_t value = [] {
+    if (const char* env = std::getenv("PPSCAN_GALLOP_SKEW")) {
+      const long parsed = std::atol(env);
+      if (parsed >= 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{64};
+  }();
+  return value;
+}
+
+/// The Auto similarity kernel: best vector kernel the CPU supports, except
+/// that high degree-skew pairs divert to the galloping kernel. Both sides
+/// of the switch decide the identical predicate, so results are
+/// bit-identical across thresholds.
+bool similar_auto(Neighbors nu, Neighbors nv, std::uint32_t min_cn) {
+  static const SimilarFn base =
+      similar_fn(resolve_kernel(IntersectKind::Auto));
+  const std::size_t threshold = gallop_skew_threshold();
+  if (threshold > 0) {
+    const std::size_t small = std::min(nu.size(), nv.size());
+    const std::size_t large = std::max(nu.size(), nv.size());
+    if (large > threshold * std::max<std::size_t>(small, 1)) {
+      return similar_gallop(nu, nv, min_cn);
+    }
+  }
+  return base(nu, nv, min_cn);
+}
+
+}  // namespace
 
 std::string to_string(IntersectKind kind) {
   switch (kind) {
@@ -10,6 +48,7 @@ std::string to_string(IntersectKind kind) {
     case IntersectKind::PivotScalar: return "pivot";
     case IntersectKind::PivotAvx2: return "avx2";
     case IntersectKind::PivotAvx512: return "avx512";
+    case IntersectKind::GallopEarlyStop: return "gallop";
     case IntersectKind::Auto: return "auto";
   }
   return "?";
@@ -20,6 +59,7 @@ IntersectKind parse_intersect_kind(const std::string& name) {
   if (name == "pivot") return IntersectKind::PivotScalar;
   if (name == "avx2") return IntersectKind::PivotAvx2;
   if (name == "avx512") return IntersectKind::PivotAvx512;
+  if (name == "gallop") return IntersectKind::GallopEarlyStop;
   if (name == "auto") return IntersectKind::Auto;
   throw std::invalid_argument("unknown intersect kind: " + name);
 }
@@ -28,6 +68,7 @@ bool kernel_supported(IntersectKind kind) {
   switch (kind) {
     case IntersectKind::MergeEarlyStop:
     case IntersectKind::PivotScalar:
+    case IntersectKind::GallopEarlyStop:
     case IntersectKind::Auto:
       return true;
     case IntersectKind::PivotAvx2:
@@ -60,6 +101,8 @@ CountFn count_fn(IntersectKind kind) {
     case IntersectKind::MergeEarlyStop:
     case IntersectKind::PivotScalar:
       return &intersect_count_merge;
+    case IntersectKind::GallopEarlyStop:
+      return &intersect_count_galloping;
     case IntersectKind::PivotAvx2:
       return &intersect_count_avx2;
     case IntersectKind::PivotAvx512:
@@ -71,12 +114,16 @@ CountFn count_fn(IntersectKind kind) {
 }
 
 SimilarFn similar_fn(IntersectKind kind) {
+  // Auto is special-cased before resolution: it is the per-pair dispatcher
+  // (skew → gallop, else best vector kernel), not a fixed kernel.
+  if (kind == IntersectKind::Auto) return &similar_auto;
   switch (resolve_kernel(kind)) {
     case IntersectKind::MergeEarlyStop: return &similar_merge_early_stop;
     case IntersectKind::PivotScalar: return &similar_pivot_scalar;
     case IntersectKind::PivotAvx2: return &similar_pivot_avx2;
     case IntersectKind::PivotAvx512: return &similar_pivot_avx512;
-    case IntersectKind::Auto: break;  // resolved above
+    case IntersectKind::GallopEarlyStop: return &similar_gallop;
+    case IntersectKind::Auto: break;  // handled above
   }
   throw std::logic_error("similar_fn: unreachable");
 }

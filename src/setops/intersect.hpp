@@ -10,13 +10,20 @@
 //     cn starts at 2 (u and v are adjacent) and grows with every match.
 //
 // Kernel menu:
-//   MergeEarlyStop — scalar merge with the bounds; pSCAN's kernel and the
-//                    "ppSCAN-NO" configuration of the paper's Figure 5.
-//   PivotScalar    — the paper's pivot-based loop without vector units; also
-//                    the tail fallback of both vector kernels.
-//   PivotAvx2      — Algorithm 6 ported to 8-lane AVX2.
-//   PivotAvx512    — Algorithm 6 verbatim (16-lane, `_mm512_cmpgt_epi32_mask`).
-//   Auto           — best kernel the executing CPU supports.
+//   MergeEarlyStop  — scalar merge with the bounds; pSCAN's kernel and the
+//                     "ppSCAN-NO" configuration of the paper's Figure 5.
+//   PivotScalar     — the paper's pivot-based loop without vector units;
+//                     also the tail fallback of both vector kernels.
+//   PivotAvx2       — Algorithm 6 ported to 8-lane AVX2.
+//   PivotAvx512     — Algorithm 6 verbatim (16-lane,
+//                     `_mm512_cmpgt_epi32_mask`).
+//   GallopEarlyStop — galloping (binary-search) intersection from the
+//                     smaller list, with the same early-termination bounds;
+//                     wins on heavy degree skew (hub vs member) where the
+//                     linear kernels walk the long list element by element.
+//   Auto            — best kernel the executing CPU supports, switching to
+//                     GallopEarlyStop per pair when max(du,dv)/min(du,dv)
+//                     exceeds a threshold (PPSCAN_GALLOP_SKEW, default 64).
 //
 // Vector kernels require vertex ids < 2^31 (compares are signed); CsrGraph
 // guarantees that for any graph that fits in memory.
@@ -35,12 +42,13 @@ enum class IntersectKind : std::uint8_t {
   PivotScalar,
   PivotAvx2,
   PivotAvx512,
+  GallopEarlyStop,
   Auto,
 };
 
 [[nodiscard]] std::string to_string(IntersectKind kind);
 
-/// Parses "merge" / "pivot" / "avx2" / "avx512" / "auto".
+/// Parses "merge" / "pivot" / "avx2" / "avx512" / "gallop" / "auto".
 IntersectKind parse_intersect_kind(const std::string& name);
 
 /// True when the executing CPU can run `kind`.
@@ -58,6 +66,7 @@ bool similar_merge_early_stop(Neighbors nu, Neighbors nv, std::uint32_t min_cn);
 bool similar_pivot_scalar(Neighbors nu, Neighbors nv, std::uint32_t min_cn);
 bool similar_pivot_avx2(Neighbors nu, Neighbors nv, std::uint32_t min_cn);
 bool similar_pivot_avx512(Neighbors nu, Neighbors nv, std::uint32_t min_cn);
+bool similar_gallop(Neighbors nu, Neighbors nv, std::uint32_t min_cn);
 
 /// Function-pointer type of the kernels above.
 using SimilarFn = bool (*)(Neighbors, Neighbors, std::uint32_t);

@@ -1,0 +1,70 @@
+// Galloping (binary-search) early-terminating intersection for high
+// degree-skew pairs.
+//
+// The linear kernels (merge, pivot, SIMD pivot) walk the longer list one
+// element (or one vector width) at a time, so a hub-vs-member pair costs
+// O(d_hub). Galloping from the smaller list costs
+// O(d_small · log(d_big / d_small)) while preserving pSCAN's
+// early-termination bounds exactly (Definition 3.9): every element of the
+// longer list the gallop jumps over is a proven mismatch, so the dv bound
+// drops by the whole jump at once, and an absent small-side element drops
+// du by one — the same decision sequence as the merge, reached in fewer
+// probes. The Auto dispatcher selects this kernel per pair when
+// max(du,dv)/min(du,dv) exceeds the skew threshold (intersect.cpp).
+#include "setops/intersect.hpp"
+
+namespace ppscan {
+
+bool similar_gallop(Neighbors nu, Neighbors nv, std::uint32_t min_cn) {
+  if (nu.size() > nv.size()) return similar_gallop(nv, nu, min_cn);
+  std::uint32_t cn = 2;
+  std::uint64_t du = nu.size() + 2;  // budget of the smaller side
+  std::uint64_t dv = nv.size() + 2;  // budget of the larger side
+  if (cn >= min_cn) return true;
+  if (du < min_cn || dv < min_cn) return false;
+
+  std::size_t cursor = 0;  // first unconsumed position in nv
+  for (const VertexId x : nu) {
+    if (cursor >= nv.size()) {
+      // The longer list is exhausted: every remaining short-side element
+      // is a mismatch.
+      if (--du < min_cn) return false;
+      continue;
+    }
+    // Gallop: double the step until nv[hi] >= x, then binary-search the
+    // bracketed range for the lower bound of x.
+    std::size_t lo = cursor;
+    std::size_t hi = cursor;
+    std::size_t step = 1;
+    while (hi < nv.size() && nv[hi] < x) {
+      lo = hi;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > nv.size()) hi = nv.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (nv[mid] < x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // nv[cursor, lo) are all < x: mismatches charged to the long side in
+    // one step.
+    if (lo > cursor) {
+      dv -= lo - cursor;
+      if (dv < min_cn) return false;
+      cursor = lo;
+    }
+    if (lo < nv.size() && nv[lo] == x) {
+      ++cursor;
+      if (++cn >= min_cn) return true;
+    } else {
+      if (--du < min_cn) return false;
+    }
+  }
+  return cn >= min_cn;
+}
+
+}  // namespace ppscan

@@ -24,6 +24,11 @@ std::string Table::fmt(double v, int precision) {
 std::string Table::fmt(std::uint64_t v) { return std::to_string(v); }
 std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
 
+std::string Table::fmt_percent(double ratio, int precision) {
+  if (ratio != ratio) return "-";
+  return fmt(ratio * 100.0, precision) + "%";
+}
+
 void Table::print(std::ostream& os, const std::string& title) const {
   std::vector<std::size_t> width(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) {

@@ -23,6 +23,9 @@ class Table {
   static std::string fmt(std::uint64_t v);
   static std::string fmt(std::int64_t v);
 
+  /// Formats a ratio in [0,1] as "12.3%"; NaN (0/0) prints as "-".
+  static std::string fmt_percent(double ratio, int precision = 1);
+
   /// Renders the table with a title banner to `os`.
   void print(std::ostream& os, const std::string& title) const;
 

@@ -1,0 +1,210 @@
+#include "concurrent/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ppscan {
+namespace {
+
+/// Builds `count` unit ranges [i, i+1) — one task per index.
+std::vector<TaskRange> unit_ranges(VertexId count) {
+  std::vector<TaskRange> tasks;
+  tasks.reserve(count);
+  for (VertexId i = 0; i < count; ++i) tasks.push_back({i, i + 1});
+  return tasks;
+}
+
+TEST(Executor, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(Executor(0), std::invalid_argument);
+  EXPECT_THROW(Executor(-3), std::invalid_argument);
+}
+
+TEST(Executor, FlatRunCoversEveryRangeExactlyOnce) {
+  constexpr VertexId n = 20000;
+  Executor executor(4);
+  std::vector<std::atomic<int>> visited(n);
+  for (auto& v : visited) v.store(0);
+  const auto tasks = unit_ranges(n);
+  executor.run(tasks.data(), tasks.size(), [&](VertexId beg, VertexId end) {
+    for (VertexId u = beg; u < end; ++u) visited[u].fetch_add(1);
+  });
+  for (VertexId u = 0; u < n; ++u) {
+    ASSERT_EQ(visited[u].load(), 1) << "vertex " << u;
+  }
+}
+
+TEST(Executor, EmptyRunReturnsImmediately) {
+  Executor executor(2);
+  executor.run(nullptr, 0, [](VertexId, VertexId) {
+    FAIL() << "no range should execute";
+  });
+}
+
+TEST(Executor, RawFunctionPointerApi) {
+  Executor executor(2);
+  std::atomic<std::uint64_t> sum{0};
+  const auto tasks = unit_ranges(100);
+  executor.run(
+      tasks.data(), tasks.size(),
+      [](void* ctx, VertexId beg, VertexId end) {
+        for (VertexId u = beg; u < end; ++u) {
+          static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(u);
+        }
+      },
+      &sum);
+  EXPECT_EQ(sum.load(), 99ull * 100 / 2);
+}
+
+TEST(Executor, StreamingSubmitThenWaitIdle) {
+  Executor executor(3);
+  constexpr VertexId n = 5000;
+  std::vector<std::atomic<int>> visited(n);
+  for (auto& v : visited) v.store(0);
+  auto body = [&](VertexId beg, VertexId end) {
+    for (VertexId u = beg; u < end; ++u) visited[u].fetch_add(1);
+  };
+  using B = decltype(body);
+  executor.begin_phase(
+      [](void* ctx, VertexId beg, VertexId end) {
+        (*static_cast<B*>(ctx))(beg, end);
+      },
+      &body);
+  for (VertexId u = 0; u < n; u += 7) {
+    executor.submit({u, std::min<VertexId>(u + 7, n)});
+  }
+  executor.wait_idle();
+  for (VertexId u = 0; u < n; ++u) ASSERT_EQ(visited[u].load(), 1);
+}
+
+TEST(Executor, ReusableAcrossManyPhases) {
+  Executor executor(4);
+  constexpr int kPhases = 50;
+  constexpr VertexId n = 512;
+  const auto tasks = unit_ranges(n);
+  std::atomic<std::uint64_t> total{0};
+  for (int p = 0; p < kPhases; ++p) {
+    executor.run(tasks.data(), tasks.size(), [&](VertexId beg, VertexId end) {
+      total.fetch_add(end - beg);
+    });
+    // The barrier makes per-phase totals exact, not just eventually
+    // consistent.
+    ASSERT_EQ(total.load(), static_cast<std::uint64_t>(n) * (p + 1));
+  }
+}
+
+TEST(Executor, NestedSubmitFromInsideTask) {
+  Executor executor(4);
+  constexpr VertexId n = 1000;
+  std::vector<std::atomic<int>> visited(n);
+  for (auto& v : visited) v.store(0);
+  // Seed tasks carry wide ranges; each splits itself into unit submits
+  // instead of executing directly.
+  auto body = [&](VertexId beg, VertexId end) {
+    if (end - beg > 1) {
+      for (VertexId u = beg; u < end; ++u) executor.submit({u, u + 1});
+      return;
+    }
+    visited[beg].fetch_add(1);
+  };
+  std::vector<TaskRange> seeds;
+  for (VertexId u = 0; u < n; u += 100) seeds.push_back({u, u + 100});
+  executor.run(seeds.data(), seeds.size(), body);
+  for (VertexId u = 0; u < n; ++u) ASSERT_EQ(visited[u].load(), 1);
+}
+
+TEST(Executor, CurrentWorkerIdentifiesWorkers) {
+  Executor executor(3);
+  EXPECT_EQ(executor.current_worker(), -1);  // master thread
+  std::atomic<int> bad{0};
+  const auto tasks = unit_ranges(1000);
+  executor.run(tasks.data(), tasks.size(), [&](VertexId, VertexId) {
+    const int w = executor.current_worker();
+    if (w < 0 || w >= 3) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(executor.current_worker(), -1);
+}
+
+TEST(Executor, TwoExecutorsDoNotConfuseWorkerIds) {
+  Executor a(2);
+  Executor b(2);
+  std::atomic<int> bad{0};
+  const auto tasks = unit_ranges(200);
+  a.run(tasks.data(), tasks.size(), [&](VertexId, VertexId) {
+    // Inside an `a` worker, `b` must disown the thread.
+    if (b.current_worker() != -1) bad.fetch_add(1);
+    if (a.current_worker() < 0) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Executor, StatsCountTasksExactly) {
+  Executor executor(4);
+  constexpr VertexId n = 3000;
+  const auto tasks = unit_ranges(n);
+  executor.run(tasks.data(), tasks.size(), [](VertexId, VertexId) {});
+  executor.run(tasks.data(), tasks.size(), [](VertexId, VertexId) {});
+  const auto stats = executor.stats();
+  EXPECT_EQ(stats.tasks_executed, 2ull * n);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+  EXPECT_GE(stats.idle_seconds, 0.0);
+}
+
+TEST(Executor, SkewedLoadProducesSteals) {
+  // Worker 0's segment starts with a long task; while it sleeps there, the
+  // other workers drain their segments and must steal the remainder of
+  // worker 0's. (Whoever claims the long task first, its remaining segment
+  // is drained by non-owners.)
+  Executor executor(4);
+  constexpr VertexId n = 64;
+  const auto tasks = unit_ranges(n);
+  executor.run(tasks.data(), tasks.size(), [&](VertexId beg, VertexId) {
+    if (beg == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  EXPECT_GT(executor.stats().steals, 0u);
+  EXPECT_EQ(executor.stats().tasks_executed, n);
+}
+
+TEST(Executor, SingleThreadExecutesEverything) {
+  Executor executor(1);
+  constexpr VertexId n = 4096;
+  std::vector<std::atomic<int>> visited(n);
+  for (auto& v : visited) v.store(0);
+  const auto tasks = unit_ranges(n);
+  executor.run(tasks.data(), tasks.size(), [&](VertexId beg, VertexId end) {
+    for (VertexId u = beg; u < end; ++u) visited[u].fetch_add(1);
+  });
+  for (VertexId u = 0; u < n; ++u) ASSERT_EQ(visited[u].load(), 1);
+  EXPECT_EQ(executor.stats().steals, 0u);
+}
+
+TEST(Executor, DestructorDrainsSubmittedWork) {
+  std::atomic<int> done{0};
+  {
+    Executor executor(2);
+    auto body = [&](VertexId, VertexId) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    };
+    using B = decltype(body);
+    executor.begin_phase(
+        [](void* ctx, VertexId beg, VertexId end) {
+          (*static_cast<B*>(ctx))(beg, end);
+        },
+        &body);
+    for (VertexId u = 0; u < 20; ++u) executor.submit({u, u + 1});
+    // No wait_idle(): the destructor must finish the 20 tasks before the
+    // body (and `done`) go out of scope — parity with the legacy pool.
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace ppscan

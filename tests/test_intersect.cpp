@@ -259,7 +259,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(KernelCase{IntersectKind::MergeEarlyStop},
                       KernelCase{IntersectKind::PivotScalar},
                       KernelCase{IntersectKind::PivotAvx2},
-                      KernelCase{IntersectKind::PivotAvx512}),
+                      KernelCase{IntersectKind::PivotAvx512},
+                      KernelCase{IntersectKind::GallopEarlyStop}),
     [](const ::testing::TestParamInfo<KernelCase>& info) {
       return to_string(info.param.kind);
     });
@@ -271,10 +272,32 @@ TEST(IntersectDispatch, ParseRoundTrip) {
   for (const auto kind :
        {IntersectKind::MergeEarlyStop, IntersectKind::PivotScalar,
         IntersectKind::PivotAvx2, IntersectKind::PivotAvx512,
-        IntersectKind::Auto}) {
+        IntersectKind::GallopEarlyStop, IntersectKind::Auto}) {
     EXPECT_EQ(parse_intersect_kind(to_string(kind)), kind);
   }
   EXPECT_THROW(parse_intersect_kind("bogus"), std::invalid_argument);
+}
+
+TEST(IntersectDispatch, GallopCountFnAndAlwaysSupported) {
+  EXPECT_TRUE(kernel_supported(IntersectKind::GallopEarlyStop));
+  EXPECT_EQ(count_fn(IntersectKind::GallopEarlyStop),
+            &intersect_count_galloping);
+  EXPECT_EQ(similar_fn(IntersectKind::GallopEarlyStop), &similar_gallop);
+}
+
+TEST(IntersectDispatch, AutoAgreesWithNaiveOnSkewedPairs) {
+  // Above the default skew threshold (64x) the Auto dispatcher takes the
+  // galloping path; it must still decide identically to the ground truth.
+  Rng rng(67);
+  const auto fn = similar_fn(IntersectKind::Auto);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto small = random_sorted_set(rng, 1 + rng.next_below(6), 100000);
+    const auto large = random_sorted_set(rng, 2000, 100000);
+    for (const std::uint32_t min_cn : {2u, 3u, 5u, 9u}) {
+      EXPECT_EQ(fn(small, large, min_cn), naive_similar(small, large, min_cn));
+      EXPECT_EQ(fn(large, small, min_cn), naive_similar(large, small, min_cn));
+    }
+  }
 }
 
 TEST(IntersectDispatch, AutoResolvesToSupportedKernel) {

@@ -152,6 +152,109 @@ TEST(TaskScheduler, OmpDynamicPolicyCoversAllVertices) {
   }
 }
 
+TEST(TaskScheduler, ExecutorRuntimeVisitsEveryVertexExactlyOnce) {
+  constexpr VertexId n = 10000;
+  Executor executor(4);
+  Harness h(n);
+  for (const auto kind : {SchedulerKind::DegreeSum, SchedulerKind::StaticRange,
+                          SchedulerKind::FixedChunk}) {
+    for (auto& v : h.visited) v.store(0);
+    SchedulerOptions options;
+    options.kind = kind;
+    options.degree_threshold = 100;
+    schedule_vertex_tasks(
+        executor, n, [](VertexId) { return 10; },
+        [](VertexId) { return true; },
+        [&](VertexId u) { h.visited[u].fetch_add(1); }, options);
+    for (VertexId u = 0; u < n; ++u) {
+      ASSERT_EQ(h.visited[u].load(), 1)
+          << "vertex " << u << " kind " << to_string(kind);
+    }
+  }
+}
+
+TEST(TaskScheduler, ExecutorRuntimeReusesScratch) {
+  constexpr VertexId n = 5000;
+  Executor executor(4);
+  std::vector<TaskRange> scratch;
+  Harness h(n);
+  for (int round = 0; round < 3; ++round) {
+    for (auto& v : h.visited) v.store(0);
+    SchedulerOptions options;
+    options.degree_threshold = 50;
+    const auto stats = schedule_vertex_tasks(
+        executor, n, [](VertexId) { return 5; },
+        [](VertexId) { return true; },
+        [&](VertexId u) { h.visited[u].fetch_add(1); }, options, &scratch);
+    EXPECT_GT(stats.tasks_submitted, 1u);
+    EXPECT_EQ(scratch.size(), stats.tasks_submitted);
+    for (VertexId u = 0; u < n; ++u) ASSERT_EQ(h.visited[u].load(), 1);
+  }
+}
+
+TEST(TaskScheduler, ExecutorRuntimeOmpDynamicBypass) {
+  constexpr VertexId n = 997;
+  Executor executor(4);
+  SchedulerOptions options;
+  options.kind = SchedulerKind::OmpDynamic;
+  Harness h(n);
+  schedule_vertex_tasks(
+      executor, n, [](VertexId) { return 1; },
+      [](VertexId u) { return u % 2 == 0; },
+      [&](VertexId u) { h.visited[u].fetch_add(1); }, options);
+  for (VertexId u = 0; u < n; ++u) {
+    EXPECT_EQ(h.visited[u].load(), u % 2 == 0 ? 1 : 0);
+  }
+}
+
+TEST(TaskScheduler, StaticRangeEmptyVertexRange) {
+  // n == 0 must produce no tasks and no zero-width ranges on either
+  // runtime (the static-range width math is where the division/stride
+  // hazards live; see bundle_ranges).
+  SchedulerOptions options;
+  options.kind = SchedulerKind::StaticRange;
+  {
+    ThreadPool pool(4);
+    const auto stats = schedule_vertex_tasks(
+        pool, 0, [](VertexId) { return 1; }, [](VertexId) { return true; },
+        [](VertexId) { FAIL() << "no vertex should be visited"; }, options);
+    EXPECT_EQ(stats.tasks_submitted, 0u);
+  }
+  {
+    Executor executor(4);
+    const auto stats = schedule_vertex_tasks(
+        executor, 0, [](VertexId) { return 1; }, [](VertexId) { return true; },
+        [](VertexId) { FAIL() << "no vertex should be visited"; }, options);
+    EXPECT_EQ(stats.tasks_submitted, 0u);
+  }
+}
+
+TEST(TaskScheduler, StaticRangeFewerVerticesThanThreads) {
+  // n < num_threads: width clamps to 1, giving n unit tasks — every vertex
+  // covered exactly once, no zero-width ranges.
+  constexpr VertexId n = 3;
+  SchedulerOptions options;
+  options.kind = SchedulerKind::StaticRange;
+  {
+    ThreadPool pool(8);
+    Harness h(n);
+    const auto stats = schedule_vertex_tasks(
+        pool, n, [](VertexId) { return 1; }, [](VertexId) { return true; },
+        [&](VertexId u) { h.visited[u].fetch_add(1); }, options);
+    for (VertexId u = 0; u < n; ++u) EXPECT_EQ(h.visited[u].load(), 1);
+    EXPECT_EQ(stats.tasks_submitted, n);
+  }
+  {
+    Executor executor(8);
+    Harness h(n);
+    const auto stats = schedule_vertex_tasks(
+        executor, n, [](VertexId) { return 1; }, [](VertexId) { return true; },
+        [&](VertexId u) { h.visited[u].fetch_add(1); }, options);
+    for (VertexId u = 0; u < n; ++u) EXPECT_EQ(h.visited[u].load(), 1);
+    EXPECT_EQ(stats.tasks_submitted, n);
+  }
+}
+
 TEST(SchedulerKindParsing, RoundTrip) {
   for (const auto kind : {SchedulerKind::DegreeSum, SchedulerKind::StaticRange,
                           SchedulerKind::FixedChunk,
@@ -159,6 +262,13 @@ TEST(SchedulerKindParsing, RoundTrip) {
     EXPECT_EQ(parse_scheduler_kind(to_string(kind)), kind);
   }
   EXPECT_THROW(parse_scheduler_kind("bogus"), std::invalid_argument);
+}
+
+TEST(RuntimeKindParsing, RoundTrip) {
+  for (const auto kind : {RuntimeKind::WorkSteal, RuntimeKind::MutexPool}) {
+    EXPECT_EQ(parse_runtime_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_runtime_kind("bogus"), std::invalid_argument);
 }
 
 }  // namespace
