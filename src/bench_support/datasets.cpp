@@ -1,13 +1,17 @@
 #include "bench_support/datasets.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <iostream>
 #include <stdexcept>
 
 #include "graph/edge_list_io.hpp"
 #include "graph/generators.hpp"
 #include "util/env.hpp"
+#include "util/graph_io_error.hpp"
 
 namespace ppscan {
 namespace {
@@ -85,10 +89,14 @@ CsrGraph generate(const std::string& name, double scale) {
   if (name.rfind("roll-d", 0) == 0) {
     // roll-dX: scale-free graph with average degree X at a fixed edge
     // budget, mirroring Table 2's constant-|E| design.
-    const int avg_degree = std::atoi(name.c_str() + 6);
-    if (avg_degree < 4 || avg_degree > 1024 || avg_degree % 2 != 0) {
-      throw std::invalid_argument("roll dataset needs an even degree: " +
-                                  name);
+    const char* degree_text = name.c_str() + 6;
+    char* end = nullptr;
+    errno = 0;
+    const long avg_degree = std::strtol(degree_text, &end, 10);
+    if (end == degree_text || *end != '\0' || errno == ERANGE ||
+        avg_degree < 4 || avg_degree > 1024 || avg_degree % 2 != 0) {
+      throw std::invalid_argument(
+          "roll dataset needs an even degree in [4, 1024]: " + name);
     }
     const auto edge_budget =
         static_cast<double>(scaled(1'000'000));
@@ -134,8 +142,13 @@ CsrGraph load_dataset(const std::string& name, double scale) {
   if (fs::exists(file, ec)) {
     try {
       return read_csr_binary(file.string());
+    } catch (const GraphIoError& e) {
+      // Corrupt/stale cache entry: report which invariant the cached file
+      // violated, then fall through and regenerate.
+      std::cerr << "ppscan: discarding corrupt dataset cache: " << e.what()
+                << "\n";
     } catch (const std::exception&) {
-      // Corrupt/stale cache entry: fall through and regenerate.
+      // Any other load failure: fall through and regenerate.
     }
   }
 

@@ -1,8 +1,10 @@
 #include "graph/csr_graph.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <string>
+
+#include "graph/csr_validate.hpp"
+#include "util/graph_io_error.hpp"
 
 namespace ppscan {
 
@@ -10,7 +12,14 @@ CsrGraph::CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> dst)
     : offsets_(std::move(offsets)), dst_(std::move(dst)) {
   if (offsets_.empty() || offsets_.front() != 0 ||
       offsets_.back() != dst_.size()) {
-    throw std::invalid_argument("CsrGraph: malformed offset array");
+    throw GraphIoError(
+        GraphIoErrorKind::kMalformedOffsets,
+        offsets_.empty()
+            ? "offset array is empty"
+            : "offsets must start at 0 and end at the arc count (" +
+                  std::to_string(dst_.size()) + "), got [" +
+                  std::to_string(offsets_.front()) + ", " +
+                  std::to_string(offsets_.back()) + "]");
   }
 }
 
@@ -21,32 +30,37 @@ EdgeId CsrGraph::arc_index(VertexId u, VertexId v) const {
   return offsets_[u] + static_cast<EdgeId>(it - nbrs.begin());
 }
 
-void CsrGraph::validate() const {
+void CsrGraph::validate(bool check_symmetry) const {
   const VertexId n = num_vertices();
+
+  // Structural pass: the same single-sweep validator the binary loader
+  // runs on cache-hot chunks (csr_validate.hpp); here it gets the whole
+  // dst array as one chunk. On corrupt input it rescans serially and
+  // throws the precise invariant/vertex/index.
+  CsrPayloadValidator checker(offsets_, dst_.size());
+  checker.check_offsets();
+  checker.feed(dst_.data(), dst_.size());
+  checker.finish();
+
+  if (!check_symmetry) return;
+  bool symmetric = true;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(&& : symmetric)
   for (VertexId u = 0; u < n; ++u) {
-    if (offsets_[u] > offsets_[u + 1]) {
-      throw std::invalid_argument("CsrGraph: offsets not monotone at vertex " +
-                                  std::to_string(u));
+    for (const VertexId v : neighbors(u)) {
+      if (arc_index(v, u) == kInvalidEdge) {
+        symmetric = false;
+        break;
+      }
     }
-    const auto nbrs = neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (nbrs[i] >= n) {
-        throw std::invalid_argument("CsrGraph: neighbor out of range at " +
-                                    std::to_string(u));
-      }
-      if (nbrs[i] == u) {
-        throw std::invalid_argument("CsrGraph: self loop at vertex " +
-                                    std::to_string(u));
-      }
-      if (i > 0 && nbrs[i - 1] >= nbrs[i]) {
-        throw std::invalid_argument(
-            "CsrGraph: neighbors unsorted or duplicated at vertex " +
-            std::to_string(u));
-      }
-      if (arc_index(nbrs[i], u) == kInvalidEdge) {
-        throw std::invalid_argument("CsrGraph: asymmetric arc (" +
-                                    std::to_string(u) + "," +
-                                    std::to_string(nbrs[i]) + ")");
+  }
+  if (!symmetric) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (const VertexId v : neighbors(u)) {
+        if (arc_index(v, u) == kInvalidEdge) {
+          throw GraphIoError(GraphIoErrorKind::kAsymmetricArc,
+                             "arc (" + std::to_string(u) + "," +
+                                 std::to_string(v) + ") has no reverse arc");
+        }
       }
     }
   }

@@ -67,10 +67,17 @@ class CsrGraph {
 
   static constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
 
-  /// Checks all CSR invariants (monotone offsets, sorted neighbor lists, no
-  /// self loops, no duplicate arcs, symmetric arcs). Throws
-  /// std::invalid_argument with a description on the first violation.
-  void validate() const;
+  /// Checks the CSR invariants and throws GraphIoError (see
+  /// util/graph_io_error.hpp) on the first violation.
+  ///
+  /// The structural checks are one linear pass over offsets plus one over
+  /// dst: offsets start at 0, are monotone, end at num_arcs(); every
+  /// dst[i] < num_vertices(); every neighbor list strictly ascending (no
+  /// duplicates) and self-loop-free. With `check_symmetry` (the default) a
+  /// second, O(arcs · log degree) pass additionally verifies that every arc
+  /// (u,v) has its reverse (v,u). Loaders run the linear pass only, so
+  /// validated loading stays O(read).
+  void validate(bool check_symmetry = true) const;
 
  private:
   std::vector<EdgeId> offsets_;  // size num_vertices() + 1

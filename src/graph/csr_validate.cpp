@@ -1,0 +1,167 @@
+#include "graph/csr_validate.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/graph_io_error.hpp"
+
+namespace ppscan {
+
+namespace detail {
+
+ChunkVerdict verify_chunk_scalar(const VertexId* data, EdgeId chunk_begin,
+                                 EdgeId count, const EdgeId* offsets,
+                                 VertexId cursor, VertexId num_vertices,
+                                 VertexId prev_last) {
+  return verify_chunk_walk(
+      data, chunk_begin, count, offsets, cursor, num_vertices, prev_last,
+      [](const VertexId* w, EdgeId len, VertexId u) {
+        // Range is covered by the walk's last-element check.
+        for (EdgeId i = 1; i < len; ++i) {
+          const VertexId v = w[i];
+          if (w[i - 1] >= v || v == u) return false;
+        }
+        return true;
+      });
+}
+
+ChunkVerdict verify_chunk(const VertexId* data, EdgeId chunk_begin,
+                          EdgeId count, const EdgeId* offsets, VertexId cursor,
+                          VertexId num_vertices, VertexId prev_last) {
+  static const int isa = [] {
+    if (__builtin_cpu_supports("avx512f")) return 2;
+    if (__builtin_cpu_supports("avx2")) return 1;
+    return 0;
+  }();
+  switch (isa) {
+    case 2:
+      return verify_chunk_avx512(data, chunk_begin, count, offsets, cursor,
+                                 num_vertices, prev_last);
+    case 1:
+      return verify_chunk_avx2(data, chunk_begin, count, offsets, cursor,
+                               num_vertices, prev_last);
+    default:
+      return verify_chunk_scalar(data, chunk_begin, count, offsets, cursor,
+                                 num_vertices, prev_last);
+  }
+}
+
+}  // namespace detail
+
+CsrPayloadValidator::CsrPayloadValidator(const std::vector<EdgeId>& offsets,
+                                         EdgeId num_arcs)
+    : offsets_(offsets),
+      num_vertices_(offsets.empty()
+                        ? 0
+                        : static_cast<VertexId>(offsets.size() - 1)),
+      num_arcs_(num_arcs) {}
+
+void CsrPayloadValidator::check_offsets() const {
+  if (offsets_.empty()) {
+    // A default-constructed (empty) graph carries no offsets at all; it is
+    // valid exactly when it also carries no arcs.
+    if (num_arcs_ == 0) return;
+    throw GraphIoError(GraphIoErrorKind::kMalformedOffsets,
+                       "offset array is empty but the graph has " +
+                           std::to_string(num_arcs_) + " arcs");
+  }
+  if (offsets_.front() != 0) {
+    throw GraphIoError(GraphIoErrorKind::kMalformedOffsets,
+                       "offsets must start at 0, got " +
+                           std::to_string(offsets_.front()));
+  }
+  // Branchless monotonicity sweep (the compiler vectorizes the
+  // accumulation); the rescan below names the first offending pair.
+  const std::size_t count = offsets_.size();
+  unsigned bad = 0;
+  for (std::size_t i = 1; i < count; ++i) {
+    bad |= static_cast<unsigned>(offsets_[i - 1] > offsets_[i]);
+  }
+  if (bad) {
+    for (std::size_t i = 1; i < count; ++i) {
+      if (offsets_[i - 1] > offsets_[i]) {
+        throw GraphIoError(GraphIoErrorKind::kNonMonotoneOffsets,
+                           "offsets[" + std::to_string(i - 1) + "] = " +
+                               std::to_string(offsets_[i - 1]) +
+                               " > offsets[" + std::to_string(i) + "] = " +
+                               std::to_string(offsets_[i]));
+      }
+    }
+  }
+  if (offsets_.back() != num_arcs_) {
+    throw GraphIoError(GraphIoErrorKind::kMalformedOffsets,
+                       "offsets must end at the arc count (" +
+                           std::to_string(num_arcs_) + "), got " +
+                           std::to_string(offsets_.back()));
+  }
+}
+
+void CsrPayloadValidator::feed(const VertexId* data, EdgeId count) {
+  if (count == 0) return;
+  const detail::ChunkVerdict verdict =
+      detail::verify_chunk(data, fed_, count, offsets_.data(), cursor_,
+                           num_vertices_, prev_last_);
+  if (!verdict.ok) throw_precise(data, fed_, count, prev_last_);
+  cursor_ = verdict.next_cursor;
+  prev_last_ = data[count - 1];
+  fed_ += count;
+}
+
+void CsrPayloadValidator::finish() const {
+  if (fed_ != num_arcs_) {
+    throw GraphIoError(GraphIoErrorKind::kTruncatedBody,
+                       "expected " + std::to_string(num_arcs_) +
+                           " arcs, received " + std::to_string(fed_));
+  }
+}
+
+void CsrPayloadValidator::throw_precise(const VertexId* data,
+                                        EdgeId window_begin, EdgeId count,
+                                        VertexId prev_before) const {
+  const EdgeId a = window_begin;
+  const EdgeId b = a + count;
+  // Owner of position a: the last vertex whose list begins at or before it
+  // (check_offsets has proven the offsets monotone).
+  VertexId u = static_cast<VertexId>(
+      std::upper_bound(offsets_.begin(), offsets_.end(), a) -
+      offsets_.begin() - 1);
+  for (; u < num_vertices_ && offsets_[u] < b; ++u) {
+    const EdgeId start = offsets_[u];
+    const EdgeId lo = std::max(start, a);
+    const EdgeId hi = std::min(offsets_[u + 1], b);
+    for (EdgeId p = lo; p < hi; ++p) {
+      const VertexId v = data[p - a];
+      if (v >= num_vertices_) {
+        throw GraphIoError(GraphIoErrorKind::kNeighborOutOfRange,
+                           "dst[" + std::to_string(p) + "] = " +
+                               std::to_string(v) + " but the graph has " +
+                               std::to_string(num_vertices_) +
+                               " vertices (at vertex " + std::to_string(u) +
+                               ")");
+      }
+      if (v == u) {
+        throw GraphIoError(GraphIoErrorKind::kSelfLoop,
+                           "self loop at vertex " + std::to_string(u) +
+                               " (dst[" + std::to_string(p) + "])");
+      }
+      if (p > start) {
+        const VertexId prev = p == a ? prev_before : data[p - 1 - a];
+        if (prev >= v) {
+          throw GraphIoError(GraphIoErrorKind::kUnsortedNeighbors,
+                             "neighbors of vertex " + std::to_string(u) +
+                                 " unsorted or duplicated at dst[" +
+                                 std::to_string(p) + "] (" +
+                                 std::to_string(prev) + " >= " +
+                                 std::to_string(v) + ")");
+        }
+      }
+    }
+  }
+  // The kernel flagged this window, so the rescan above always finds a
+  // violation; keep a typed error as a defensive fallback.
+  throw GraphIoError(GraphIoErrorKind::kUnsortedNeighbors,
+                     "corrupt neighbor data near dst[" + std::to_string(a) +
+                         "]");
+}
+
+}  // namespace ppscan

@@ -1,0 +1,137 @@
+// Incremental CSR payload validation.
+//
+// read_csr_binary must validate untrusted dst arrays without paying a
+// second trip through memory, so validation runs on cache-hot chunks as
+// they are read: a vectorized kernel walks the neighbor lists overlapping
+// each chunk and checks, lane-parallel, that every list window is strictly
+// ascending (sorted, duplicate-free), contains no element >= n, and does
+// not contain its own vertex id (self loop). Those are exactly the CSR
+// payload invariants, decided with three vector compares per 8/16
+// elements instead of three branchy scalar ones per element.
+//
+// The kernel only reports valid / not valid; on the first bad chunk a
+// serial rescan names the precise invariant, vertex, and dst index in the
+// thrown GraphIoError — corrupt input is the cold path and can afford it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ppscan {
+
+namespace detail {
+
+struct ChunkVerdict {
+  bool ok;               // all list windows in the chunk hold the invariants
+  VertexId next_cursor;  // first vertex whose list is not fully verified
+};
+
+/// Verifies every neighbor-list window overlapping dst positions
+/// [chunk_begin, chunk_begin + count). `data` points at the chunk (global
+/// position chunk_begin); `cursor` is the first vertex whose list is not
+/// yet fully verified; `prev_last` is the dst value at chunk_begin - 1
+/// (ignored for the first chunk). Offsets must already be verified
+/// monotone with back() == total arcs.
+ChunkVerdict verify_chunk_scalar(const VertexId* data, EdgeId chunk_begin,
+                                 EdgeId count, const EdgeId* offsets,
+                                 VertexId cursor, VertexId num_vertices,
+                                 VertexId prev_last);
+/// AVX2 / AVX-512 variants (csr_validate_avx2.cpp / _avx512.cpp); call
+/// only when the CPU supports the ISA.
+ChunkVerdict verify_chunk_avx2(const VertexId* data, EdgeId chunk_begin,
+                               EdgeId count, const EdgeId* offsets,
+                               VertexId cursor, VertexId num_vertices,
+                               VertexId prev_last);
+ChunkVerdict verify_chunk_avx512(const VertexId* data, EdgeId chunk_begin,
+                                 EdgeId count, const EdgeId* offsets,
+                                 VertexId cursor, VertexId num_vertices,
+                                 VertexId prev_last);
+/// Runtime-dispatched best available kernel.
+ChunkVerdict verify_chunk(const VertexId* data, EdgeId chunk_begin,
+                          EdgeId count, const EdgeId* offsets,
+                          VertexId cursor, VertexId num_vertices,
+                          VertexId prev_last);
+
+/// Shared list-walk skeleton the per-ISA kernels instantiate. Visits every
+/// list window overlapping the chunk, checks the window head and last
+/// element (range, self loop, order against the previous element — which
+/// may live in the previous chunk), and delegates positions 1..len-1 to
+/// `body(w, len, u)`, which must verify w[i-1] < w[i] and w[i] != u. The
+/// walk itself covers the range invariant: strict ascent means a window is
+/// all in range iff its last element is, so the per-lane `< n` compare is
+/// hoisted out of the kernels entirely.
+template <class WindowBody>
+inline ChunkVerdict verify_chunk_walk(const VertexId* data, EdgeId chunk_begin,
+                                      EdgeId count, const EdgeId* offsets,
+                                      VertexId cursor, VertexId num_vertices,
+                                      VertexId prev_last, WindowBody&& body) {
+  const EdgeId a = chunk_begin;
+  const EdgeId b = a + count;
+  VertexId u = cursor;
+  EdgeId start = u < num_vertices ? offsets[u] : b;
+  while (u < num_vertices && start < b) {
+    const EdgeId end = offsets[u + 1];
+    const EdgeId lo = start < a ? a : start;
+    const EdgeId hi = end < b ? end : b;
+    if (lo < hi) {
+      const VertexId* w = data + (lo - a);
+      const VertexId head = w[0];
+      const EdgeId len = hi - lo;
+      if (head == u || w[len - 1] >= num_vertices) return {false, u};
+      if (lo > start) {
+        // List continues from before this window; its previous element is
+        // either the last value of the previous chunk or w[-1] (in range:
+        // lo > a here whenever lo != a).
+        const VertexId before = lo == a ? prev_last : *(w - 1);
+        if (before >= head) return {false, u};
+      }
+      if (!body(w, len, u)) return {false, u};
+    }
+    if (end > b) break;  // list continues into the next chunk
+    ++u;
+    start = end;
+  }
+  return {true, u};
+}
+
+}  // namespace detail
+
+/// Validates a CSR dst array fed as consecutive runs against a fixed
+/// offset array. Usage: check_offsets() once, feed() every run of dst
+/// values in order, finish() after the last one. Throws GraphIoError on
+/// the first violated invariant. The offsets vector must outlive the
+/// validator.
+class CsrPayloadValidator {
+ public:
+  CsrPayloadValidator(const std::vector<EdgeId>& offsets, EdgeId num_arcs);
+
+  /// Offsets invariants: start at 0, monotone, end at num_arcs. Call
+  /// before the first feed(); feed() relies on them for safe indexing.
+  void check_offsets() const;
+
+  /// Validates the next `count` dst values. `data` is only read during
+  /// the call.
+  void feed(const VertexId* data, EdgeId count);
+
+  /// Internal-consistency check that every arc announced by the offsets
+  /// was fed.
+  void finish() const;
+
+ private:
+  /// Serial per-element re-scan of one fed window that throws the precise
+  /// typed error for the anomaly the kernel detected.
+  [[noreturn]] void throw_precise(const VertexId* data, EdgeId window_begin,
+                                  EdgeId count, VertexId prev_before) const;
+
+  const std::vector<EdgeId>& offsets_;
+  VertexId num_vertices_;
+  EdgeId num_arcs_;
+  EdgeId fed_ = 0;           // arcs consumed so far
+  VertexId cursor_ = 0;      // first vertex whose list is not fully fed
+  VertexId prev_last_ = 0;   // dst[fed_ - 1], for lists spanning chunks
+};
+
+}  // namespace ppscan

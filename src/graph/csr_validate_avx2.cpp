@@ -1,0 +1,52 @@
+// AVX2 chunk-verify kernel for CSR payload validation. Compiled with
+// -mavx2 in its own translation unit; callers dispatch through
+// detail::verify_chunk after a __builtin_cpu_supports check (same scheme
+// as setops).
+#include <immintrin.h>
+
+#include "graph/csr_validate.hpp"
+
+namespace ppscan::detail {
+
+namespace {
+
+/// Positions 1..len-1 of one list window: 8 lanes at a time, a lane is
+/// good iff w[i-1] < w[i] and w[i] != u (the walk checks the range
+/// invariant via the window's last element). Unsigned compares via signed
+/// compares after flipping sign bits.
+bool window_body_avx2(const VertexId* w, EdgeId len, VertexId u) {
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i owner = _mm256_set1_epi32(static_cast<int>(u));
+  EdgeId i = 1;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    const __m256i prev =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i - 1));
+    const __m256i ascending = _mm256_cmpgt_epi32(
+        _mm256_xor_si256(cur, sign), _mm256_xor_si256(prev, sign));
+    const __m256i good =
+        _mm256_andnot_si256(_mm256_cmpeq_epi32(cur, owner), ascending);
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(good)) != 0xFF) return false;
+  }
+  for (; i < len; ++i) {
+    const VertexId v = w[i];
+    if (w[i - 1] >= v || v == u) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ChunkVerdict verify_chunk_avx2(const VertexId* data, EdgeId chunk_begin,
+                               EdgeId count, const EdgeId* offsets,
+                               VertexId cursor, VertexId num_vertices,
+                               VertexId prev_last) {
+  return verify_chunk_walk(
+      data, chunk_begin, count, offsets, cursor, num_vertices, prev_last,
+      [](const VertexId* w, EdgeId len, VertexId u) {
+        return window_body_avx2(w, len, u);
+      });
+}
+
+}  // namespace ppscan::detail

@@ -1,0 +1,62 @@
+// AVX-512 chunk-verify kernel for CSR payload validation. Compiled with
+// -mavx512f in its own translation unit; callers dispatch through
+// detail::verify_chunk after a __builtin_cpu_supports check (same scheme
+// as setops). Mask loads make short-list tails branch-free: the last
+// partial vector is handled with a lane mask instead of a scalar loop,
+// which matters because real graphs are mostly short lists.
+#include <immintrin.h>
+
+#include "graph/csr_validate.hpp"
+
+namespace ppscan::detail {
+
+namespace {
+
+/// Positions 1..len-1 of one list window: 16 lanes at a time, a lane is
+/// bad iff w[i-1] >= w[i] or w[i] == u (the walk checks the range
+/// invariant via the window's last element).
+bool window_body_avx512(const VertexId* w, EdgeId len, VertexId u) {
+  const __m512i owner = _mm512_set1_epi32(static_cast<int>(u));
+  if (len <= 17) {
+    // Short window (the common case on real graphs): one masked vector,
+    // no inner loop. Masked-off lanes of both loads never fault, and
+    // w + 0 is always readable.
+    if (len < 2) return true;
+    const __mmask16 lanes = static_cast<__mmask16>((1u << (len - 1)) - 1);
+    const __m512i cur = _mm512_maskz_loadu_epi32(lanes, w + 1);
+    const __m512i prev = _mm512_maskz_loadu_epi32(lanes, w);
+    __mmask16 bad =
+        _mm512_mask_cmp_epu32_mask(lanes, prev, cur, _MM_CMPINT_NLT);
+    bad |= _mm512_mask_cmpeq_epu32_mask(lanes, cur, owner);
+    return bad == 0;
+  }
+  // Long window: full vectors, with the final one overlapped back to end
+  // exactly at len (re-checking a few lanes is idempotent) instead of a
+  // masked tail.
+  EdgeId i = 1;
+  for (;; i = i + 16 < len - 16 ? i + 16 : len - 16) {
+    const __m512i cur =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(w + i));
+    const __m512i prev =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(w + i - 1));
+    __mmask16 bad = _mm512_cmp_epu32_mask(prev, cur, _MM_CMPINT_NLT);
+    bad |= _mm512_cmpeq_epu32_mask(cur, owner);
+    if (bad) return false;
+    if (i == len - 16) return true;
+  }
+}
+
+}  // namespace
+
+ChunkVerdict verify_chunk_avx512(const VertexId* data, EdgeId chunk_begin,
+                                 EdgeId count, const EdgeId* offsets,
+                                 VertexId cursor, VertexId num_vertices,
+                                 VertexId prev_last) {
+  return verify_chunk_walk(
+      data, chunk_begin, count, offsets, cursor, num_vertices, prev_last,
+      [](const VertexId* w, EdgeId len, VertexId u) {
+        return window_body_avx512(w, len, u);
+      });
+}
+
+}  // namespace ppscan::detail

@@ -1,51 +1,105 @@
 #include "graph/edge_list_io.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 
+#include "graph/csr_validate.hpp"
 #include "graph/graph_builder.hpp"
+#include "util/graph_io_error.hpp"
 
 namespace ppscan {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'P', 'S', 'C', 'A', 'N', 'G', '1'};
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + ": " + path);
+// magic + n + arcs, all before the payload.
+constexpr std::uint64_t kHeaderBytes =
+    sizeof(kMagic) + 2 * sizeof(std::uint64_t);
+constexpr std::uint64_t kVertexCountFieldOffset = sizeof(kMagic);
+constexpr std::uint64_t kArcCountFieldOffset =
+    sizeof(kMagic) + sizeof(std::uint64_t);
+
+// Largest storable vertex id. kInvalidVertex (2^32 - 1) is reserved as a
+// sentinel, and GraphBuilder computes n = max id + 1 in 32 bits, so ids
+// stop one short of it.
+constexpr unsigned long long kMaxVertexId = 0xFFFF'FFFEULL;
+
+/// Parses one vertex id starting at `cursor` (which is advanced past it),
+/// rejecting negative ids, ids above the VertexId range, and non-numeric
+/// text — the silent strtoull-wrap/truncate paths this loader used to have.
+VertexId parse_vertex_id(const char*& cursor, const char* which,
+                         const std::string& path, std::uint64_t lineno) {
+  while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r') ++cursor;
+  if (*cursor == '-') {
+    throw GraphIoError(GraphIoErrorKind::kNegativeId,
+                       std::string(which) + " endpoint is negative",
+                       path, GraphIoError::kNoLocation, lineno);
+  }
+  if (!std::isdigit(static_cast<unsigned char>(*cursor))) {
+    throw GraphIoError(GraphIoErrorKind::kParseError,
+                       std::string("expected ") + which +
+                           " endpoint, got '" + cursor + "'",
+                       path, GraphIoError::kNoLocation, lineno);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(cursor, &end, 10);
+  if (errno == ERANGE || value > kMaxVertexId) {
+    throw GraphIoError(GraphIoErrorKind::kIdOutOfRange,
+                       std::string(which) + " endpoint exceeds the 32-bit "
+                           "VertexId range (max " +
+                           std::to_string(kMaxVertexId) + ")",
+                       path, GraphIoError::kNoLocation, lineno);
+  }
+  cursor = end;
+  return static_cast<VertexId>(value);
 }
 
 }  // namespace
 
 CsrGraph read_edge_list_text(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail("cannot open edge list", path);
+  if (!in) {
+    throw GraphIoError(GraphIoErrorKind::kOpenFailed, "cannot open edge list",
+                       path);
+  }
 
   GraphBuilder builder;
   std::string line;
-  std::size_t lineno = 0;
+  std::uint64_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    char* end = nullptr;
-    const unsigned long long u = std::strtoull(line.c_str(), &end, 10);
-    if (end == line.c_str()) {
-      fail("parse error at line " + std::to_string(lineno), path);
+    const char* cursor = line.c_str();
+    const VertexId u = parse_vertex_id(cursor, "first", path, lineno);
+    const VertexId v = parse_vertex_id(cursor, "second", path, lineno);
+    while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r') ++cursor;
+    if (*cursor != '\0') {
+      throw GraphIoError(GraphIoErrorKind::kTrailingGarbage,
+                         "unexpected text after the two endpoints: '" +
+                             std::string(cursor) + "'",
+                         path, GraphIoError::kNoLocation, lineno);
     }
-    char* end2 = nullptr;
-    const unsigned long long v = std::strtoull(end, &end2, 10);
-    if (end2 == end) {
-      fail("parse error at line " + std::to_string(lineno), path);
-    }
-    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    builder.add_edge(u, v);
   }
-  return builder.build();
+  try {
+    return builder.build();
+  } catch (const GraphIoError& e) {
+    throw e.with_path(path);
+  }
 }
 
 void write_edge_list_text(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) fail("cannot open for writing", path);
+  if (!out) {
+    throw GraphIoError(GraphIoErrorKind::kOpenFailed,
+                       "cannot open for writing", path);
+  }
   out << "# ppscan edge list: " << graph.num_vertices() << " vertices, "
       << graph.num_edges() << " edges\n";
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
@@ -53,44 +107,157 @@ void write_edge_list_text(const CsrGraph& graph, const std::string& path) {
       if (u < v) out << u << ' ' << v << '\n';
     }
   }
-  if (!out) fail("write failed", path);
+  if (!out) {
+    throw GraphIoError(GraphIoErrorKind::kWriteFailed, "write failed", path);
+  }
 }
 
 void write_csr_binary(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) fail("cannot open for writing", path);
+  if (!out) {
+    throw GraphIoError(GraphIoErrorKind::kOpenFailed,
+                       "cannot open for writing", path);
+  }
   out.write(kMagic, sizeof(kMagic));
   const std::uint64_t n = graph.num_vertices();
   const std::uint64_t arcs = graph.num_arcs();
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
-  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
-            static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  if (graph.offsets().empty()) {
+    // Default-constructed graph: materialize the single 0 offset the
+    // format requires instead of reading past an empty vector.
+    const EdgeId zero = 0;
+    out.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  } else {
+    out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+              static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  }
   out.write(reinterpret_cast<const char*>(graph.dst().data()),
             static_cast<std::streamsize>(arcs * sizeof(VertexId)));
-  if (!out) fail("write failed", path);
+  if (!out) {
+    throw GraphIoError(GraphIoErrorKind::kWriteFailed, "write failed", path);
+  }
 }
 
-CsrGraph read_csr_binary(const std::string& path) {
+CsrGraph read_csr_binary(const std::string& path, bool validate) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open binary graph", path);
-  char magic[8];
+  if (!in) {
+    throw GraphIoError(GraphIoErrorKind::kOpenFailed,
+                       "cannot open binary graph", path);
+  }
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  if (file_size < kHeaderBytes) {
+    throw GraphIoError(GraphIoErrorKind::kTruncatedHeader,
+                       "file is " + std::to_string(file_size) +
+                           " bytes but the header needs " +
+                           std::to_string(kHeaderBytes),
+                       path, 0);
+  }
+  char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    fail("bad magic in binary graph", path);
+    throw GraphIoError(GraphIoErrorKind::kBadMagic,
+                       "expected magic \"PPSCANG1\"", path, 0);
   }
   std::uint64_t n = 0, arcs = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
-  if (!in) fail("truncated header", path);
+  if (!in) {
+    throw GraphIoError(GraphIoErrorKind::kTruncatedHeader,
+                       "header fields unreadable", path,
+                       kVertexCountFieldOffset);
+  }
+
+  // Header sanity before any allocation: a 16-byte corruption must not be
+  // able to request terabytes. The field bounds are overflow-safe —
+  // divisions, never multiplications of untrusted values. A field whose
+  // implied array alone exceeds the whole file is an oversized header; a
+  // header whose fields are individually plausible but whose total exceeds
+  // the file means the payload was cut short.
+  if (n > kMaxVertexId + 1) {
+    throw GraphIoError(GraphIoErrorKind::kOversizedHeader,
+                       "vertex count " + std::to_string(n) +
+                           " exceeds the 32-bit id space",
+                       path, kVertexCountFieldOffset);
+  }
+  if (n + 1 > file_size / sizeof(EdgeId)) {
+    throw GraphIoError(GraphIoErrorKind::kOversizedHeader,
+                       "vertex count " + std::to_string(n) +
+                           " implies an offset array larger than the " +
+                           std::to_string(file_size) + "-byte file",
+                       path, kVertexCountFieldOffset);
+  }
+  if (arcs > file_size / sizeof(VertexId)) {
+    throw GraphIoError(GraphIoErrorKind::kOversizedHeader,
+                       "arc count " + std::to_string(arcs) +
+                           " implies a dst array larger than the " +
+                           std::to_string(file_size) + "-byte file",
+                       path, kArcCountFieldOffset);
+  }
+  const std::uint64_t offsets_bytes = (n + 1) * sizeof(EdgeId);
+  const std::uint64_t required =
+      kHeaderBytes + offsets_bytes + arcs * sizeof(VertexId);
+  if (required > file_size) {
+    throw GraphIoError(GraphIoErrorKind::kTruncatedBody,
+                       "header describes " + std::to_string(required) +
+                           " bytes but the file holds " +
+                           std::to_string(file_size),
+                       path, file_size);
+  }
+  if (required < file_size) {
+    throw GraphIoError(GraphIoErrorKind::kTrailingData,
+                       std::to_string(file_size - required) +
+                           " unexpected bytes after the CSR payload",
+                       path, required);
+  }
+
   std::vector<EdgeId> offsets(n + 1);
   std::vector<VertexId> dst(arcs);
   in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
-  in.read(reinterpret_cast<char*>(dst.data()),
-          static_cast<std::streamsize>(arcs * sizeof(VertexId)));
-  if (!in) fail("truncated body", path);
-  return CsrGraph(std::move(offsets), std::move(dst));
+          static_cast<std::streamsize>(offsets_bytes));
+  if (!in) {
+    throw GraphIoError(GraphIoErrorKind::kTruncatedBody,
+                       "CSR payload cut short", path, kHeaderBytes);
+  }
+  try {
+    if (validate) {
+      // Fused read + structural validation (no symmetry check — see
+      // CsrGraph::validate): the dst array is read in L2-sized chunks and
+      // each chunk is checked while still cache-hot, so validation adds a
+      // vectorized sweep over warm data rather than a second trip through
+      // memory.
+      CsrPayloadValidator checker(offsets, arcs);
+      checker.check_offsets();
+      // 512 KiB of dst values: small enough to stay resident in L2
+      // between the read and the verify pass, large enough to amortize
+      // the per-read syscall.
+      constexpr EdgeId kChunkArcs = 1u << 17;
+      for (EdgeId pos = 0; pos < arcs; pos += kChunkArcs) {
+        const EdgeId count = std::min<EdgeId>(kChunkArcs, arcs - pos);
+        in.read(reinterpret_cast<char*>(dst.data() + pos),
+                static_cast<std::streamsize>(count * sizeof(VertexId)));
+        if (!in) {
+          throw GraphIoError(GraphIoErrorKind::kTruncatedBody,
+                             "CSR payload cut short", path, kHeaderBytes);
+        }
+        checker.feed(dst.data() + pos, count);
+      }
+      checker.finish();
+    } else {
+      in.read(reinterpret_cast<char*>(dst.data()),
+              static_cast<std::streamsize>(arcs * sizeof(VertexId)));
+      if (!in) {
+        throw GraphIoError(GraphIoErrorKind::kTruncatedBody,
+                           "CSR payload cut short", path, kHeaderBytes);
+      }
+    }
+    return CsrGraph(std::move(offsets), std::move(dst));
+  } catch (const GraphIoError& e) {
+    throw e.with_path(path);
+  }
 }
 
 }  // namespace ppscan

@@ -14,8 +14,12 @@
 
 namespace ppscan {
 
-/// Reads a text edge list (SNAP style). Throws std::runtime_error on I/O or
-/// parse failure. The result is symmetrized/deduplicated via GraphBuilder.
+/// Reads a text edge list (SNAP style). Throws GraphIoError (a
+/// std::runtime_error; see util/graph_io_error.hpp) naming the file and
+/// 1-based line on I/O or parse failure — including negative ids, ids above
+/// the 32-bit VertexId range, and trailing garbage, which earlier versions
+/// silently wrapped or truncated. The result is symmetrized/deduplicated
+/// via GraphBuilder.
 CsrGraph read_edge_list_text(const std::string& path);
 
 /// Writes "u v" lines for each undirected edge (u < v).
@@ -23,6 +27,12 @@ void write_edge_list_text(const CsrGraph& graph, const std::string& path);
 
 /// Binary CSR snapshot (magic "PPSCANG1").
 void write_csr_binary(const CsrGraph& graph, const std::string& path);
-CsrGraph read_csr_binary(const std::string& path);
+
+/// Reads a binary CSR snapshot. The header is bounds-checked against the
+/// file size before any allocation, and with `validate` (the default) the
+/// structural CSR invariants (monotone offsets, in-range sorted neighbor
+/// lists, no self loops) are verified in one extra linear pass. Throws
+/// GraphIoError naming the file, byte offset, and violated invariant.
+CsrGraph read_csr_binary(const std::string& path, bool validate = true);
 
 }  // namespace ppscan

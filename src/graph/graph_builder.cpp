@@ -1,7 +1,8 @@
 #include "graph/graph_builder.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/graph_io_error.hpp"
 
 namespace ppscan {
 
@@ -12,6 +13,15 @@ void GraphBuilder::add_edges(const EdgeList& edges) {
 CsrGraph GraphBuilder::build() {
   VertexId n = num_vertices_;
   for (const auto& [u, v] : edges_) {
+    // n = max id + 1 is computed in 32 bits, so the all-ones id (also the
+    // kInvalidVertex sentinel) would wrap it to 0 and every subsequent
+    // offset/dst write would land out of bounds.
+    if (u == kInvalidVertex || v == kInvalidVertex) {
+      throw GraphIoError(GraphIoErrorKind::kVertexIdOverflow,
+                         "vertex id " + std::to_string(kInvalidVertex) +
+                             " is reserved; ids must be < " +
+                             std::to_string(kInvalidVertex));
+    }
     n = std::max({n, u + 1, v + 1});
   }
 

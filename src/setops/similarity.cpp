@@ -1,6 +1,7 @@
 #include "setops/similarity.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -33,7 +34,13 @@ EpsRational EpsRational::parse(const std::string& text) {
       throw std::invalid_argument("EpsRational: bad char in '" + text + "'");
     }
     seen_digit = true;
-    num = num * 10 + static_cast<std::uint64_t>(c - '0');
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    // num * 10 + digit silently wraps for ~20-digit inputs, which could
+    // sneak a wrapped value past the num > den range check below.
+    if (num > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      throw std::invalid_argument("EpsRational: overflow in '" + text + "'");
+    }
+    num = num * 10 + digit;
     if (seen_dot) den *= 10;
     if (den > 1'000'000'000ULL) {
       throw std::invalid_argument("EpsRational: too many decimals");

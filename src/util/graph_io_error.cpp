@@ -1,0 +1,68 @@
+#include "util/graph_io_error.hpp"
+
+namespace ppscan {
+namespace {
+
+std::string format_message(GraphIoErrorKind kind, const std::string& detail,
+                           const std::string& path, std::uint64_t byte_offset,
+                           std::uint64_t line) {
+  std::string msg = to_string(kind);
+  msg += ": ";
+  msg += detail;
+  const bool have_path = !path.empty();
+  const bool have_byte = byte_offset != GraphIoError::kNoLocation;
+  const bool have_line = line != GraphIoError::kNoLocation;
+  if (have_path || have_byte || have_line) {
+    msg += " [";
+    if (have_path) msg += "file " + path;
+    if (have_byte) {
+      if (have_path) msg += ", ";
+      msg += "byte " + std::to_string(byte_offset);
+    }
+    if (have_line) {
+      if (have_path || have_byte) msg += ", ";
+      msg += "line " + std::to_string(line);
+    }
+    msg += "]";
+  }
+  return msg;
+}
+
+}  // namespace
+
+const char* to_string(GraphIoErrorKind kind) {
+  switch (kind) {
+    case GraphIoErrorKind::kOpenFailed: return "open-failed";
+    case GraphIoErrorKind::kWriteFailed: return "write-failed";
+    case GraphIoErrorKind::kBadMagic: return "bad-magic";
+    case GraphIoErrorKind::kTruncatedHeader: return "truncated-header";
+    case GraphIoErrorKind::kOversizedHeader: return "oversized-header";
+    case GraphIoErrorKind::kTruncatedBody: return "truncated-body";
+    case GraphIoErrorKind::kTrailingData: return "trailing-data";
+    case GraphIoErrorKind::kMalformedOffsets: return "malformed-offsets";
+    case GraphIoErrorKind::kNonMonotoneOffsets: return "non-monotone-offsets";
+    case GraphIoErrorKind::kNeighborOutOfRange: return "neighbor-out-of-range";
+    case GraphIoErrorKind::kSelfLoop: return "self-loop";
+    case GraphIoErrorKind::kUnsortedNeighbors: return "unsorted-neighbors";
+    case GraphIoErrorKind::kAsymmetricArc: return "asymmetric-arc";
+    case GraphIoErrorKind::kParseError: return "parse-error";
+    case GraphIoErrorKind::kNegativeId: return "negative-id";
+    case GraphIoErrorKind::kIdOutOfRange: return "id-out-of-range";
+    case GraphIoErrorKind::kTrailingGarbage: return "trailing-garbage";
+    case GraphIoErrorKind::kVertexIdOverflow: return "vertex-id-overflow";
+  }
+  return "unknown";
+}
+
+GraphIoError::GraphIoError(GraphIoErrorKind kind, std::string detail,
+                           std::string path, std::uint64_t byte_offset,
+                           std::uint64_t line)
+    : std::runtime_error(
+          format_message(kind, detail, path, byte_offset, line)),
+      kind_(kind),
+      detail_(std::move(detail)),
+      path_(std::move(path)),
+      byte_offset_(byte_offset),
+      line_(line) {}
+
+}  // namespace ppscan

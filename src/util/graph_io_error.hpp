@@ -1,0 +1,81 @@
+// Typed error taxonomy for graph ingestion.
+//
+// Every failure mode of the loaders (`read_edge_list_text`,
+// `read_csr_binary`), of `GraphBuilder::build`, and of
+// `CsrGraph::validate()` maps to one GraphIoErrorKind, so callers can
+// distinguish "file missing" from "file corrupt" from "file adversarial"
+// without string-matching what(). The error carries the failing file, the
+// byte offset (binary) or line number (text) when known, and a description
+// of the violated invariant — enough for a CLI to print one actionable
+// line and exit nonzero instead of crashing on corrupt input.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ppscan {
+
+enum class GraphIoErrorKind : std::uint8_t {
+  // File-level I/O.
+  kOpenFailed,         // file missing or unreadable
+  kWriteFailed,        // output stream failed
+  // Binary container structure.
+  kBadMagic,           // header does not start with "PPSCANG1"
+  kTruncatedHeader,    // file shorter than the 24-byte header
+  kOversizedHeader,    // n/arcs imply allocations beyond the file size
+  kTruncatedBody,      // offsets/dst payload cut short
+  kTrailingData,       // bytes after the payload the header describes
+  // CSR invariants (binary payload or in-memory construction).
+  kMalformedOffsets,   // offsets empty, offsets[0] != 0, or back != |dst|
+  kNonMonotoneOffsets, // offsets[u] > offsets[u + 1]
+  kNeighborOutOfRange, // dst[i] >= num_vertices
+  kSelfLoop,           // dst[i] == u inside u's list
+  kUnsortedNeighbors,  // neighbor list not strictly ascending (or duplicated)
+  kAsymmetricArc,      // arc (u,v) present without (v,u)
+  // Text edge-list parsing.
+  kParseError,         // line is not "u v"
+  kNegativeId,         // endpoint written with a leading '-'
+  kIdOutOfRange,       // endpoint above the 32-bit VertexId range
+  kTrailingGarbage,    // extra non-whitespace after the two endpoints
+  // Vertex-id arithmetic.
+  kVertexIdOverflow,   // id + 1 would wrap VertexId (id == 2^32 - 1)
+};
+
+/// Stable machine-readable name, e.g. "neighbor-out-of-range".
+[[nodiscard]] const char* to_string(GraphIoErrorKind kind);
+
+class GraphIoError : public std::runtime_error {
+ public:
+  /// Sentinel for "no byte offset / line number recorded".
+  static constexpr std::uint64_t kNoLocation = ~std::uint64_t{0};
+
+  GraphIoError(GraphIoErrorKind kind, std::string detail,
+               std::string path = {}, std::uint64_t byte_offset = kNoLocation,
+               std::uint64_t line = kNoLocation);
+
+  [[nodiscard]] GraphIoErrorKind kind() const { return kind_; }
+  /// The violated invariant, human-readable, without location context.
+  [[nodiscard]] const std::string& detail() const { return detail_; }
+  /// Failing file; empty when the error arose from in-memory data.
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Byte offset of the offending field (binary format) or kNoLocation.
+  [[nodiscard]] std::uint64_t byte_offset() const { return byte_offset_; }
+  /// 1-based line number (text format) or kNoLocation.
+  [[nodiscard]] std::uint64_t line() const { return line_; }
+
+  /// Copy of this error with the file path attached — loaders use it to
+  /// contextualize invariant violations thrown by CsrGraph itself.
+  [[nodiscard]] GraphIoError with_path(const std::string& path) const {
+    return {kind_, detail_, path, byte_offset_, line_};
+  }
+
+ private:
+  GraphIoErrorKind kind_;
+  std::string detail_;
+  std::string path_;
+  std::uint64_t byte_offset_;
+  std::uint64_t line_;
+};
+
+}  // namespace ppscan

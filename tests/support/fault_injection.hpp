@@ -1,0 +1,38 @@
+// Fault-injection corpus for the graph ingestion layer.
+//
+// Takes a valid graph, writes it to disk, and derives one systematically
+// corrupted file per failure class (truncated header/body, oversized
+// header fields, non-monotone offsets, out-of-range dst, unsorted
+// neighbors, self loops, ... for the binary format; negative ids, 2^32
+// ids, trailing garbage, ... for the text format). Each case names the
+// GraphIoErrorKind the loader must raise — the suite asserting that runs
+// under the asan-ubsan CI job, so a validation gap shows up as a
+// sanitizer failure rather than a silent out-of-bounds read.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/graph_io_error.hpp"
+
+namespace ppscan::testing {
+
+struct FaultCase {
+  std::string name;              // corruption class, e.g. "truncated-body"
+  std::string path;              // corrupted file on disk
+  GraphIoErrorKind expected;     // kind the loader must throw
+};
+
+/// Writes `graph` as `dir/valid.bin` plus one corrupted variant per binary
+/// corruption class. `graph` needs >= 3 vertices and a vertex of degree
+/// >= 2 so neighbor-level corruptions have room to work.
+std::vector<FaultCase> make_binary_fault_corpus(
+    const CsrGraph& graph, const std::filesystem::path& dir);
+
+/// Writes one malformed text edge list per text corruption class.
+std::vector<FaultCase> make_text_fault_corpus(
+    const std::filesystem::path& dir);
+
+}  // namespace ppscan::testing

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "graph/fixtures.hpp"
 #include "graph/graph_builder.hpp"
+#include "util/graph_io_error.hpp"
 
 namespace ppscan {
 namespace {
@@ -81,33 +84,66 @@ TEST(CsrGraph, ValidateAcceptsWellFormed) {
   EXPECT_NO_THROW(make_clique(5).validate());
 }
 
+template <typename Fn>
+GraphIoErrorKind thrown_kind(Fn&& fn) {
+  try {
+    fn();
+  } catch (const GraphIoError& e) {
+    return e.kind();
+  }
+  throw std::logic_error("expected a GraphIoError");
+}
+
 TEST(CsrGraph, ValidateRejectsSelfLoop) {
   // Build raw arrays with a self loop at vertex 0.
   std::vector<EdgeId> offsets{0, 1, 2};
   std::vector<VertexId> dst{0, 0};
   const CsrGraph g(std::move(offsets), std::move(dst));
-  EXPECT_THROW(g.validate(), std::invalid_argument);
+  EXPECT_EQ(thrown_kind([&] { g.validate(); }), GraphIoErrorKind::kSelfLoop);
 }
 
 TEST(CsrGraph, ValidateRejectsUnsortedNeighbors) {
   std::vector<EdgeId> offsets{0, 2, 3, 4};
   std::vector<VertexId> dst{2, 1, 0, 0};
   const CsrGraph g(std::move(offsets), std::move(dst));
-  EXPECT_THROW(g.validate(), std::invalid_argument);
+  EXPECT_EQ(thrown_kind([&] { g.validate(); }),
+            GraphIoErrorKind::kUnsortedNeighbors);
+}
+
+TEST(CsrGraph, ValidateRejectsNonMonotoneOffsets) {
+  std::vector<EdgeId> offsets{0, 2, 1, 2};
+  std::vector<VertexId> dst{1, 2};
+  const CsrGraph g(std::move(offsets), std::move(dst));
+  EXPECT_EQ(thrown_kind([&] { g.validate(); }),
+            GraphIoErrorKind::kNonMonotoneOffsets);
+}
+
+TEST(CsrGraph, ValidateRejectsOutOfRangeNeighbor) {
+  std::vector<EdgeId> offsets{0, 1, 2};
+  std::vector<VertexId> dst{9, 0};
+  const CsrGraph g(std::move(offsets), std::move(dst));
+  EXPECT_EQ(thrown_kind([&] { g.validate(); }),
+            GraphIoErrorKind::kNeighborOutOfRange);
 }
 
 TEST(CsrGraph, ValidateRejectsAsymmetricArc) {
   std::vector<EdgeId> offsets{0, 1, 1};
   std::vector<VertexId> dst{1};
   const CsrGraph g(std::move(offsets), std::move(dst));
-  EXPECT_THROW(g.validate(), std::invalid_argument);
+  EXPECT_EQ(thrown_kind([&] { g.validate(); }),
+            GraphIoErrorKind::kAsymmetricArc);
+  // The structural linear pass (what the loaders run) has no symmetry
+  // check, so it accepts this graph.
+  EXPECT_NO_THROW(g.validate(/*check_symmetry=*/false));
 }
 
 TEST(CsrGraph, ConstructorRejectsMalformedOffsets) {
-  std::vector<EdgeId> offsets{0, 3};  // claims 3 arcs
-  std::vector<VertexId> dst{1};      // provides 1
-  EXPECT_THROW(CsrGraph(std::move(offsets), std::move(dst)),
-               std::invalid_argument);
+  EXPECT_EQ(thrown_kind([] {
+              // Offsets claim 3 arcs, dst provides 1.
+              const CsrGraph g(std::vector<EdgeId>{0, 3},
+                               std::vector<VertexId>{1});
+            }),
+            GraphIoErrorKind::kMalformedOffsets);
 }
 
 TEST(CsrGraph, IsolatedVertexHasEmptyNeighbors) {

@@ -4,6 +4,8 @@
 
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -106,6 +108,89 @@ TEST_F(EdgeListIoTest, EmptyGraphRoundTrips) {
   const auto loaded = read_csr_binary(path("e.bin"));
   EXPECT_EQ(loaded.num_vertices(), 4u);
   EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST_F(EdgeListIoTest, DefaultConstructedGraphRoundTrips) {
+  // A default CsrGraph has no offset array at all; the writer must still
+  // emit a well-formed zero-vertex file.
+  const CsrGraph g;
+  write_csr_binary(g, path("zero.bin"));
+  const auto loaded = read_csr_binary(path("zero.bin"));
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST_F(EdgeListIoTest, SingleVertexRoundTrips) {
+  const auto g = GraphBuilder::from_edges({}, 1);
+  write_csr_binary(g, path("one.bin"));
+  const auto loaded = read_csr_binary(path("one.bin"));
+  EXPECT_EQ(loaded.num_vertices(), 1u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+  EXPECT_TRUE(loaded.neighbors(0).empty());
+}
+
+TEST_F(EdgeListIoTest, IsolatedVerticesAtBothEndsOfIdRangeRoundTrip) {
+  // Vertices 0..2 and 7..9 are isolated; only the middle of the id range
+  // has edges. Offsets must stay flat (not collapse) through a round trip.
+  const auto g = GraphBuilder::from_edges({{3, 4}, {4, 5}, {5, 6}}, 10);
+  write_csr_binary(g, path("iso.bin"));
+  const auto loaded = read_csr_binary(path("iso.bin"));
+  EXPECT_EQ(loaded.num_vertices(), 10u);
+  EXPECT_EQ(loaded.num_edges(), 3u);
+  EXPECT_EQ(loaded.degree(0), 0u);
+  EXPECT_EQ(loaded.degree(9), 0u);
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+  EXPECT_EQ(loaded.dst(), g.dst());
+}
+
+TEST_F(EdgeListIoTest, HeaderFieldsAre64BitLittleEndian) {
+  // An arc count above 2^16 exercises more than two bytes of the 64-bit
+  // arcs field; verify both header fields occupy 8 bytes on disk so
+  // graphs beyond 2^32 arcs stay representable.
+  const auto g = erdos_renyi(2000, 40000, 4);
+  ASSERT_GT(g.num_arcs(), std::uint64_t{1} << 16);
+  write_csr_binary(g, path("h.bin"));
+
+  std::ifstream in(path("h.bin"), std::ios::binary);
+  char header[24];
+  in.read(header, sizeof(header));
+  ASSERT_TRUE(in.good());
+  std::uint64_t n = 0, arcs = 0;
+  std::memcpy(&n, header + 8, sizeof(n));
+  std::memcpy(&arcs, header + 16, sizeof(arcs));
+  EXPECT_EQ(n, g.num_vertices());
+  EXPECT_EQ(arcs, g.num_arcs());
+  EXPECT_EQ(fs::file_size(path("h.bin")),
+            24u + (n + 1) * sizeof(EdgeId) + arcs * sizeof(VertexId));
+}
+
+TEST_F(EdgeListIoTest, TextReaderRejectsNegativeIds) {
+  std::ofstream out(path("neg.txt"));
+  out << "0 1\n-1 2\n";
+  out.close();
+  EXPECT_THROW(read_edge_list_text(path("neg.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, TextReaderRejectsIdsBeyondVertexRange) {
+  std::ofstream out(path("big.txt"));
+  out << "4294967296 1\n";  // 2^32 silently wrapped to 0 before validation
+  out.close();
+  EXPECT_THROW(read_edge_list_text(path("big.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, TextReaderRejectsTrailingGarbage) {
+  std::ofstream out(path("trail.txt"));
+  out << "0 1 2\n";
+  out.close();
+  EXPECT_THROW(read_edge_list_text(path("trail.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIoTest, TextReaderAcceptsWindowsLineEndings) {
+  std::ofstream out(path("crlf.txt"), std::ios::binary);
+  out << "0 1\r\n1 2\r\n";
+  out.close();
+  const auto g = read_edge_list_text(path("crlf.txt"));
+  EXPECT_EQ(g.num_edges(), 2u);
 }
 
 }  // namespace

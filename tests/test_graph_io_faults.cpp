@@ -1,0 +1,179 @@
+// Drives the fault-injection corpus (tests/support/fault_injection.*)
+// through the loaders: every corruption class must surface as a typed
+// GraphIoError — never a crash, a silent wrong graph, or (under the
+// asan-ubsan CI job, which runs this suite) a sanitizer report.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/edge_list_io.hpp"
+#include "graph/graph_builder.hpp"
+#include "support/fault_injection.hpp"
+#include "util/graph_io_error.hpp"
+
+namespace ppscan {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GraphIoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ppscan-fault-test-" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+CsrGraph corpus_graph() {
+  // Deterministic 16-vertex ring with chords: every vertex has degree 4,
+  // which satisfies the corpus generator's structural requirements.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 16; ++u) {
+    b.add_edge(u, (u + 1) % 16);
+    b.add_edge(u, (u + 4) % 16);
+  }
+  return b.build();
+}
+
+TEST_F(GraphIoFaultTest, ValidBinaryStillLoads) {
+  const auto cases =
+      ppscan::testing::make_binary_fault_corpus(corpus_graph(), dir_);
+  ASSERT_GE(cases.size(), 8u) << "corpus must cover >= 8 corruption classes";
+  const auto loaded = read_csr_binary((dir_ / "valid.bin").string());
+  EXPECT_EQ(loaded.num_vertices(), corpus_graph().num_vertices());
+  EXPECT_EQ(loaded.dst(), corpus_graph().dst());
+}
+
+TEST_F(GraphIoFaultTest, EveryBinaryCorruptionRaisesTypedError) {
+  const auto cases =
+      ppscan::testing::make_binary_fault_corpus(corpus_graph(), dir_);
+  for (const auto& c : cases) {
+    try {
+      read_csr_binary(c.path);
+      FAIL() << c.name << ": corruption was accepted";
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.kind(), c.expected)
+          << c.name << ": got " << to_string(e.kind()) << " — " << e.what();
+      EXPECT_EQ(e.path(), c.path) << c.name << ": error must name the file";
+    } catch (const std::exception& e) {
+      FAIL() << c.name << ": untyped exception: " << e.what();
+    }
+  }
+}
+
+TEST_F(GraphIoFaultTest, EveryTextCorruptionRaisesTypedError) {
+  const auto cases = ppscan::testing::make_text_fault_corpus(dir_);
+  ASSERT_GE(cases.size(), 5u);
+  for (const auto& c : cases) {
+    try {
+      read_edge_list_text(c.path);
+      FAIL() << c.name << ": corruption was accepted";
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.kind(), c.expected)
+          << c.name << ": got " << to_string(e.kind()) << " — " << e.what();
+      EXPECT_EQ(e.path(), c.path) << c.name << ": error must name the file";
+      EXPECT_NE(e.line(), GraphIoError::kNoLocation)
+          << c.name << ": text errors must carry a line number";
+    } catch (const std::exception& e) {
+      FAIL() << c.name << ": untyped exception: " << e.what();
+    }
+  }
+}
+
+TEST_F(GraphIoFaultTest, ErrorsCarryLocationContext) {
+  const auto cases =
+      ppscan::testing::make_binary_fault_corpus(corpus_graph(), dir_);
+  const auto find = [&](const std::string& name) {
+    for (const auto& c : cases) {
+      if (c.name == name) return c.path;
+    }
+    throw std::logic_error("missing corpus case " + name);
+  };
+
+  const auto kind_at = [](const std::string& path) {
+    try {
+      read_csr_binary(path);
+    } catch (const GraphIoError& e) {
+      return e.byte_offset();
+    }
+    return GraphIoError::kNoLocation;
+  };
+  EXPECT_EQ(kind_at(find("bad-magic")), 0u);
+  EXPECT_EQ(kind_at(find("oversized-n")), 8u);
+  EXPECT_EQ(kind_at(find("oversized-arcs")), 16u);
+
+  // Text side: the line number points at the corrupt line, not the file
+  // start.
+  const auto text_cases = ppscan::testing::make_text_fault_corpus(dir_);
+  for (const auto& c : text_cases) {
+    if (c.name != "negative-first-id") continue;
+    try {
+      read_edge_list_text(c.path);
+      FAIL();
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.line(), 2u) << e.what();
+    }
+  }
+}
+
+TEST_F(GraphIoFaultTest, HeaderSanityRejectsBeforeAllocation) {
+  // A 24-byte file that is all header: n claims 2^60 vertices. Loading
+  // must throw immediately (no multi-exabyte vector allocation attempt).
+  const std::string path = (dir_ / "huge-n-tiny-file.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("PPSCANG1", 8);
+    const std::uint64_t n = std::uint64_t{1} << 60;
+    const std::uint64_t arcs = 0;
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
+  }
+  try {
+    read_csr_binary(path);
+    FAIL();
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.kind(), GraphIoErrorKind::kOversizedHeader) << e.what();
+  }
+}
+
+TEST_F(GraphIoFaultTest, ValidationSkipStillEnforcesContainerChecks) {
+  // validate=false skips the CSR invariant pass but never the container
+  // structure: sizes, magic, and offset endpoints are always enforced.
+  const auto cases =
+      ppscan::testing::make_binary_fault_corpus(corpus_graph(), dir_);
+  for (const auto& c : cases) {
+    const bool container_level =
+        c.expected == GraphIoErrorKind::kBadMagic ||
+        c.expected == GraphIoErrorKind::kTruncatedHeader ||
+        c.expected == GraphIoErrorKind::kTruncatedBody ||
+        c.expected == GraphIoErrorKind::kTrailingData ||
+        c.expected == GraphIoErrorKind::kOversizedHeader;
+    if (!container_level) continue;
+    EXPECT_THROW(read_csr_binary(c.path, /*validate=*/false), GraphIoError)
+        << c.name;
+  }
+}
+
+TEST_F(GraphIoFaultTest, GraphBuilderRejectsReservedId) {
+  GraphBuilder builder;
+  builder.add_edge(kInvalidVertex, 0);
+  try {
+    (void)builder.build();
+    FAIL() << "id 2^32-1 must not wrap n to 0";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.kind(), GraphIoErrorKind::kVertexIdOverflow) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -46,6 +46,18 @@ TEST(EpsRational, RejectsMalformed) {
   EXPECT_THROW(EpsRational::parse("0.1234567890123"), std::invalid_argument);
 }
 
+TEST(EpsRational, RejectsIntegerOverflowInsteadOfWrapping) {
+  // num = num * 10 + d wraps at 20 digits; a wrapped value could land in
+  // (0, den] and sneak past the range check as a bogus ε.
+  EXPECT_THROW(EpsRational::parse("18446744073709551616"),  // 2^64
+               std::invalid_argument);
+  EXPECT_THROW(EpsRational::parse("99999999999999999999999999"),
+               std::invalid_argument);
+  // 2^64 + 1 written with a decimal point: wraps to num=1, den=10 ⇒ 0.1.
+  EXPECT_THROW(EpsRational::parse("1844674407370955161.6"),
+               std::invalid_argument);
+}
+
 TEST(EpsRational, FromDoubleApproximates) {
   const auto e = EpsRational::from_double(0.25);
   EXPECT_DOUBLE_EQ(e.to_double(), 0.25);

@@ -11,8 +11,10 @@
 //
 // Graph files: text edge lists ("u v" per line, SNAP style) or the binary
 // CSR snapshot format; the suffix ".bin"/".csrbin" selects binary.
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "bench_support/algorithms.hpp"
@@ -25,6 +27,7 @@
 #include "scan/validate_result.hpp"
 #include "util/env.hpp"
 #include "util/flags.hpp"
+#include "util/graph_io_error.hpp"
 #include "util/report.hpp"
 #include "util/timer.hpp"
 
@@ -44,6 +47,24 @@ bool is_binary_path(const std::string& path) {
 CsrGraph load_graph(const std::string& path) {
   return is_binary_path(path) ? read_csr_binary(path)
                               : read_edge_list_text(path);
+}
+
+/// Strict μ parser: the old std::atoi path silently turned "abc", "-3" or
+/// "0" into clustering with μ=0. μ must be a positive 32-bit integer.
+std::uint32_t parse_mu(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("--mu must be an integer, got '" + text +
+                                "'");
+  }
+  if (errno == ERANGE || value <= 0 ||
+      value > static_cast<long long>(
+                  std::numeric_limits<std::uint32_t>::max())) {
+    throw std::invalid_argument("--mu must be in [1, 2^32): '" + text + "'");
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 void save_graph(const CsrGraph& graph, const std::string& path) {
@@ -150,8 +171,7 @@ int cmd_cluster(const Flags& flags) {
   }
   const auto graph = load_graph(flags.positionals()[1]);
   const auto params = ScanParams::make(flags.get_string("eps", "0.5"),
-                                       static_cast<std::uint32_t>(
-                                           flags.get_int("mu", 5)));
+                                       parse_mu(flags.get_string("mu", "5")));
   AlgorithmConfig config;
   config.num_threads =
       static_cast<int>(flags.get_int("threads", default_threads()));
@@ -206,17 +226,36 @@ int cmd_classify(const Flags& flags) {
   return 0;
 }
 
+/// `validate <graph>` with no result file: load the graph with full
+/// ingestion checks, run the complete invariant pass (including arc
+/// symmetry), and print a one-line verdict. Exit 0 = OK, 1 = invalid.
+int cmd_validate_graph(const std::string& path) {
+  try {
+    const auto graph = load_graph(path);
+    graph.validate();
+    std::cout << "OK: " << path << ": " << graph.num_vertices()
+              << " vertices, " << graph.num_edges()
+              << " edges, CSR invariants hold\n";
+    return 0;
+  } catch (const GraphIoError& e) {
+    std::cout << "INVALID: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmd_validate(const Flags& flags) {
-  if (flags.positionals().size() < 3) {
-    std::cerr << "validate: usage: validate <graph> <result.txt> "
-                 "[--eps E] [--mu M]\n";
+  if (flags.positionals().size() < 2) {
+    std::cerr << "validate: usage: validate <graph> [<result.txt> "
+                 "[--eps E] [--mu M]]\n";
     return 2;
+  }
+  if (flags.positionals().size() == 2) {
+    return cmd_validate_graph(flags.positionals()[1]);
   }
   const auto graph = load_graph(flags.positionals()[1]);
   const auto result = read_scan_result(flags.positionals()[2]);
   const auto params = ScanParams::make(flags.get_string("eps", "0.5"),
-                                       static_cast<std::uint32_t>(
-                                           flags.get_int("mu", 5)));
+                                       parse_mu(flags.get_string("mu", "5")));
   const auto report = validate_scan_result(graph, params, result);
   if (report.ok) {
     std::cout << "VALID: result satisfies the SCAN definitions for eps="
@@ -244,8 +283,7 @@ int cmd_query(const Flags& flags) {
   Table table({"eps", "mu", "clusters", "cores", "query(s)"});
   for (const auto& eps : split_list(flags.get_string("eps", "0.2,0.5,0.8"))) {
     for (const auto& mu_text : split_list(flags.get_string("mu", "2,5"))) {
-      const auto params = ScanParams::make(
-          eps, static_cast<std::uint32_t>(std::atoi(mu_text.c_str())));
+      const auto params = ScanParams::make(eps, parse_mu(mu_text));
       const auto run = index.query(params);
       table.add_row({eps, mu_text,
                      Table::fmt(std::uint64_t{run.result.num_clusters()}),
@@ -266,6 +304,7 @@ void usage() {
          "  convert <graph> --out <file>\n"
          "  cluster <graph> [--eps E] [--mu M] [--algorithm A] [--out R]\n"
          "  classify <graph> <result>\n"
+         "  validate <graph>                 (check CSR invariants)\n"
          "  validate <graph> <result> [--eps E] [--mu M]\n"
          "  query <graph> [--eps list] [--mu list]\n";
 }
@@ -291,6 +330,10 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(flags);
     usage();
     return 2;
+  } catch (const ppscan::GraphIoError& e) {
+    std::cerr << "ppscan_cli " << command
+              << ": invalid graph input: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "ppscan_cli " << command << ": " << e.what() << "\n";
     return 1;
