@@ -17,31 +17,38 @@ std::vector<std::string> algorithm_names() {
 ScanRun run_algorithm(const std::string& name, const CsrGraph& graph,
                       const ScanParams& params, const AlgorithmConfig& config) {
   if (name == "SCAN") {
-    return scan_original(graph, params);
+    ScanOriginalOptions options;
+    options.limits = config.limits;
+    options.cancel = config.cancel;
+    return scan_original(graph, params, options);
   }
   if (name == "pSCAN") {
-    return pscan(graph, params);
+    PscanOptions options;
+    options.limits = config.limits;
+    options.cancel = config.cancel;
+    return pscan(graph, params, options);
   }
   if (name == "anySCAN") {
     AnyScanLiteOptions options;
     options.num_threads = config.num_threads;
+    options.limits = config.limits;
+    options.cancel = config.cancel;
     return anyscan_lite(graph, params, options);
   }
   if (name == "SCAN-XP") {
     ScanXpOptions options;
     options.num_threads = config.num_threads;
+    options.limits = config.limits;
+    options.cancel = config.cancel;
     return scanxp(graph, params, options);
   }
-  if (name == "ppSCAN") {
+  if (name == "ppSCAN" || name == "ppSCAN-NO") {
     PpScanOptions options;
     options.num_threads = config.num_threads;
-    options.kernel = config.kernel;
-    return ppscan(graph, params, options);
-  }
-  if (name == "ppSCAN-NO") {
-    PpScanOptions options;
-    options.num_threads = config.num_threads;
-    options.kernel = IntersectKind::MergeEarlyStop;
+    options.kernel =
+        name == "ppSCAN" ? config.kernel : IntersectKind::MergeEarlyStop;
+    options.limits = config.limits;
+    options.cancel = config.cancel;
     return ppscan(graph, params, options);
   }
   throw std::invalid_argument("unknown algorithm: " + name);

@@ -15,6 +15,11 @@ struct AlgorithmConfig {
   int num_threads = 1;
   /// Kernel used by the configurable algorithms (pSCAN, ppSCAN).
   IntersectKind kernel = IntersectKind::Auto;
+  /// Run governance, forwarded to every algorithm (all of them honor it;
+  /// see RunGovernor). Default limits govern nothing.
+  RunLimits limits;
+  /// Optional external cancel token; not owned, may be null.
+  CancelToken* cancel = nullptr;
 };
 
 /// Algorithm names accepted by run_algorithm, in the order the paper's

@@ -29,12 +29,28 @@
 // Per-worker counters (tasks executed, steals, busy/idle nanoseconds) are
 // accumulated with relaxed atomics and aggregated by stats() at a barrier,
 // feeding the scheduler-ablation and scalability harnesses.
+//
+// Run governance (install_governor): with a RunGovernor installed, workers
+// poll the cancel token at every claim boundary — a tripped run drains in
+// O(one task) per worker, each remaining claimed range counted as skipped
+// instead of executed — piggyback the wall-clock deadline check on the
+// claim, and bump a per-worker heartbeat around every task. A governor
+// with a deadline or stall timeout additionally arms a dedicated
+// supervisor thread (spawned lazily, ~1ms tick) that polls the deadline
+// and watches the heartbeats for a no-progress stall even while every
+// worker is wedged inside a long task body; the master's wait_idle() stays
+// on the plain futex park either way, so supervision adds no barrier
+// latency and no master-side wakeups to the uncancelled path. Without a
+// governor every governed branch is a single null-pointer test on the
+// claim path.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -42,6 +58,8 @@
 #include "util/types.hpp"
 
 namespace ppscan {
+
+class RunGovernor;
 
 /// One task: a half-open vertex range. POD, packed into a single uint64 in
 /// every queue so the hot path never allocates.
@@ -57,6 +75,7 @@ using RangeFn = void (*)(void* ctx, VertexId beg, VertexId end);
 /// executor per clustering call, so these are per-run numbers).
 struct ExecutorStats {
   std::uint64_t tasks_executed = 0;  ///< ranges claimed and run by workers
+  std::uint64_t tasks_skipped = 0;   ///< ranges drained by a cancelled run
   std::uint64_t steals = 0;          ///< claims taken from another worker
   double busy_seconds = 0;           ///< summed in-task time over workers
   double idle_seconds = 0;           ///< summed mid-phase scan/park time
@@ -229,7 +248,21 @@ class Executor {
   /// Aggregated counters; call at a barrier for exact numbers.
   [[nodiscard]] ExecutorStats stats() const;
 
+  /// Installs (or clears, with nullptr) the run governor. Master only, at a
+  /// barrier — not while a phase is in flight. The governor must outlive
+  /// every subsequent run()/wait_idle() until replaced.
+  void install_governor(RunGovernor* governor);
+  [[nodiscard]] RunGovernor* governor() const {
+    return governor_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// Claims between clock reads on the per-claim deadline poll. The trip
+  /// itself is supervisor-driven; this only affects how fast a worker
+  /// notices a deadline between supervisor ticks, so a coarse stride is
+  /// fine and keeps the armed-but-idle overhead under the 2% target.
+  static constexpr std::uint32_t kDeadlinePollStride = 64;
+
   // One cache line per worker: the phase-tagged claim cursor plus the
   // owner-written counters. The Chase–Lev deque and the thread handle live
   // alongside (they have their own internal layout).
@@ -244,13 +277,31 @@ class Executor {
     std::atomic<std::uint64_t> segment_end{0};
     detail::RangeDeque deque;
     std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> skipped{0};
+    /// Bumped on task entry and exit (odd = inside a task body). The
+    /// watchdog's progress signal: a stall is "no heartbeat moved while
+    /// tasks were pending"; an odd, frozen heartbeat names the stuck
+    /// worker.
+    std::atomic<std::uint64_t> heartbeat{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> busy_ns{0};
     std::atomic<std::uint64_t> idle_ns{0};
+    /// Owner-only stride counter for the per-claim deadline poll: the
+    /// clock is read every kDeadlinePollStride-th claim — the supervisor
+    /// thread bounds deadline latency, the claim-side poll only sharpens
+    /// it, so it need not pay a clock read per task.
+    std::uint32_t deadline_poll_tick = 0;
     std::thread thread;
   };
 
   void worker_loop(int index);
+  /// Body of the governance supervisor thread: an adaptive tick loop
+  /// polling the installed governor's deadline and heartbeat progress.
+  /// Runs for the executor's remaining lifetime once any supervised
+  /// governor has been installed; ticks are a few loads when nothing is
+  /// armed, and install_governor wakes it whenever a new run's limits
+  /// need a finer cadence than the idle one.
+  void supervisor_loop();
   /// Claims one range: own segment, own deque, then neighbors' segments and
   /// deques, then the injector. Counts steals on `self`.
   bool try_claim(int self, TaskRange* out);
@@ -259,6 +310,10 @@ class Executor {
   void execute(TaskRange range, Worker& self);
   void finish_one_task();
   void wake_workers();
+  [[nodiscard]] std::uint64_t heartbeat_sum() const;
+  /// First worker currently inside a task body (odd heartbeat), -1 if none
+  /// — the stall report's culprit once progress has provably stopped.
+  [[nodiscard]] int find_stuck_worker() const;
 
   static std::uint64_t pack(TaskRange r) {
     return (static_cast<std::uint64_t>(r.beg) << 32) | r.end;
@@ -282,6 +337,26 @@ class Executor {
   std::atomic<std::uint32_t> pending_{0};  // outstanding (unfinished) tasks
   std::atomic<std::uint32_t> epoch_{0};    // bumped on new work; futex word
   std::atomic<bool> stop_{false};
+  // Written by the master at barriers, read by workers per claim; atomic so
+  // a worker spinning between phases never races the install.
+  std::atomic<RunGovernor*> governor_{nullptr};
+
+  // Governance supervisor thread (lazily spawned by install_governor).
+  // supervisor_busy_ is the grace-period handshake: the supervisor raises
+  // it around each use of the governor pointer, and install_governor spins
+  // until it drops after swapping the pointer — so the caller may destroy
+  // the old governor the moment install_governor returns.
+  // The tick sleep is a condvar wait so install_governor can wake the
+  // supervisor instantly for a fresh run's (possibly much nearer) deadline
+  // — which in turn lets the idle cadence stretch far beyond any single
+  // run's latency needs. supervisor_epoch_ guards against a notify landing
+  // before the wait.
+  std::thread supervisor_;
+  std::atomic<bool> supervisor_stop_{false};
+  std::atomic<int> supervisor_busy_{0};
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  std::uint64_t supervisor_epoch_ = 0;  // guarded by supervisor_mutex_
 };
 
 }  // namespace ppscan

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "concurrent/executor.hpp"
+#include "concurrent/run_governor.hpp"
 #include "concurrent/thread_pool.hpp"
 #include "util/types.hpp"
 
@@ -88,7 +89,17 @@ struct SchedulerOptions {
   RuntimeKind runtime = RuntimeKind::WorkSteal;
   std::uint64_t degree_threshold = 32768;  // paper's tuned value
   VertexId chunk_size = 4096;              // for FixedChunk
+  /// Run governance (cancellation/deadline/budget/watchdog). When set, the
+  /// scheduled bodies poll the cancel token every kGovernorPollStride
+  /// vertices on every runtime (executor, mutex pool, OpenMP) so even a
+  /// single huge range drains promptly after a trip. Not owned; must
+  /// outlive the scheduled phases. nullptr = ungoverned (zero overhead).
+  RunGovernor* governor = nullptr;
 };
+
+/// Vertices between cancel-token polls inside a scheduled range. Power of
+/// two; one relaxed atomic load per stride on the governed path.
+inline constexpr VertexId kGovernorPollStride = 64;
 
 /// Statistics of one scheduled phase, for the load-balance ablation.
 struct ScheduleStats {
@@ -153,14 +164,39 @@ std::uint64_t bundle_ranges(std::vector<TaskRange>& ranges, VertexId n,
 
 template <typename NeedsWork, typename Work>
 void run_omp_dynamic(int num_threads, VertexId n, NeedsWork&& needs_work,
-                     Work&& work) {
+                     Work&& work, RunGovernor* governor = nullptr) {
   const std::int64_t count = n;
+  const CancelToken* token = governor != nullptr ? &governor->token() : nullptr;
 #pragma omp parallel for schedule(dynamic, 256) num_threads(num_threads)
   for (std::int64_t u = 0; u < count; ++u) {
+    // OpenMP loops cannot break; a tripped token reduces each remaining
+    // iteration to one relaxed load per stride.
+    if (token != nullptr && (u & (kGovernorPollStride - 1)) == 0 &&
+        token->cancelled()) {
+      continue;
+    }
     if (needs_work(static_cast<VertexId>(u))) {
       work(static_cast<VertexId>(u));
     }
   }
+}
+
+/// Wraps the per-range body with the governed poll: one relaxed token load
+/// every kGovernorPollStride vertices, so a cancelled run abandons even a
+/// huge range in O(stride) work.
+template <typename NeedsWork, typename Work>
+auto make_range_body(NeedsWork& needs_work, Work& work,
+                     RunGovernor* governor) {
+  const CancelToken* token = governor != nullptr ? &governor->token() : nullptr;
+  return [&needs_work, &work, token](VertexId beg, VertexId end) {
+    for (VertexId u = beg; u < end; ++u) {
+      if (token != nullptr && ((u - beg) & (kGovernorPollStride - 1)) == 0 &&
+          token->cancelled()) {
+        return;
+      }
+      if (needs_work(u)) work(u);
+    }
+  };
 }
 
 }  // namespace detail
@@ -185,8 +221,12 @@ ScheduleStats schedule_vertex_tasks(Executor& executor, VertexId n,
                                     std::vector<TaskRange>* scratch =
                                         nullptr) {
   ScheduleStats stats;
+  if (options.governor != nullptr && options.governor->should_stop()) {
+    return stats;  // cancelled before bundling: the whole phase is skipped
+  }
   if (options.kind == SchedulerKind::OmpDynamic) {
-    detail::run_omp_dynamic(executor.num_threads(), n, needs_work, work);
+    detail::run_omp_dynamic(executor.num_threads(), n, needs_work, work,
+                            options.governor);
     return stats;  // bypasses the executor entirely
   }
   std::vector<TaskRange> local;
@@ -194,11 +234,8 @@ ScheduleStats schedule_vertex_tasks(Executor& executor, VertexId n,
   ranges.clear();
   stats.tasks_submitted = detail::bundle_ranges(
       ranges, n, executor.num_threads(), degree_of, needs_work, options);
-  const auto body = [&](VertexId beg, VertexId end) {
-    for (VertexId u = beg; u < end; ++u) {
-      if (needs_work(u)) work(u);
-    }
-  };
+  const auto body = detail::make_range_body(needs_work, work,
+                                            options.governor);
   executor.run(ranges.data(), ranges.size(), body);
   return stats;
 }
@@ -211,16 +248,31 @@ ScheduleStats schedule_vertex_tasks(ThreadPool& pool, VertexId n,
                                     NeedsWork&& needs_work, Work&& work,
                                     const SchedulerOptions& options = {}) {
   ScheduleStats stats;
+  if (options.governor != nullptr && options.governor->should_stop()) {
+    return stats;  // cancelled before bundling: the whole phase is skipped
+  }
   if (options.kind == SchedulerKind::OmpDynamic) {
-    detail::run_omp_dynamic(pool.num_threads(), n, needs_work, work);
+    detail::run_omp_dynamic(pool.num_threads(), n, needs_work, work,
+                            options.governor);
     return stats;  // no pool tasks were submitted
   }
   std::vector<TaskRange> ranges;
   stats.tasks_submitted = detail::bundle_ranges(
       ranges, n, pool.num_threads(), degree_of, needs_work, options);
+  RunGovernor* governor = options.governor;
   for (const TaskRange r : ranges) {
-    pool.submit([r, &needs_work, &work] {
+    pool.submit([r, &needs_work, &work, governor] {
+      // Same governed poll as the executor path: the token at task entry
+      // (so a cancelled queue drains fast) and every stride inside.
+      if (governor != nullptr && governor->checkpoint()) return;
+      const CancelToken* token =
+          governor != nullptr ? &governor->token() : nullptr;
       for (VertexId u = r.beg; u < r.end; ++u) {
+        if (token != nullptr &&
+            ((u - r.beg) & (kGovernorPollStride - 1)) == 0 &&
+            token->cancelled()) {
+          return;
+        }
         if (needs_work(u)) work(u);
       }
     });

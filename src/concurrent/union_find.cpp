@@ -4,7 +4,9 @@
 
 namespace ppscan {
 
-UnionFind::UnionFind(VertexId n) : parent_(n), rank_(n, 0) {
+void UnionFind::reset(VertexId n) {
+  parent_.resize(n);
+  rank_.assign(n, 0);
   for (VertexId i = 0; i < n; ++i) parent_[i] = i;
 }
 
@@ -26,7 +28,7 @@ bool UnionFind::unite(VertexId x, VertexId y) {
   return true;
 }
 
-ParallelUnionFind::ParallelUnionFind(VertexId n) {
+void ParallelUnionFind::reset(VertexId n) {
   parent_.assign(n);
   rank_.assign(n, 0);
   for (VertexId i = 0; i < n; ++i) parent_.store(i, i);

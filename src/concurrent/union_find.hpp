@@ -20,7 +20,13 @@ namespace ppscan {
 
 class UnionFind {
  public:
-  explicit UnionFind(VertexId n);
+  /// Empty structure; call reset() before use (deferred allocation, see
+  /// ParallelUnionFind).
+  UnionFind() = default;
+  explicit UnionFind(VertexId n) { reset(n); }
+
+  /// (Re)allocates n singleton sets.
+  void reset(VertexId n);
 
   VertexId find(VertexId x);
   /// Returns true when two distinct sets were merged.
@@ -37,7 +43,13 @@ class UnionFind {
 
 class ParallelUnionFind {
  public:
-  explicit ParallelUnionFind(VertexId n);
+  /// Empty structure; call reset() before use. Lets callers defer the
+  /// allocation until after a memory-budget charge.
+  ParallelUnionFind() = default;
+  explicit ParallelUnionFind(VertexId n) { reset(n); }
+
+  /// (Re)allocates n singleton sets. Not thread-safe.
+  void reset(VertexId n);
 
   /// Thread-safe root lookup with path halving.
   VertexId find(VertexId x);

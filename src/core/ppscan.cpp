@@ -22,16 +22,35 @@ class PpScanRunner {
         params_(params),
         options_(options),
         kernel_(similar_fn(options.kernel)),
-        uf_(graph.num_vertices()) {
+        governor_(options.limits, options.cancel) {
     if (options.scheduler.runtime == RuntimeKind::MutexPool) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     } else {
       exec_ = std::make_unique<Executor>(options.num_threads);
+      exec_->install_governor(&governor_);
     }
-    sim_.assign(graph.num_arcs(), kSimUncached);
-    roles_.assign(graph.num_vertices(),
-                  static_cast<std::uint8_t>(Role::Unknown));
-    cluster_id_.assign(graph.num_vertices(), kInvalidVertex);
+    sched_ = options.scheduler;
+    sched_.governor = &governor_;
+    // Charge the state arrays against the memory budget before allocating;
+    // on overshoot (or a real bad_alloc) the run aborts before any phase
+    // and returns the all-Unknown partial result.
+    const VertexId n = graph.num_vertices();
+    const std::uint64_t state_bytes =
+        static_cast<std::uint64_t>(graph.num_arcs()) * sizeof(std::int32_t) +
+        static_cast<std::uint64_t>(n) *
+            (2 * sizeof(std::uint8_t) + 2 * sizeof(VertexId));
+    alloc_ok_ = governor_.try_charge(state_bytes, "ppscan state arrays");
+    if (alloc_ok_) {
+      try {
+        sim_.assign(graph.num_arcs(), kSimUncached);
+        roles_.assign(n, static_cast<std::uint8_t>(Role::Unknown));
+        cluster_id_.assign(n, kInvalidVertex);
+        uf_.reset(n);
+      } catch (const std::bad_alloc&) {
+        governor_.record_alloc_failure(state_bytes, "ppscan state arrays");
+        alloc_ok_ = false;
+      }
+    }
     // One membership buffer per worker plus a trailing slot for the master
     // (serial fallbacks) — the OpenMP policy's thread ids also land in
     // [0, num_threads). Padded so concurrent appends never share a line.
@@ -41,27 +60,39 @@ class PpScanRunner {
 
   ScanRun run() {
     WallTimer total;
-    if (options_.use_reverse_index) {
-      reverse_index_ = ReverseArcIndex(graph_);
+    if (alloc_ok_ && options_.use_reverse_index && !governor_.should_stop()) {
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(graph_.num_arcs()) * sizeof(EdgeId);
+      if (governor_.try_charge(bytes, "reverse arc index")) {
+        try {
+          reverse_index_ = ReverseArcIndex(graph_);
+        } catch (const std::bad_alloc&) {
+          governor_.record_alloc_failure(bytes, "reverse arc index");
+        }
+      }
     }
-    {
-      ScopedAccumTimer t(stats_.stage_prune_seconds);
-      phase_prune_sim();
-    }
-    {
-      ScopedAccumTimer t(stats_.stage_check_seconds);
-      phase_check_core();
-      phase_consolidate_core();
-    }
-    {
-      ScopedAccumTimer t(stats_.stage_core_cluster_seconds);
-      phase_cluster_core_without_compsim();
-      phase_cluster_core_with_compsim();
-      phase_init_cluster_id();
-    }
-    {
-      ScopedAccumTimer t(stats_.stage_noncore_cluster_seconds);
-      phase_cluster_noncore();
+    if (alloc_ok_) {
+      {
+        ScopedAccumTimer t(stats_.stage_prune_seconds);
+        phase("PruneSim", [this] { phase_prune_sim(); });
+      }
+      {
+        ScopedAccumTimer t(stats_.stage_check_seconds);
+        phase("CheckCore", [this] { phase_check_core(); });
+        phase("ConsolidateCore", [this] { phase_consolidate_core(); });
+      }
+      {
+        ScopedAccumTimer t(stats_.stage_core_cluster_seconds);
+        phase("ClusterCoreWithoutCompSim",
+              [this] { phase_cluster_core_without_compsim(); });
+        phase("ClusterCoreWithCompSim",
+              [this] { phase_cluster_core_with_compsim(); });
+        phase("InitClusterId", [this] { phase_init_cluster_id(); });
+      }
+      {
+        ScopedAccumTimer t(stats_.stage_noncore_cluster_seconds);
+        phase("ClusterNonCore", [this] { phase_cluster_noncore(); });
+      }
     }
     ScanRun run = assemble_result();
     run.stats = stats_;
@@ -74,6 +105,7 @@ class PpScanRunner {
       run.stats.idle_seconds = es.idle_seconds;
     }
     run.stats.total_seconds = total.elapsed_s();
+    record_governance(governor_, run.stats);
     return run;
   }
 
@@ -85,6 +117,19 @@ class PpScanRunner {
     roles_.store(u, static_cast<std::uint8_t>(r));
   }
 
+  /// Runs one named phase under the governor: skipped entirely once the
+  /// token is tripped, counted as completed only when it reached its
+  /// barrier uncancelled.
+  template <typename Body>
+  void phase(const char* name, Body&& body) {
+    if (governor_.should_stop()) return;
+    governor_.enter_phase(name);
+    // Re-check: the cancel_at_phase test hook trips on phase entry.
+    if (governor_.should_stop()) return;
+    body();
+    if (!governor_.should_stop()) governor_.finish_phase();
+  }
+
   template <typename NeedsWork, typename Work>
   void run_phase(NeedsWork&& needs_work, Work&& work) {
     const auto degree = [this](VertexId u) { return graph_.degree(u); };
@@ -92,13 +137,12 @@ class PpScanRunner {
     if (exec_) {
       st = schedule_vertex_tasks(*exec_, graph_.num_vertices(), degree,
                                  std::forward<NeedsWork>(needs_work),
-                                 std::forward<Work>(work), options_.scheduler,
+                                 std::forward<Work>(work), sched_,
                                  &range_scratch_);
     } else {
       st = schedule_vertex_tasks(*pool_, graph_.num_vertices(), degree,
                                  std::forward<NeedsWork>(needs_work),
-                                 std::forward<Work>(work),
-                                 options_.scheduler);
+                                 std::forward<Work>(work), sched_);
     }
     stats_.tasks_submitted += st.tasks_submitted;
   }
@@ -342,7 +386,16 @@ class PpScanRunner {
       std::copy(pairs.begin(), pairs.end(),
                 memberships_.begin() + static_cast<std::ptrdiff_t>(offset[i]));
     };
+    // A cancelled executor skips task bodies at claim time, which would
+    // leave value-initialized {0, 0} holes from the resize above — pairs
+    // that reference cluster 0 the run never formed. And the trip can land
+    // *mid-copy* (the deadline fires whenever it fires), so checking the
+    // token up front is not enough: the governor is uninstalled for the
+    // duration of the merge instead. The copy moves only already-collected
+    // data — bounded, allocation-free memcpy work — so letting it finish
+    // under cancellation keeps the drain latency bound intact.
     if (exec_ && offset[slots] > 0) {
+      exec_->install_governor(nullptr);
       std::vector<TaskRange> copies;
       for (std::size_t i = 0; i < slots; ++i) {
         if (!membership_slots_[i].pairs.empty()) {
@@ -354,6 +407,7 @@ class PpScanRunner {
                  [&](VertexId beg, VertexId end) {
                    for (VertexId i = beg; i < end; ++i) copy_slot(i);
                  });
+      exec_->install_governor(&governor_);
     } else {
       for (std::size_t i = 0; i < slots; ++i) copy_slot(i);
     }
@@ -362,8 +416,13 @@ class PpScanRunner {
   ScanRun assemble_result() {
     ScanRun run;
     const VertexId n = graph_.num_vertices();
-    run.result.roles.resize(n);
     run.result.core_cluster_id.assign(n, kInvalidVertex);
+    if (!alloc_ok_) {
+      // The state arrays were never allocated: every vertex stays Unknown.
+      run.result.roles.assign(n, Role::Unknown);
+      return run;
+    }
+    run.result.roles.resize(n);
     for (VertexId u = 0; u < n; ++u) {
       run.result.roles[u] = role_of(u);
       if (run.result.roles[u] == Role::Core) {
@@ -383,6 +442,11 @@ class PpScanRunner {
   const ScanParams& params_;
   const PpScanOptions& options_;
   SimilarFn kernel_;
+  // Declared before the runtimes so workers (which poll it) are joined
+  // before the governor is destroyed.
+  RunGovernor governor_;
+  SchedulerOptions sched_;
+  bool alloc_ok_ = true;
   std::unique_ptr<Executor> exec_;
   std::unique_ptr<ThreadPool> pool_;  // legacy mutex-queue baseline
   std::vector<TaskRange> range_scratch_;

@@ -50,6 +50,14 @@ struct PpScanOptions {
   /// binary-searching e(v,u) per decided edge — off reproduces the paper's
   /// lookup; bench_ablation_reverse_index measures the trade-off.
   bool use_reverse_index = false;
+
+  /// Run governance: deadline / memory budget / watchdog / deterministic
+  /// cancel-at-phase hook. Default-constructed limits govern nothing.
+  RunLimits limits;
+  /// Optional external cancel token (e.g. tripped from a signal handler).
+  /// Not owned; may be null. A tripped token makes the run return a
+  /// labeled partial result (see ScanRun).
+  CancelToken* cancel = nullptr;
 };
 
 ScanRun ppscan(const CsrGraph& graph, const ScanParams& params,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 #include "concurrent/task_scheduler.hpp"
 #include "concurrent/executor.hpp"
+#include "concurrent/run_governor.hpp"
 #include "concurrent/union_find.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
@@ -37,49 +39,88 @@ struct SigmaGreater {
 }  // namespace
 
 GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
-    : graph_(graph),
-      overlap_(graph.num_arcs(), 0),
-      ordered_arcs_(graph.num_arcs(), 0) {
+    : graph_(graph) {
   WallTimer timer;
+  RunGovernor governor(options.limits, options.cancel);
+  // Charge the index arrays against the memory budget before allocating —
+  // the construction footprint is the cost the paper argues makes indexing
+  // prohibitive, so it is the natural thing to bound.
+  const std::uint64_t index_bytes =
+      static_cast<std::uint64_t>(graph.num_arcs()) *
+      (sizeof(std::uint32_t) + sizeof(EdgeId));
+  bool alloc_ok = governor.try_charge(index_bytes, "gs-index arrays");
+  if (alloc_ok) {
+    try {
+      overlap_.assign(graph.num_arcs(), 0);
+      ordered_arcs_.assign(graph.num_arcs(), 0);
+    } catch (const std::bad_alloc&) {
+      governor.record_alloc_failure(index_bytes, "gs-index arrays");
+      alloc_ok = false;
+    }
+  }
+
   Executor pool(options.num_threads);
+  pool.install_governor(&governor);
+  SchedulerOptions sched;
+  sched.governor = &governor;
   const CountFn count = count_fn(options.count_kernel);
   std::atomic<std::uint64_t> intersections{0};
   const auto degree_of = [&](VertexId u) { return graph_.degree(u); };
   const auto all = [](VertexId) { return true; };
 
-  // Exhaustive similarity: the u < v owner computes each edge once and
-  // mirrors the overlap to the reverse arc (no readers until the barrier).
-  schedule_vertex_tasks(
-      pool, graph_.num_vertices(), degree_of, all,
-      [&](VertexId u) {
-        std::uint64_t local = 0;
-        for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
-             ++e) {
-          const VertexId v = graph_.dst()[e];
-          if (u >= v) continue;
-          const auto cn = static_cast<std::uint32_t>(
-              count(graph_.neighbors(u), graph_.neighbors(v)) + 2);
-          ++local;
-          overlap_[e] = cn;
-          overlap_[graph_.reverse_arc(u, e)] = cn;
-        }
-        intersections.fetch_add(local, std::memory_order_relaxed);
-      });
+  const auto phase = [&](const char* name, auto&& body) {
+    if (governor.should_stop()) return;
+    governor.enter_phase(name);
+    // Re-check: the cancel_at_phase test hook trips on phase entry.
+    if (governor.should_stop()) return;
+    body();
+    if (!governor.should_stop()) governor.finish_phase();
+  };
 
-  // Neighbor order: per-vertex arc slots sorted by σ descending.
-  schedule_vertex_tasks(
-      pool, graph_.num_vertices(), degree_of, all,
-      [&](VertexId u) {
-        const EdgeId begin = graph_.offset_begin(u);
-        const EdgeId end = graph_.offset_end(u);
-        for (EdgeId e = begin; e < end; ++e) ordered_arcs_[e] = e;
-        std::sort(ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(begin),
-                  ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(end),
-                  SigmaGreater{graph_, overlap_, u});
-      });
+  if (alloc_ok) {
+    // Exhaustive similarity: the u < v owner computes each edge once and
+    // mirrors the overlap to the reverse arc (no readers until the barrier).
+    phase("Overlap", [&] {
+      schedule_vertex_tasks(
+          pool, graph_.num_vertices(), degree_of, all,
+          [&](VertexId u) {
+            std::uint64_t local = 0;
+            for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
+                 ++e) {
+              const VertexId v = graph_.dst()[e];
+              if (u >= v) continue;
+              const auto cn = static_cast<std::uint32_t>(
+                  count(graph_.neighbors(u), graph_.neighbors(v)) + 2);
+              ++local;
+              overlap_[e] = cn;
+              overlap_[graph_.reverse_arc(u, e)] = cn;
+            }
+            intersections.fetch_add(local, std::memory_order_relaxed);
+          },
+          sched);
+    });
 
+    // Neighbor order: per-vertex arc slots sorted by σ descending.
+    phase("NeighborOrder", [&] {
+      schedule_vertex_tasks(
+          pool, graph_.num_vertices(), degree_of, all,
+          [&](VertexId u) {
+            const EdgeId begin = graph_.offset_begin(u);
+            const EdgeId end = graph_.offset_end(u);
+            for (EdgeId e = begin; e < end; ++e) ordered_arcs_[e] = e;
+            std::sort(
+                ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(begin),
+                ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(end),
+                SigmaGreater{graph_, overlap_, u});
+          },
+          sched);
+    });
+  }
+
+  complete_ = alloc_ok && !governor.should_stop();
   build_stats_.intersections = intersections.load();
   build_stats_.construction_seconds = timer.elapsed_s();
+  build_stats_.abort = governor.abort_info();
 }
 
 bool GsIndex::entry_similar(const EpsRational& eps, VertexId u,
@@ -90,6 +131,10 @@ bool GsIndex::entry_similar(const EpsRational& eps, VertexId u,
 }
 
 ScanRun GsIndex::query(const ScanParams& params) const {
+  if (!complete_) {
+    throw std::logic_error("GsIndex::query on aborted construction (" +
+                           build_stats_.abort.describe() + ")");
+  }
   WallTimer timer;
   const VertexId n = graph_.num_vertices();
   ScanRun run;

@@ -37,11 +37,19 @@ class GsIndex {
     int num_threads = 1;
     /// Exact-count kernel used for the exhaustive construction pass.
     IntersectKind count_kernel = IntersectKind::Auto;
+    /// Run governance for the construction pass (the paper's argument
+    /// against indexing is exactly that this pass is expensive — a deadline
+    /// or budget makes it abortable). Default limits govern nothing.
+    RunLimits limits;
+    /// Optional external cancel token; not owned, may be null.
+    CancelToken* cancel = nullptr;
   };
 
   struct BuildStats {
     double construction_seconds = 0;
     std::uint64_t intersections = 0;
+    /// Why an aborted construction stopped; reason None = built fully.
+    RunAborted abort;
   };
 
   /// Builds the index: one exact intersection per edge plus the per-vertex
@@ -50,8 +58,14 @@ class GsIndex {
   explicit GsIndex(const CsrGraph& graph) : GsIndex(graph, BuildOptions{}) {}
 
   /// Answers a SCAN query; the result is bit-identical to running any of
-  /// the library's SCAN algorithms with the same parameters.
+  /// the library's SCAN algorithms with the same parameters. Throws
+  /// std::logic_error when the construction was aborted (an incomplete
+  /// neighbor order would answer queries wrongly, not partially).
   [[nodiscard]] ScanRun query(const ScanParams& params) const;
+
+  /// False when a governed construction hit a limit; build_stats().abort
+  /// says why. An incomplete index refuses queries.
+  [[nodiscard]] bool complete() const { return complete_; }
 
   [[nodiscard]] const BuildStats& build_stats() const { return build_stats_; }
 
@@ -76,6 +90,7 @@ class GsIndex {
   /// ordered_arcs_[off] indexes into graph.dst()/overlap_.
   std::vector<EdgeId> ordered_arcs_;
   BuildStats build_stats_;
+  bool complete_ = false;
 };
 
 }  // namespace ppscan

@@ -6,6 +6,7 @@
 
 #include "concurrent/task_scheduler.hpp"
 #include "concurrent/executor.hpp"
+#include "concurrent/run_governor.hpp"
 #include "concurrent/union_find.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
@@ -43,103 +44,153 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
   run.result.roles.assign(n, Role::Unknown);
   run.result.core_cluster_id.assign(n, kInvalidVertex);
 
+  RunGovernor governor(options.limits, options.cancel);
+  // Charge the big state arrays before allocating; overshoot (or bad_alloc)
+  // aborts before any phase with the all-Unknown result.
+  std::vector<std::int32_t> sim;  // per-arc cache owned by the arc's tail
+  ParallelUnionFind uf;
+  std::vector<VertexId> cluster_id;
+  const std::uint64_t state_bytes =
+      static_cast<std::uint64_t>(graph.num_arcs()) * sizeof(std::int32_t) +
+      static_cast<std::uint64_t>(n) *
+          (2 * sizeof(VertexId) + sizeof(std::uint8_t));
+  bool alloc_ok = governor.try_charge(state_bytes, "anyscan state arrays");
+  if (alloc_ok) {
+    try {
+      sim.assign(graph.num_arcs(), kSimUncached);
+      uf.reset(n);
+      cluster_id.assign(n, kInvalidVertex);
+    } catch (const std::bad_alloc&) {
+      governor.record_alloc_failure(state_bytes, "anyscan state arrays");
+      alloc_ok = false;
+    }
+  }
+
   Executor pool(options.num_threads);
-  // Per-arc cache owned by the arc's tail; no reverse mirroring.
-  std::vector<std::int32_t> sim(graph.num_arcs(), kSimUncached);
+  pool.install_governor(&governor);
+  SchedulerOptions sched;
+  sched.governor = &governor;
   std::atomic<std::uint64_t> invocations{0};
   const auto degree_of = [&](VertexId u) { return graph.degree(u); };
 
-  // Role computing, block by block (the anytime-style outer iteration).
-  for (VertexId block_begin = 0; block_begin < n;
-       block_begin += options.block_size) {
-    const VertexId block_end =
-        std::min<VertexId>(block_begin + options.block_size, n);
-    const VertexId width = block_end - block_begin;
-    schedule_vertex_tasks(
-        pool, width, [&](VertexId i) { return graph.degree(block_begin + i); },
-        [](VertexId) { return true; },
-        [&](VertexId i) {
-          const VertexId u = block_begin + i;
-          // Dynamic scratch per vertex — deliberately allocation-heavy.
-          std::vector<std::int32_t> local_flags;
-          local_flags.reserve(graph.degree(u));
-          std::uint32_t sd = 0;
-          std::uint32_t ed = graph.degree(u);
-          std::uint64_t local_invocations = 0;
-          for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
-               ++e) {
-            const ArcEval eval =
-                evaluate_arc(graph, params, u, graph.dst()[e]);
-            if (eval.computed) ++local_invocations;
-            sim[e] = eval.flag;
-            local_flags.push_back(eval.flag);
-            if (eval.flag == kSimFlag) {
-              ++sd;
-            } else {
-              --ed;
+  const auto phase = [&](const char* name, auto&& body) {
+    if (governor.should_stop()) return;
+    governor.enter_phase(name);
+    // Re-check: the cancel_at_phase test hook trips on phase entry.
+    if (governor.should_stop()) return;
+    body();
+    if (!governor.should_stop()) governor.finish_phase();
+  };
+
+  if (alloc_ok) {
+    // Role computing, block by block (the anytime-style outer iteration).
+    // Each role is decided from the vertex's own arcs alone, so every role
+    // written before a trip is final.
+    phase("Roles", [&] {
+      for (VertexId block_begin = 0; block_begin < n;
+           block_begin += options.block_size) {
+        if (governor.checkpoint()) break;
+        const VertexId block_end =
+            std::min<VertexId>(block_begin + options.block_size, n);
+        const VertexId width = block_end - block_begin;
+        schedule_vertex_tasks(
+            pool, width,
+            [&](VertexId i) { return graph.degree(block_begin + i); },
+            [](VertexId) { return true; },
+            [&](VertexId i) {
+              const VertexId u = block_begin + i;
+              // Dynamic scratch per vertex — deliberately allocation-heavy.
+              std::vector<std::int32_t> local_flags;
+              local_flags.reserve(graph.degree(u));
+              std::uint32_t sd = 0;
+              std::uint32_t ed = graph.degree(u);
+              std::uint64_t local_invocations = 0;
+              for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
+                   ++e) {
+                const ArcEval eval =
+                    evaluate_arc(graph, params, u, graph.dst()[e]);
+                if (eval.computed) ++local_invocations;
+                sim[e] = eval.flag;
+                local_flags.push_back(eval.flag);
+                if (eval.flag == kSimFlag) {
+                  ++sd;
+                } else {
+                  --ed;
+                }
+                if (sd >= params.mu || ed < params.mu) break;  // local min-max
+              }
+              run.result.roles[u] =
+                  sd >= params.mu ? Role::Core : Role::NonCore;
+              invocations.fetch_add(local_invocations,
+                                    std::memory_order_relaxed);
+            },
+            sched);
+      }
+    });
+
+    // Clustering: cores complete their arc evaluations (a second source of
+    // redundancy — edges cut short by the role phase are recomputed).
+    std::mutex merge_mutex;
+    std::vector<std::pair<VertexId, VertexId>> core_noncore_sim_edges;
+    phase("ClusterCore", [&] {
+      schedule_vertex_tasks(
+          pool, n, degree_of,
+          [&](VertexId u) { return run.result.roles[u] == Role::Core; },
+          [&](VertexId u) {
+            std::vector<std::pair<VertexId, VertexId>> local;
+            std::uint64_t local_invocations = 0;
+            for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
+                 ++e) {
+              const VertexId v = graph.dst()[e];
+              std::int32_t flag = sim[e];
+              if (flag == kSimUncached) {
+                const ArcEval eval = evaluate_arc(graph, params, u, v);
+                if (eval.computed) ++local_invocations;
+                flag = eval.flag;
+                sim[e] = flag;
+              }
+              if (flag != kSimFlag) continue;
+              if (run.result.roles[v] == Role::Core) {
+                if (u < v) uf.unite(u, v);
+              } else {
+                local.emplace_back(u, v);
+              }
             }
-            if (sd >= params.mu || ed < params.mu) break;  // local min-max
-          }
-          run.result.roles[u] = sd >= params.mu ? Role::Core : Role::NonCore;
-          invocations.fetch_add(local_invocations,
-                                std::memory_order_relaxed);
-        });
-  }
+            invocations.fetch_add(local_invocations,
+                                  std::memory_order_relaxed);
+            if (!local.empty()) {
+              std::lock_guard lock(merge_mutex);
+              core_noncore_sim_edges.insert(core_noncore_sim_edges.end(),
+                                            local.begin(), local.end());
+            }
+          },
+          sched);
+    });
 
-  // Clustering: cores complete their arc evaluations (a second source of
-  // redundancy — edges cut short by the role phase are recomputed).
-  ParallelUnionFind uf(n);
-  std::mutex merge_mutex;
-  std::vector<std::pair<VertexId, VertexId>> core_noncore_sim_edges;
-  schedule_vertex_tasks(
-      pool, n, degree_of,
-      [&](VertexId u) { return run.result.roles[u] == Role::Core; },
-      [&](VertexId u) {
-        std::vector<std::pair<VertexId, VertexId>> local;
-        std::uint64_t local_invocations = 0;
-        for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u); ++e) {
-          const VertexId v = graph.dst()[e];
-          std::int32_t flag = sim[e];
-          if (flag == kSimUncached) {
-            const ArcEval eval = evaluate_arc(graph, params, u, v);
-            if (eval.computed) ++local_invocations;
-            flag = eval.flag;
-            sim[e] = flag;
-          }
-          if (flag != kSimFlag) continue;
-          if (run.result.roles[v] == Role::Core) {
-            if (u < v) uf.unite(u, v);
-          } else {
-            local.emplace_back(u, v);
-          }
-        }
-        invocations.fetch_add(local_invocations, std::memory_order_relaxed);
-        if (!local.empty()) {
-          std::lock_guard lock(merge_mutex);
-          core_noncore_sim_edges.insert(core_noncore_sim_edges.end(),
-                                        local.begin(), local.end());
-        }
-      });
-
-  // Cluster ids (min core id per set), then non-core memberships.
-  std::vector<VertexId> cluster_id(n, kInvalidVertex);
-  for (VertexId u = 0; u < n; ++u) {
-    if (run.result.roles[u] != Role::Core) continue;
-    const VertexId root = uf.find(u);
-    cluster_id[root] = std::min(cluster_id[root], u);
-  }
-  for (VertexId u = 0; u < n; ++u) {
-    if (run.result.roles[u] != Role::Core) continue;
-    run.result.core_cluster_id[u] = cluster_id[uf.find(u)];
-  }
-  for (const auto& [core, noncore] : core_noncore_sim_edges) {
-    run.result.noncore_memberships.emplace_back(
-        noncore, cluster_id[uf.find(core)]);
+    // Cluster ids (min core id per set), then non-core memberships. Skipped
+    // when the run tripped earlier so an unclustered core keeps
+    // kInvalidVertex instead of being fabricated into a singleton cluster.
+    phase("AssignIds", [&] {
+      for (VertexId u = 0; u < n; ++u) {
+        if (run.result.roles[u] != Role::Core) continue;
+        const VertexId root = uf.find(u);
+        cluster_id[root] = std::min(cluster_id[root], u);
+      }
+      for (VertexId u = 0; u < n; ++u) {
+        if (run.result.roles[u] != Role::Core) continue;
+        run.result.core_cluster_id[u] = cluster_id[uf.find(u)];
+      }
+      for (const auto& [core, noncore] : core_noncore_sim_edges) {
+        run.result.noncore_memberships.emplace_back(
+            noncore, cluster_id[uf.find(core)]);
+      }
+    });
   }
 
   run.result.normalize();
   run.stats.compsim_invocations = invocations.load();
   run.stats.total_seconds = total.elapsed_s();
+  record_governance(governor, run.stats);
   return run;
 }
 

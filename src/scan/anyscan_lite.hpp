@@ -21,6 +21,11 @@ struct AnyScanLiteOptions {
   int num_threads = 1;
   /// Vertices handled per parallel block iteration.
   VertexId block_size = 16384;
+
+  /// Run governance (see RunGovernor); default limits govern nothing.
+  RunLimits limits;
+  /// Optional external cancel token; not owned, may be null.
+  CancelToken* cancel = nullptr;
 };
 
 ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,

@@ -16,33 +16,64 @@ class PscanRunner {
         params_(params),
         options_(options),
         kernel_(similar_fn(options.kernel)),
-        sim_(graph.num_arcs(), kSimUncached),
-        sd_(graph.num_vertices(), 0),
-        ed_(graph.num_vertices()),
-        uf_(graph.num_vertices()) {
-    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
-      ed_[u] = graph.degree(u);
+        governor_(options.limits, options.cancel) {
+    const VertexId n = graph.num_vertices();
+    // Charge the state arrays before allocating; overshoot (or bad_alloc)
+    // aborts before any phase with the all-Unknown result.
+    const std::uint64_t state_bytes =
+        static_cast<std::uint64_t>(graph.num_arcs()) * sizeof(std::int32_t) +
+        static_cast<std::uint64_t>(n) *
+            (3 * sizeof(std::uint32_t) + sizeof(VertexId) +
+             sizeof(std::uint8_t));
+    alloc_ok_ = governor_.try_charge(state_bytes, "pscan state arrays");
+    if (alloc_ok_) {
+      try {
+        sim_.assign(graph.num_arcs(), kSimUncached);
+        sd_.assign(n, 0);
+        ed_.resize(n);
+        uf_.reset(n);
+        for (VertexId u = 0; u < n; ++u) ed_[u] = graph.degree(u);
+      } catch (const std::bad_alloc&) {
+        governor_.record_alloc_failure(state_bytes, "pscan state arrays");
+        alloc_ok_ = false;
+      }
     }
-    run_.result.roles.assign(graph.num_vertices(), Role::Unknown);
-    run_.result.core_cluster_id.assign(graph.num_vertices(), kInvalidVertex);
+    run_.result.roles.assign(n, Role::Unknown);
+    run_.result.core_cluster_id.assign(n, kInvalidVertex);
   }
 
   ScanRun run() {
     WallTimer total;
-    if (options_.dynamic_ed_order) {
-      run_core_phase_dynamic_order();
-    } else {
-      for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
-        process_vertex(u);
-      }
+    if (alloc_ok_) {
+      phase("CheckCore", [this] {
+        if (options_.dynamic_ed_order) {
+          run_core_phase_dynamic_order();
+        } else {
+          for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+            if (governor_.checkpoint()) break;
+            process_vertex(u);
+          }
+        }
+      });
+      phase("ClusterNonCore", [this] { cluster_noncores(); });
     }
-    cluster_noncores();
     run_.result.normalize();
     run_.stats.total_seconds = total.elapsed_s();
+    record_governance(governor_, run_.stats);
     return std::move(run_);
   }
 
  private:
+  template <typename Body>
+  void phase(const char* name, Body&& body) {
+    if (governor_.should_stop()) return;
+    governor_.enter_phase(name);
+    // Re-check: the cancel_at_phase test hook trips on phase entry.
+    if (governor_.should_stop()) return;
+    body();
+    if (!governor_.should_stop()) governor_.finish_phase();
+  }
+
   /// Lazy bucket queue over the *current* effective degree: buckets are
   /// visited from high ed to low; a vertex found in a stale (too-high)
   /// bucket is dropped down to its current one. ed only decreases, so a
@@ -65,6 +96,7 @@ class PscanRunner {
           bins[ed_[u]].push_back(u);  // stale entry, drop down
           continue;
         }
+        if (governor_.checkpoint()) return;
         process_vertex(u);
       }
       if (bin == 0) break;
@@ -183,6 +215,9 @@ class PscanRunner {
     }
     for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
       if (run_.result.roles[u] != Role::Core) continue;
+      // The id loops above are cheap and run to completion, so every cid
+      // read below is valid; only this intersection loop polls the governor.
+      if (governor_.checkpoint()) return;
       for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
         const VertexId v = graph_.dst()[e];
         if (run_.result.roles[v] == Role::Core) continue;
@@ -204,6 +239,8 @@ class PscanRunner {
   const ScanParams& params_;
   const PscanOptions& options_;
   SimilarFn kernel_;
+  RunGovernor governor_;
+  bool alloc_ok_ = true;
   std::vector<std::int32_t> sim_;
   std::vector<std::uint32_t> sd_;
   std::vector<std::uint32_t> ed_;

@@ -28,6 +28,12 @@ struct PscanOptions {
   /// Process vertices in dynamic non-increasing ed order (pSCAN default).
   /// Off = simple ascending vertex order, for the ordering ablation.
   bool dynamic_ed_order = true;
+
+  /// Run governance (see RunGovernor); the sequential runner polls via
+  /// checkpoint() at per-vertex granularity. Default limits govern nothing.
+  RunLimits limits;
+  /// Optional external cancel token; not owned, may be null.
+  CancelToken* cancel = nullptr;
 };
 
 ScanRun pscan(const CsrGraph& graph, const ScanParams& params,

@@ -6,6 +6,17 @@
 
 namespace ppscan {
 
+void record_governance(const RunGovernor& governor, RunStats& stats) {
+  const RunAborted info = governor.abort_info();
+  stats.abort_reason = info.reason;
+  stats.abort_phase = info.phase;
+  stats.abort_bytes = info.bytes;
+  stats.abort_worker = info.worker;
+  stats.phases_completed =
+      static_cast<std::uint32_t>(governor.phases_completed());
+  stats.peak_governed_bytes = governor.peak_bytes();
+}
+
 void ScanResult::normalize() {
   std::sort(noncore_memberships.begin(), noncore_memberships.end());
   noncore_memberships.erase(

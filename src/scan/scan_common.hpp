@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "concurrent/run_governor.hpp"
 #include "graph/csr_graph.hpp"
 #include "setops/similarity.hpp"
 #include "util/types.hpp"
@@ -104,12 +105,40 @@ struct RunStats {
   std::uint64_t steals = 0;
   double busy_seconds = 0;
   double idle_seconds = 0;
+  /// Run governance (populated by the governed algorithms): why/where a
+  /// limited run stopped early — None means it ran to completion — plus
+  /// how many phases reached their barrier and the peak governed bytes
+  /// charged against the memory budget.
+  AbortReason abort_reason = AbortReason::None;
+  std::string abort_phase;
+  std::uint64_t abort_bytes = 0;
+  int abort_worker = -1;
+  std::uint32_t phases_completed = 0;
+  std::uint64_t peak_governed_bytes = 0;
 };
 
 /// Result + statistics bundle every algorithm entry point returns.
+///
+/// A governed run that hit a limit returns a *partial* result instead of
+/// dying: vertices the run never decided keep Role::Unknown, cores the
+/// clustering phases never labeled keep kInvalidVertex, and the membership
+/// list holds whatever was collected before the trip. Everything that WAS
+/// decided is final — a role or cluster edge is a function of the graph
+/// alone, so the decided portion of a partial run agrees exactly with an
+/// unconstrained run (validate_scan_result's Partial mode checks this).
 struct ScanRun {
   ScanResult result;
   RunStats stats;
+
+  /// True when the run was aborted by its governor and `result` covers
+  /// only a prefix of the work.
+  [[nodiscard]] bool partial() const {
+    return stats.abort_reason != AbortReason::None;
+  }
 };
+
+/// Copies the governor's outcome into the run's stats (abort taxonomy,
+/// completed-phase count, peak governed memory).
+void record_governance(const RunGovernor& governor, RunStats& stats);
 
 }  // namespace ppscan

@@ -15,20 +15,37 @@ class ScanOriginalRunner {
       : graph_(graph),
         params_(params),
         options_(options),
-        sim_(graph.num_arcs(), kSimUncached) {
+        governor_(options.limits, options.cancel) {
+    const std::uint64_t state_bytes =
+        static_cast<std::uint64_t>(graph.num_arcs()) * sizeof(std::int32_t);
+    alloc_ok_ = governor_.try_charge(state_bytes, "scan sim array");
+    if (alloc_ok_) {
+      try {
+        sim_.assign(graph.num_arcs(), kSimUncached);
+      } catch (const std::bad_alloc&) {
+        governor_.record_alloc_failure(state_bytes, "scan sim array");
+        alloc_ok_ = false;
+      }
+    }
     run_.result.roles.assign(graph.num_vertices(), Role::Unknown);
     run_.result.core_cluster_id.assign(graph.num_vertices(), kInvalidVertex);
   }
 
   ScanRun run() {
     WallTimer total;
-    VertexId next_cluster = 0;
-    for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
-      if (run_.result.roles[u] != Role::Unknown) continue;
-      if (check_core(u) == Role::Core) expand_cluster(u, next_cluster++);
+    if (alloc_ok_ && !governor_.should_stop()) {
+      governor_.enter_phase("ExpandClusters");
+      VertexId next_cluster = 0;
+      for (VertexId u = 0;
+           u < graph_.num_vertices() && !governor_.checkpoint(); ++u) {
+        if (run_.result.roles[u] != Role::Unknown) continue;
+        if (check_core(u) == Role::Core) expand_cluster(u, next_cluster++);
+      }
+      if (!governor_.should_stop()) governor_.finish_phase();
     }
     run_.result.normalize();
     run_.stats.total_seconds = total.elapsed_s();
+    record_governance(governor_, run_.stats);
     return std::move(run_);
   }
 
@@ -67,6 +84,9 @@ class ScanOriginalRunner {
     run_.result.core_cluster_id[seed] = cluster;
     std::deque<VertexId> queue{seed};
     while (!queue.empty()) {
+      // Safe stopping point: every popped vertex is fully processed, so a
+      // trip here leaves only consistently-labeled cores behind.
+      if (governor_.checkpoint()) return;
       const VertexId v = queue.front();
       queue.pop_front();
       for (EdgeId e = graph_.offset_begin(v); e < graph_.offset_end(v); ++e) {
@@ -93,6 +113,8 @@ class ScanOriginalRunner {
   const CsrGraph& graph_;
   const ScanParams& params_;
   const ScanOriginalOptions& options_;
+  RunGovernor governor_;
+  bool alloc_ok_ = true;
   std::vector<std::int32_t> sim_;
   ScanRun run_;
 };

@@ -14,6 +14,12 @@ struct ScanOriginalOptions {
   /// Collect the Figure-1 time breakdown (adds one clock read per
   /// similarity computation).
   bool collect_breakdown = false;
+
+  /// Run governance (see RunGovernor); polled per vertex and per BFS
+  /// expansion step. Default limits govern nothing.
+  RunLimits limits;
+  /// Optional external cancel token; not owned, may be null.
+  CancelToken* cancel = nullptr;
 };
 
 ScanRun scan_original(const CsrGraph& graph, const ScanParams& params,

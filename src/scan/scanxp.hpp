@@ -18,6 +18,11 @@ struct ScanXpOptions {
   /// parallelism comes from the SIMD counts; Auto picks the best the CPU
   /// supports, scalar kinds fall back to the merge count.
   IntersectKind count_kernel = IntersectKind::Auto;
+
+  /// Run governance (see RunGovernor); default limits govern nothing.
+  RunLimits limits;
+  /// Optional external cancel token; not owned, may be null.
+  CancelToken* cancel = nullptr;
 };
 
 ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,

@@ -25,7 +25,9 @@ bool edge_similar(const CsrGraph& graph, const ScanParams& params, VertexId u,
 
 ValidationReport validate_scan_result(const CsrGraph& graph,
                                       const ScanParams& params,
-                                      const ScanResult& result) {
+                                      const ScanResult& result,
+                                      ValidateMode mode) {
+  const bool partial = mode == ValidateMode::Partial;
   ValidationReport report;
   const VertexId n = graph.num_vertices();
   if (result.roles.size() != n || result.core_cluster_id.size() != n) {
@@ -43,12 +45,16 @@ ValidationReport validate_scan_result(const CsrGraph& graph,
     }
   }
 
-  // 1. Roles.
+  // 1. Roles. Every decided role must equal the ground truth (a role is a
+  // function of the graph alone); Unknown is allowed only in partial mode.
+  std::vector<bool> true_core(n, false);
   for (VertexId u = 0; u < n; ++u) {
     std::uint32_t sd = 0;
     for (const bool s : similar[u]) sd += s ? 1 : 0;
-    const Role expected = sd >= params.mu ? Role::Core : Role::NonCore;
+    true_core[u] = sd >= params.mu;
+    const Role expected = true_core[u] ? Role::Core : Role::NonCore;
     if (result.roles[u] == Role::Unknown) {
+      if (partial) continue;
       report.fail("vertex " + vtx(u) + " has Unknown role");
       return report;
     }
@@ -60,28 +66,36 @@ ValidationReport validate_scan_result(const CsrGraph& graph,
     }
   }
 
-  // 2. Core clusters: compare against similar core-core components.
+  // 2. Core clusters: ground-truth components of the similar core-core
+  // subgraph. (True roles, not recorded ones, so partial mode compares the
+  // labeled prefix against the real partition.)
   UnionFind uf(n);
   for (VertexId u = 0; u < n; ++u) {
-    if (result.roles[u] != Role::Core) continue;
+    if (!true_core[u]) continue;
     const auto nbrs = graph.neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (similar[u][i] && result.roles[nbrs[i]] == Role::Core) {
-        uf.unite(u, nbrs[i]);
-      }
+      if (similar[u][i] && true_core[nbrs[i]]) uf.unite(u, nbrs[i]);
     }
   }
   // Cluster *ids* are a labeling convention (SCAN numbers clusters in BFS
   // order, pSCAN/ppSCAN by minimum core id); what Definition 2.9 fixes is
-  // the partition. Check that the recorded ids induce exactly the expected
-  // components via a root ↔ id bijection.
+  // the partition. Full mode checks the recorded ids induce exactly the
+  // expected components via a root ↔ id bijection. Partial mode keeps the
+  // id → root direction (a partial run must never merge two distinct true
+  // clusters — unions are sound facts) but drops root → id (an interrupted
+  // union-find legitimately splits a cluster) and allows unlabeled cores.
   std::map<VertexId, VertexId> root_to_id, id_to_root;
   for (VertexId u = 0; u < n; ++u) {
     if (result.roles[u] == Role::Core) {
       const VertexId root = uf.find(u);
       const VertexId id = result.core_cluster_id[u];
+      if (id == kInvalidVertex) {
+        if (partial) continue;  // clustering phase never labeled this core
+        report.fail("core " + vtx(u) + " has no cluster id");
+        return report;
+      }
       const auto [it, fresh] = root_to_id.emplace(root, id);
-      if (!fresh && it->second != id) {
+      if (!fresh && it->second != id && !partial) {
         report.fail("core " + vtx(u) + " splits its cluster: id " + vtx(id) +
                     " vs " + vtx(it->second));
         return report;
@@ -98,14 +112,16 @@ ValidationReport validate_scan_result(const CsrGraph& graph,
     }
   }
 
-  // 3. Memberships, both directions, compared in root space.
+  // 3. Memberships, both directions, compared in root space. Partial mode
+  // checks containment only: every recorded pair must be backed by a real
+  // ε-similar core edge, but pairs the run never reached may be missing.
   std::set<std::pair<VertexId, VertexId>> expected_members;
   for (VertexId u = 0; u < n; ++u) {
-    if (result.roles[u] != Role::Core) continue;
+    if (!true_core[u]) continue;
     const auto nbrs = graph.neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
-      if (similar[u][i] && result.roles[v] != Role::Core) {
+      if (similar[u][i] && !true_core[v]) {
         expected_members.emplace(v, uf.find(u));
       }
     }
@@ -120,7 +136,15 @@ ValidationReport validate_scan_result(const CsrGraph& graph,
     }
     actual_members.emplace(v, it->second);
   }
-  if (actual_members != expected_members) {
+  if (partial) {
+    for (const auto& pair : actual_members) {
+      if (expected_members.count(pair) == 0) {
+        report.fail("membership of " + vtx(pair.first) +
+                    " is not backed by an ε-similar core edge");
+        return report;
+      }
+    }
+  } else if (actual_members != expected_members) {
     report.fail("membership list mismatch: " +
                 std::to_string(actual_members.size()) + " recorded vs " +
                 std::to_string(expected_members.size()) + " expected");

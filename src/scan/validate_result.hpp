@@ -12,6 +12,16 @@
 //     ε-similar core neighbor in that cluster, and none is missing.
 // Cost: one intersection per edge incident to a checked vertex — this is
 // a verifier, not a fast path.
+//
+// Partial mode certifies the output of a governed run that was cut short
+// (deadline/budget/cancel): everything *decided* must agree with the full
+// clustering, everything undecided must be explicitly undecided. Decided
+// roles must match exactly (a role is a function of the graph alone);
+// Unknown roles are allowed. Labeled clusters may *split* a true cluster
+// (an interrupted union-find legitimately under-merges) but must never
+// merge two distinct true clusters, and every recorded membership must be
+// backed by a real ε-similar core edge — the membership list is a subset
+// of the full run's rather than equal to it.
 #pragma once
 
 #include <string>
@@ -33,8 +43,14 @@ struct ValidationReport {
   }
 };
 
+/// Full — certify a complete clustering (the default, exact semantics).
+/// Partial — certify the prefix of a governed run cut short by its
+/// RunGovernor (see the header comment for the relaxed invariants).
+enum class ValidateMode : std::uint8_t { Full, Partial };
+
 ValidationReport validate_scan_result(const CsrGraph& graph,
                                       const ScanParams& params,
-                                      const ScanResult& result);
+                                      const ScanResult& result,
+                                      ValidateMode mode = ValidateMode::Full);
 
 }  // namespace ppscan

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "graph/edge_list_io.hpp"
@@ -173,6 +174,27 @@ std::vector<FaultCase> make_text_fault_corpus(const fs::path& dir) {
   emit("missing-endpoint", GraphIoErrorKind::kParseError, "0 1\n42\n");
   emit("garbage-line", GraphIoErrorKind::kParseError, "hello world\n");
   return cases;
+}
+
+void SlowPhaseBody::operator()(VertexId beg, VertexId end) {
+  // Busy-wait instead of sleep_for: the OS may round a sub-millisecond
+  // sleep way up, and the point is a *predictable* per-task duration.
+  const auto until = std::chrono::steady_clock::now() + per_task_;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  executed_.fetch_add(end - beg, std::memory_order_relaxed);
+}
+
+void HungWorker::operator()(VertexId beg, VertexId end) {
+  if (beg <= hang_task_ && hang_task_ < end) {
+    hang_started_.store(true, std::memory_order_release);
+    while (!released_.load(std::memory_order_acquire) &&
+           (token_ == nullptr || !token_->cancelled())) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return;
+  }
+  others_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace ppscan::testing

@@ -1,0 +1,226 @@
+// Cancellation and supervision tests for the work-stealing executor, sized
+// for ThreadSanitizer like test_executor_stress: they run in the `tsan` CI
+// job, and the asan-ubsan job runs them too (the cancellation drain and the
+// watchdog touch every synchronization edge the executor has).
+#include "concurrent/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/run_governor.hpp"
+#include "support/fault_injection.hpp"
+
+namespace ppscan {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::vector<TaskRange> unit_tasks(VertexId count) {
+  std::vector<TaskRange> tasks;
+  tasks.reserve(count);
+  for (VertexId i = 0; i < count; ++i) tasks.push_back({i, i + 1});
+  return tasks;
+}
+
+TEST(ExecutorCancel, TripMidPhaseStressExactlyOnceAccounting) {
+  // The TSan centerpiece: a task body trips the token mid-phase, 1000
+  // times, with the trigger task rotating so the trip lands at a different
+  // point of the claim/steal/park state machine each round. Every claimed
+  // range must be counted exactly once — executed before the trip is
+  // visible, skipped after — and the executor must stay reusable.
+  Executor executor(4);
+  constexpr int kRounds = 1000;
+  constexpr VertexId kTasks = 128;
+  const std::vector<TaskRange> tasks = unit_tasks(kTasks);
+  std::atomic<std::uint64_t> body_runs{0};
+  for (int round = 0; round < kRounds; ++round) {
+    RunGovernor governor;
+    executor.install_governor(&governor);
+    const VertexId trigger = static_cast<VertexId>(round) % kTasks;
+    executor.run(tasks.data(), tasks.size(), [&](VertexId beg, VertexId) {
+      body_runs.fetch_add(1, std::memory_order_relaxed);
+      if (beg == trigger) governor.token().trip(AbortReason::UserCancelled);
+    });
+    ASSERT_TRUE(governor.should_stop());
+    executor.install_governor(nullptr);
+  }
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_skipped,
+            static_cast<std::uint64_t>(kRounds) * kTasks);
+  EXPECT_EQ(stats.tasks_executed, body_runs.load());
+  EXPECT_GE(stats.tasks_executed, static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(ExecutorCancel, PreTrippedRunSkipsEverythingAndExecutorStaysUsable) {
+  RunGovernor governor;
+  Executor executor(4);
+  executor.install_governor(&governor);
+  governor.token().trip(AbortReason::UserCancelled);
+
+  constexpr VertexId kTasks = 256;
+  const std::vector<TaskRange> tasks = unit_tasks(kTasks);
+  std::atomic<std::uint64_t> body_runs{0};
+  executor.run(tasks.data(), tasks.size(),
+               [&](VertexId, VertexId) { body_runs.fetch_add(1); });
+  EXPECT_EQ(body_runs.load(), 0u);
+  EXPECT_EQ(executor.stats().tasks_skipped, kTasks);
+
+  // A fresh ungoverned phase on the same executor runs everything.
+  executor.install_governor(nullptr);
+  executor.run(tasks.data(), tasks.size(),
+               [&](VertexId, VertexId) { body_runs.fetch_add(1); });
+  EXPECT_EQ(body_runs.load(), kTasks);
+}
+
+TEST(ExecutorCancel, StreamingSubmitsDrainAfterMidStreamTrip) {
+  RunGovernor governor;
+  Executor executor(4);
+  executor.install_governor(&governor);
+
+  std::atomic<std::uint64_t> body_runs{0};
+  auto body = [&](VertexId, VertexId) { body_runs.fetch_add(1); };
+  using B = decltype(body);
+  executor.begin_phase(
+      [](void* ctx, VertexId beg, VertexId end) {
+        (*static_cast<B*>(ctx))(beg, end);
+      },
+      &body);
+  constexpr VertexId kTasks = 512;
+  for (VertexId u = 0; u < kTasks; ++u) {
+    if (u == kTasks / 2) governor.token().trip(AbortReason::UserCancelled);
+    executor.submit({u, u + 1});
+  }
+  executor.wait_idle();  // must not hang: tripped ranges drain as skips
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_skipped, kTasks);
+  EXPECT_EQ(stats.tasks_executed, body_runs.load());
+  executor.install_governor(nullptr);
+}
+
+TEST(ExecutorCancel, DeadlineLandsMidPhaseAndSkipsTheRemainder) {
+  // SlowPhaseBody never polls, so only the claim-boundary deadline check
+  // (piggybacked poll in execute()) and the supervised wait tick can fire.
+  RunLimits limits;
+  limits.deadline = milliseconds(5);
+  RunGovernor governor(limits);
+  Executor executor(4);
+  executor.install_governor(&governor);
+  governor.enter_phase("SlowPhase");
+
+  testing::SlowPhaseBody slow{std::chrono::microseconds(1000)};
+  constexpr VertexId kTasks = 128;  // 128 x 1ms / 4 workers >> 5ms deadline
+  const std::vector<TaskRange> tasks = unit_tasks(kTasks);
+  executor.run(tasks.data(), tasks.size(),
+               [&](VertexId beg, VertexId end) { slow(beg, end); });
+
+  const RunAborted info = governor.abort_info();
+  EXPECT_EQ(info.reason, AbortReason::DeadlineExpired);
+  EXPECT_EQ(info.phase, "SlowPhase");
+  const ExecutorStats stats = executor.stats();
+  EXPECT_GT(stats.tasks_skipped, 0u);
+  EXPECT_LT(slow.executed(), kTasks);
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_skipped, kTasks);
+  executor.install_governor(nullptr);
+}
+
+TEST(ExecutorCancel, WatchdogDetectsHungWorkerAndNamesPhaseAndWorker) {
+  // One task wedges its worker (fault-injected hang); the remaining tasks
+  // finish, heartbeats freeze, and after stall_timeout of provable
+  // no-progress the supervised wait must trip Stalled naming the stuck
+  // phase and a stuck worker. Routing the run's own token into the hung
+  // body un-wedges it on the trip, so the phase drains and run() returns.
+  constexpr int kWorkers = 4;
+  RunLimits limits;
+  limits.stall_timeout = milliseconds(50);
+  RunGovernor governor(limits);
+  Executor executor(kWorkers);
+  executor.install_governor(&governor);
+  governor.enter_phase("HungPhase");
+
+  testing::HungWorker hung{/*hang_task=*/0, &governor.token()};
+  constexpr VertexId kTasks = 64;
+  const std::vector<TaskRange> tasks = unit_tasks(kTasks);
+  const auto t0 = steady_clock::now();
+  executor.run(tasks.data(), tasks.size(),
+               [&](VertexId beg, VertexId end) { hung(beg, end); });
+  const auto elapsed = steady_clock::now() - t0;
+
+  EXPECT_TRUE(hung.hang_started());
+  const RunAborted info = governor.abort_info();
+  EXPECT_EQ(info.reason, AbortReason::Stalled);
+  EXPECT_EQ(info.phase, "HungPhase");
+  EXPECT_GE(info.worker, 0);
+  EXPECT_LT(info.worker, kWorkers);
+  EXPECT_NE(info.describe().find("stalled in phase HungPhase"),
+            std::string::npos);
+  // The trip cannot legitimately happen before a full stall window passed.
+  EXPECT_GE(elapsed, milliseconds(45));
+  executor.install_governor(nullptr);
+}
+
+TEST(ExecutorCancel, HealthyRunUnderWatchdogDoesNotTrip) {
+  // False-positive guard: plenty of short tasks under an armed watchdog
+  // must finish clean — heartbeats advance, so the stall clock keeps
+  // resetting and nothing trips.
+  RunLimits limits;
+  limits.stall_timeout = milliseconds(100);
+  RunGovernor governor(limits);
+  Executor executor(4);
+  executor.install_governor(&governor);
+  governor.enter_phase("Healthy");
+
+  testing::SlowPhaseBody slow{std::chrono::microseconds(500)};
+  constexpr VertexId kTasks = 64;
+  const std::vector<TaskRange> tasks = unit_tasks(kTasks);
+  executor.run(tasks.data(), tasks.size(),
+               [&](VertexId beg, VertexId end) { slow(beg, end); });
+  EXPECT_FALSE(governor.should_stop());
+  EXPECT_EQ(slow.executed(), kTasks);
+  executor.install_governor(nullptr);
+}
+
+TEST(ExecutorCancel, ShutdownAuditDestructorAfterTrippedRun) {
+  // Destruction-order audit: the governor outlives the executor (declared
+  // first), the last phase ended cancelled, workers are parked — the
+  // destructor must drain and join without touching freed governor state.
+  RunGovernor governor;
+  {
+    Executor executor(4);
+    executor.install_governor(&governor);
+    const std::vector<TaskRange> tasks = unit_tasks(64);
+    executor.run(tasks.data(), tasks.size(), [&](VertexId beg, VertexId) {
+      if (beg == 7) governor.token().trip(AbortReason::UserCancelled);
+    });
+    EXPECT_TRUE(governor.should_stop());
+    // Executor destroyed here with the governor still installed.
+  }
+  EXPECT_EQ(governor.abort_info().reason, AbortReason::UserCancelled);
+}
+
+TEST(ExecutorCancel, InstallUninstallAcrossPhasesStress) {
+  // Rapidly alternating governed and ungoverned phases: the governor
+  // pointer is read per claim, so a stale read across the install barrier
+  // would show up here (and under TSan as a race).
+  Executor executor(4);
+  constexpr int kRounds = 400;
+  constexpr VertexId kTasks = 64;
+  const std::vector<TaskRange> tasks = unit_tasks(kTasks);
+  std::atomic<std::uint64_t> body_runs{0};
+  for (int round = 0; round < kRounds; ++round) {
+    RunGovernor governor;
+    if (round % 2 == 0) executor.install_governor(&governor);
+    executor.run(tasks.data(), tasks.size(),
+                 [&](VertexId, VertexId) { body_runs.fetch_add(1); });
+    executor.install_governor(nullptr);
+  }
+  EXPECT_EQ(body_runs.load(),
+            static_cast<std::uint64_t>(kRounds) * kTasks);
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -5,6 +5,14 @@
 //   ppscan_cli convert  <graph> --out <file>      (.txt <-> .bin by suffix)
 //   ppscan_cli cluster  <graph> [--eps 0.5] [--mu 5] [--algorithm ppSCAN]
 //                       [--threads N] [--kernel auto] [--out result.txt]
+//                       [--timeout-ms T] [--mem-budget-mb M] [--stall-ms S]
+//
+// Run governance: --timeout-ms / --mem-budget-mb / --stall-ms bound a
+// cluster or query run; SIGINT/SIGTERM trip the same cooperative cancel
+// token. A limited run that stops early still writes its partial result
+// (undecided vertices keep the 'U' role) and exits nonzero:
+//   124 deadline expired, 125 memory budget exceeded, 126 watchdog stall,
+//   130 cancelled by signal. `validate --partial` certifies such a result.
 //   ppscan_cli classify <graph> <result.txt> [--threads N]
 //   ppscan_cli query    <graph> [--eps 0.2,0.5] [--mu 2,5] [--threads N]
 //                       (builds a GS*-Index once, then answers the grid)
@@ -12,6 +20,8 @@
 // Graph files: text edge lists ("u v" per line, SNAP style) or the binary
 // CSR snapshot format; the suffix ".bin"/".csrbin" selects binary.
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -34,6 +44,59 @@
 namespace {
 
 using namespace ppscan;
+
+/// Process-wide cancel token tripped by SIGINT/SIGTERM. CancelToken::trip
+/// is a single lock-free CAS, so calling it from the handler is
+/// async-signal-safe; the governed run drains at its next poll.
+CancelToken g_signal_cancel;
+
+extern "C" void handle_cancel_signal(int) {
+  g_signal_cancel.trip(AbortReason::UserCancelled);
+}
+
+/// Installs the cancellation handlers around a governed run; restores the
+/// default disposition on destruction so a second signal kills the process
+/// the ordinary way once the run is over.
+class ScopedCancelSignals {
+ public:
+  ScopedCancelSignals() {
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
+  }
+  ~ScopedCancelSignals() {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+};
+
+/// Shell exit code of an aborted run: 124 mirrors timeout(1), 130 is the
+/// shell's 128+SIGINT convention, 125/126 label the library-specific
+/// budget and watchdog aborts.
+int abort_exit_code(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::None: return 0;
+    case AbortReason::DeadlineExpired: return 124;
+    case AbortReason::BudgetExceeded: return 125;
+    case AbortReason::Stalled: return 126;
+    case AbortReason::UserCancelled: return 130;
+  }
+  return 1;
+}
+
+/// Reads the governance flags shared by cluster and query.
+RunLimits parse_limits(const Flags& flags) {
+  RunLimits limits;
+  limits.deadline = std::chrono::milliseconds(flags.get_int("timeout-ms", 0));
+  limits.memory_budget_bytes =
+      static_cast<std::uint64_t>(flags.get_int("mem-budget-mb", 0)) * 1024 *
+      1024;
+  limits.stall_timeout =
+      std::chrono::milliseconds(flags.get_int("stall-ms", 0));
+  // Deterministic test hook (undocumented in --help on purpose).
+  limits.cancel_at_phase =
+      static_cast<int>(flags.get_int("cancel-at-phase", -1));
+  return limits;
+}
 
 bool is_binary_path(const std::string& path) {
   const auto ends_with = [&](const std::string& suffix) {
@@ -176,21 +239,31 @@ int cmd_cluster(const Flags& flags) {
   config.num_threads =
       static_cast<int>(flags.get_int("threads", default_threads()));
   config.kernel = parse_intersect_kind(flags.get_string("kernel", "auto"));
+  config.limits = parse_limits(flags);
+  config.cancel = &g_signal_cancel;
   const auto algorithm = flags.get_string("algorithm", "ppSCAN");
 
+  const ScopedCancelSignals signals;
   const auto run = run_algorithm(algorithm, graph, params, config);
   std::cout << algorithm << " eps=" << params.eps.to_double()
             << " mu=" << params.mu << ": " << run.result.num_clusters()
             << " clusters, " << run.result.num_cores() << " cores in "
             << run.stats.total_seconds << " s ("
             << run.stats.compsim_invocations << " intersections)\n";
+  if (run.partial()) {
+    const RunAborted info{run.stats.abort_reason, run.stats.abort_phase,
+                          run.stats.abort_bytes, run.stats.abort_worker};
+    std::cout << "PARTIAL: " << info.describe() << "; "
+              << run.stats.phases_completed
+              << " phases completed, undecided vertices left Unknown\n";
+  }
 
   const auto out = flags.get_string("out", "");
   if (!out.empty()) {
     write_scan_result(run.result, out);
     std::cout << "result -> " << out << "\n";
   }
-  return 0;
+  return abort_exit_code(run.stats.abort_reason);
 }
 
 int cmd_classify(const Flags& flags) {
@@ -256,10 +329,14 @@ int cmd_validate(const Flags& flags) {
   const auto result = read_scan_result(flags.positionals()[2]);
   const auto params = ScanParams::make(flags.get_string("eps", "0.5"),
                                        parse_mu(flags.get_string("mu", "5")));
-  const auto report = validate_scan_result(graph, params, result);
+  const bool partial = flags.get_bool("partial", false);
+  const auto report = validate_scan_result(
+      graph, params, result,
+      partial ? ValidateMode::Partial : ValidateMode::Full);
   if (report.ok) {
     std::cout << "VALID: result satisfies the SCAN definitions for eps="
-              << params.eps.to_double() << " mu=" << params.mu << "\n";
+              << params.eps.to_double() << " mu=" << params.mu
+              << (partial ? " (partial mode)" : "") << "\n";
     return 0;
   }
   std::cout << "INVALID: " << report.first_error << "\n";
@@ -275,8 +352,16 @@ int cmd_query(const Flags& flags) {
   GsIndex::BuildOptions build;
   build.num_threads =
       static_cast<int>(flags.get_int("threads", default_threads()));
+  build.limits = parse_limits(flags);
+  build.cancel = &g_signal_cancel;
+  const ScopedCancelSignals signals;
   WallTimer build_timer;
   const GsIndex index(graph, build);
+  if (!index.complete()) {
+    std::cout << "index construction aborted: "
+              << index.build_stats().abort.describe() << "\n";
+    return abort_exit_code(index.build_stats().abort.reason);
+  }
   std::cout << "index built in " << build_timer.elapsed_s() << " s ("
             << index.memory_bytes() / (1024 * 1024) << " MiB)\n";
 
@@ -303,10 +388,13 @@ void usage() {
          "  stats <graph> [--triangles] [--histogram]\n"
          "  convert <graph> --out <file>\n"
          "  cluster <graph> [--eps E] [--mu M] [--algorithm A] [--out R]\n"
+         "          [--timeout-ms T] [--mem-budget-mb M] [--stall-ms S]\n"
+         "          (limits / SIGINT yield a partial result; exit codes:\n"
+         "           124 deadline, 125 budget, 126 stall, 130 cancelled)\n"
          "  classify <graph> <result>\n"
          "  validate <graph>                 (check CSR invariants)\n"
-         "  validate <graph> <result> [--eps E] [--mu M]\n"
-         "  query <graph> [--eps list] [--mu list]\n";
+         "  validate <graph> <result> [--eps E] [--mu M] [--partial]\n"
+         "  query <graph> [--eps list] [--mu list] [--timeout-ms T]\n";
 }
 
 }  // namespace
