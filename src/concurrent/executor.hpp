@@ -170,6 +170,8 @@ class RangeDeque {
     }
     std::int64_t capacity;
     std::int64_t mask;
+    // protocol: relaxed-guarded — slot payloads; ordering is provided by
+    // the release/acquire and seq_cst edges on bottom_/top_/array_.
     std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
   };
 
@@ -185,8 +187,14 @@ class RangeDeque {
 
   static constexpr std::int64_t kInitialCapacity = 256;  // power of two
 
+  // protocol: chase-lev-top — thief index; claimed by seq_cst CAS,
+  // publisher=thieves+owner(pop tail race), consumers=everyone.
   std::atomic<std::int64_t> top_{0};
+  // protocol: chase-lev-bottom — owner index; publisher=owner (push release
+  // / pop seq_cst), consumers=thieves (seq_cst load).
   std::atomic<std::int64_t> bottom_{0};
+  // protocol: release-acquire — grown array pointer; publisher=owner in
+  // grow(), consumers=thieves (acquire in steal), owner reads relaxed.
   std::atomic<Array*> array_;
   std::vector<Array*> retired_;  // owner-only, freed in the destructor
 };
@@ -269,23 +277,28 @@ class Executor {
   struct alignas(64) Worker {
     /// (phase_tag << 32) | next_task_index. Claims CAS the low half up; a
     /// tag mismatch means the slot belongs to another phase and is empty.
+    /// protocol: relaxed-guarded — visibility of the tasks array comes from
+    /// the phase_ release/acquire pair; the tag check rejects stale claims.
     std::atomic<std::uint64_t> cursor{0};
     /// (phase_tag << 32) | one_past_last_task_index. Tagged like cursor so
     /// a stale cursor can never be validated against a fresh end (the
     /// cross-phase claim race): a claim needs tag(cursor) == tag(end) ==
     /// the phase the claimer read.
+    /// protocol: relaxed-guarded — same phase-tag protocol as cursor.
     std::atomic<std::uint64_t> segment_end{0};
     detail::RangeDeque deque;
-    std::atomic<std::uint64_t> executed{0};
-    std::atomic<std::uint64_t> skipped{0};
+    std::atomic<std::uint64_t> executed{0};  // protocol: relaxed-counter
+    std::atomic<std::uint64_t> skipped{0};   // protocol: relaxed-counter
     /// Bumped on task entry and exit (odd = inside a task body). The
     /// watchdog's progress signal: a stall is "no heartbeat moved while
     /// tasks were pending"; an odd, frozen heartbeat names the stuck
     /// worker.
+    /// protocol: relaxed-counter — the watchdog only needs eventual
+    /// movement, never an exact snapshot.
     std::atomic<std::uint64_t> heartbeat{0};
-    std::atomic<std::uint64_t> steals{0};
-    std::atomic<std::uint64_t> busy_ns{0};
-    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> steals{0};   // protocol: relaxed-counter
+    std::atomic<std::uint64_t> busy_ns{0};  // protocol: relaxed-counter
+    std::atomic<std::uint64_t> idle_ns{0};  // protocol: relaxed-counter
     /// Owner-only stride counter for the per-claim deadline poll: the
     /// clock is read every kDeadlinePollStride-th claim — the supervisor
     /// thread bounds deadline latency, the claim-side poll only sharpens
@@ -332,13 +345,23 @@ class Executor {
   RangeFn fn_ = nullptr;
   void* ctx_ = nullptr;
   const TaskRange* tasks_ = nullptr;
+  // protocol: release-acquire — phase tag publishing fn_/ctx_/tasks_;
+  // publisher=master (release store), consumers=workers (acquire in
+  // try_claim); the master's own reads are relaxed.
   std::atomic<std::uint32_t> phase_{0};
 
-  std::atomic<std::uint32_t> pending_{0};  // outstanding (unfinished) tasks
-  std::atomic<std::uint32_t> epoch_{0};    // bumped on new work; futex word
+  // protocol: completion-count — outstanding (unfinished) tasks; doubles as
+  // the master's futex word, acq_rel on the final decrement.
+  std::atomic<std::uint32_t> pending_{0};
+  // protocol: futex-epoch — bumped on new work; workers' futex word.
+  std::atomic<std::uint32_t> epoch_{0};
+  // protocol: release-acquire — shutdown flag; workers read it relaxed
+  // because the epoch_ acquire in the same scan provides the edge.
   std::atomic<bool> stop_{false};
   // Written by the master at barriers, read by workers per claim; atomic so
   // a worker spinning between phases never races the install.
+  // protocol: seqcst-handshake — paired with supervisor_busy_ (see
+  // install_governor); workers' read-only poll is the acquire load.
   std::atomic<RunGovernor*> governor_{nullptr};
 
   // Governance supervisor thread (lazily spawned by install_governor).
@@ -352,7 +375,10 @@ class Executor {
   // run's latency needs. supervisor_epoch_ guards against a notify landing
   // before the wait.
   std::thread supervisor_;
+  // protocol: release-acquire — supervisor shutdown flag (destructor).
   std::atomic<bool> supervisor_stop_{false};
+  // protocol: seqcst-handshake — store-then-load vs governor_ so either the
+  // installer sees busy and waits, or the tick sees the new pointer.
   std::atomic<int> supervisor_busy_{0};
   std::mutex supervisor_mutex_;
   std::condition_variable supervisor_cv_;

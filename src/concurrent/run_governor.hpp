@@ -82,6 +82,8 @@ class CancelToken {
   void reset() { state_.store(0, std::memory_order_release); }
 
  private:
+  // protocol: cancel-token — 0 = running, else the AbortReason; first-trip-
+  // wins acq_rel CAS, relaxed hot-path polls, release store only in reset().
   std::atomic<std::uint32_t> state_{0};
 };
 
@@ -209,17 +211,30 @@ class RunGovernor {
   CancelToken* token_;
   std::chrono::steady_clock::time_point start_;
 
+  // protocol: relaxed-counter — charge ledger; exactness comes from the
+  // fetch_add return values, reads are barrier-side reporting.
   std::atomic<std::uint64_t> bytes_{0};
+  // protocol: relaxed-counter — monotone CAS-max of bytes_.
   std::atomic<std::uint64_t> peak_bytes_{0};
+  // protocol: relaxed-counter — attempted charge recorded at the trip; read
+  // only after the run has drained.
   std::atomic<std::uint64_t> abort_bytes_{0};
+  // protocol: relaxed-counter — checkpoint stride clock.
   std::atomic<std::uint64_t> checkpoint_ops_{0};
 
   // Phase names are string literals (static storage), so publishing the
   // pointer is enough — the watchdog thread may read it at any time.
+  // protocol: release-acquire — publisher=master in enter_phase,
+  // consumers=supervisor/abort reporting.
   std::atomic<const char*> phase_name_{nullptr};
+  // protocol: release-acquire — phase active when the trip happened.
   std::atomic<const char*> abort_phase_{nullptr};
+  // protocol: relaxed-counter — 1-based phase ordinal (master-written).
   std::atomic<int> phase_ordinal_{0};
+  // protocol: relaxed-counter — phases that reached their barrier.
   std::atomic<int> phases_completed_{0};
+  // protocol: relaxed-counter — stuck worker index, written once at the
+  // stall trip, read after the drain.
   std::atomic<int> stalled_worker_{-1};
 };
 

@@ -33,7 +33,7 @@ class UnionFind {
   bool unite(VertexId x, VertexId y);
   bool same_set(VertexId x, VertexId y) { return find(x) == find(y); }
   [[nodiscard]] VertexId size() const {
-    return static_cast<VertexId>(parent_.size());
+    return checked_vertex_cast(parent_.size());
   }
 
  private:
@@ -58,11 +58,17 @@ class ParallelUnionFind {
   /// Thread-safe; false may be stale (see header comment), true is exact.
   bool same_set(VertexId x, VertexId y);
   [[nodiscard]] VertexId size() const {
-    return static_cast<VertexId>(parent_.size());
+    return checked_vertex_cast(parent_.size());
   }
 
  private:
+  // protocol: relaxed-guarded — Anderson-Woll links: the CAS succeeds only
+  // while the target is still a root, which is what makes a link atomic;
+  // readers tolerate staleness by construction (same_set's false may be
+  // stale, see the class comment), so no publication edge is needed.
   AtomicArray<VertexId> parent_;
+  // protocol: relaxed-guarded — rank is a depth heuristic; a lost update
+  // costs tree height, never correctness.
   AtomicArray<std::uint8_t> rank_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <memory>
 
 #include "concurrent/executor.hpp"
@@ -96,7 +97,8 @@ class PpScanRunner {
     }
     ScanRun run = assemble_result();
     run.stats = stats_;
-    run.stats.compsim_invocations = invocations_.load();
+    run.stats.compsim_invocations =
+        invocations_.load(std::memory_order_relaxed);
     if (exec_) {
       const ExecutorStats es = exec_->stats();
       run.stats.tasks_executed = es.tasks_executed;
@@ -227,6 +229,10 @@ class PpScanRunner {
     for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u); ++e) {
       const VertexId v = graph_.dst()[e];
       if (ordered && u >= v) continue;
+      // Algorithm 3 contract: in the ordered phase only the u < v endpoint
+      // may compute and mirror a shared arc — this is the sole writer-
+      // exclusion argument for the concurrent sim_ stores in compute_arc.
+      assert(!ordered || u < v);
       const std::int32_t value = sim_.load(e);
       if (value <= 0) continue;  // settled since pass 1 or during it
       if (compute_arc(u, e, static_cast<std::uint32_t>(value))) {
@@ -452,11 +458,21 @@ class PpScanRunner {
   std::vector<TaskRange> range_scratch_;
   ReverseArcIndex reverse_index_;
   ParallelUnionFind uf_;
+  // protocol: relaxed-guarded — per-arc similarity state: every write is
+  // either owner-exclusive (PruneSim writes each arc from its tail) or a
+  // benign same-value race (the mirrored flag is a pure function of the
+  // graph, so concurrent writers agree); phase barriers order the phases.
   AtomicArray<std::int32_t> sim_;
+  // protocol: relaxed-guarded — roles move monotonically Unknown->decided
+  // and a vertex's role is a function of the graph, so late readers see
+  // either Unknown (recheck) or the same final value.
   AtomicArray<std::uint8_t> roles_;
+  // protocol: relaxed-guarded — cluster-id min-CAS: the CAS loop only ever
+  // lowers the id, and the merge phase re-reads after the barrier.
   AtomicArray<VertexId> cluster_id_;
   std::vector<MembershipSlot> membership_slots_;
   std::vector<std::pair<VertexId, VertexId>> memberships_;
+  // protocol: relaxed-counter — CompSim invocation tally (Figure 4).
   std::atomic<std::uint64_t> invocations_{0};
   RunStats stats_;
 };

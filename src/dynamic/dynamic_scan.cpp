@@ -51,8 +51,8 @@ bool DynamicScan::has_edge(VertexId u, VertexId v) const {
 
 bool DynamicScan::compute_similarity(VertexId u, VertexId v) {
   ++stats_.intersections;
-  const auto du = static_cast<VertexId>(adjacency_[u].size());
-  const auto dv = static_cast<VertexId>(adjacency_[v].size());
+  const auto du = checked_vertex_cast(adjacency_[u].size());
+  const auto dv = checked_vertex_cast(adjacency_[v].size());
   const std::uint32_t min_cn = min_common_neighbors(params_.eps, du, dv);
   std::uint64_t cn = 2;
   std::uint64_t upper_u = du + 2;

@@ -49,12 +49,12 @@ class DynamicScan {
   [[nodiscard]] CsrGraph snapshot() const;
 
   [[nodiscard]] VertexId num_vertices() const {
-    return static_cast<VertexId>(adjacency_.size());
+    return checked_vertex_cast(adjacency_.size());
   }
   [[nodiscard]] EdgeId num_edges() const { return num_edges_; }
 
   [[nodiscard]] VertexId degree(VertexId u) const {
-    return static_cast<VertexId>(adjacency_[u].size());
+    return checked_vertex_cast(adjacency_[u].size());
   }
   /// i-th (sorted) neighbor of u; lets update streams sample existing
   /// edges for deletion without snapshotting.

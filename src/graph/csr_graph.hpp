@@ -26,7 +26,7 @@ class CsrGraph {
   CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> dst);
 
   [[nodiscard]] VertexId num_vertices() const {
-    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+    return offsets_.empty() ? 0 : checked_vertex_cast(offsets_.size() - 1);
   }
 
   /// Number of *undirected* edges |E|; the dst array holds 2|E| arcs.

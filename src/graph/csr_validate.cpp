@@ -53,7 +53,7 @@ CsrPayloadValidator::CsrPayloadValidator(const std::vector<EdgeId>& offsets,
     : offsets_(offsets),
       num_vertices_(offsets.empty()
                         ? 0
-                        : static_cast<VertexId>(offsets.size() - 1)),
+                        : checked_vertex_cast(offsets.size() - 1)),
       num_arcs_(num_arcs) {}
 
 void CsrPayloadValidator::check_offsets() const {

@@ -159,7 +159,7 @@ CsrGraph lfr_like(const LfrParams& params, std::uint64_t seed,
     size = std::min(size, params.n - next);
     const VertexId begin = next;
     const VertexId end = next + size;
-    const auto cid = static_cast<VertexId>(communities.size());
+    const auto cid = checked_vertex_cast(communities.size());
     for (VertexId v = begin; v < end; ++v) community_of[v] = cid;
     communities.emplace_back(begin, end);
     next = end;

@@ -64,6 +64,8 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
   SchedulerOptions sched;
   sched.governor = &governor;
   const CountFn count = count_fn(options.count_kernel);
+  // protocol: relaxed-counter — intersection tally, read at the final
+  // barrier after the executor drains.
   std::atomic<std::uint64_t> intersections{0};
   const auto degree_of = [&](VertexId u) { return graph_.degree(u); };
   const auto all = [](VertexId) { return true; };
@@ -118,7 +120,7 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
   }
 
   complete_ = alloc_ok && !governor.should_stop();
-  build_stats_.intersections = intersections.load();
+  build_stats_.intersections = intersections.load(std::memory_order_relaxed);
   build_stats_.construction_seconds = timer.elapsed_s();
   build_stats_.abort = governor.abort_info();
 }

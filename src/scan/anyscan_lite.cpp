@@ -70,6 +70,7 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
   pool.install_governor(&governor);
   SchedulerOptions sched;
   sched.governor = &governor;
+  // protocol: relaxed-counter — CompSim tally, read at the final barrier.
   std::atomic<std::uint64_t> invocations{0};
   const auto degree_of = [&](VertexId u) { return graph.degree(u); };
 
@@ -188,7 +189,7 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
   }
 
   run.result.normalize();
-  run.stats.compsim_invocations = invocations.load();
+  run.stats.compsim_invocations = invocations.load(std::memory_order_relaxed);
   run.stats.total_seconds = total.elapsed_s();
   record_governance(governor, run.stats);
   return run;

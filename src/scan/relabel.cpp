@@ -28,7 +28,7 @@ Relabeling degree_descending_order(const CsrGraph& graph) {
 }
 
 Relabeling make_relabeling(std::vector<VertexId> to_new) {
-  const auto n = static_cast<VertexId>(to_new.size());
+  const auto n = checked_vertex_cast(to_new.size());
   Relabeling r;
   r.to_old.assign(n, kInvalidVertex);
   for (VertexId old_id = 0; old_id < n; ++old_id) {
@@ -61,7 +61,7 @@ CsrGraph apply_relabeling(const CsrGraph& graph,
 
 ScanResult map_result_to_original(const ScanResult& relabeled,
                                   const Relabeling& relabeling) {
-  const auto n = static_cast<VertexId>(relabeled.roles.size());
+  const auto n = checked_vertex_cast(relabeled.roles.size());
   ScanResult out;
   out.roles.resize(n);
   out.core_cluster_id.assign(n, kInvalidVertex);

@@ -24,6 +24,8 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
   // bad_alloc) aborts before any phase and yields the all-Unknown result.
   std::vector<std::int32_t> sim;
   ParallelUnionFind uf;
+  // protocol: relaxed-guarded — cluster-id min-CAS, same argument as
+  // ppSCAN's cluster_id_ (monotone lowering + phase barrier re-read).
   AtomicArray<VertexId> cluster_id;
   const std::uint64_t state_bytes =
       static_cast<std::uint64_t>(graph.num_arcs()) * sizeof(std::int32_t) +
@@ -47,6 +49,7 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
   sched.governor = &governor;
   std::vector<TaskRange> scratch;  // flat boundary array, reused per phase
   const CountFn count = count_fn(options.count_kernel);
+  // protocol: relaxed-counter — CompSim tally, read at the final barrier.
   std::atomic<std::uint64_t> invocations{0};
   const auto degree_of = [&](VertexId u) { return graph.degree(u); };
   const auto all = [](VertexId) { return true; };
@@ -189,7 +192,7 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
   }
 
   run.result.normalize();
-  run.stats.compsim_invocations = invocations.load();
+  run.stats.compsim_invocations = invocations.load(std::memory_order_relaxed);
   const ExecutorStats es = executor.stats();
   run.stats.tasks_executed = es.tasks_executed;
   run.stats.steals = es.steals;

@@ -64,6 +64,9 @@ class AtomicArray {
   }
 
  private:
+  // protocol: forwarding-wrapper — the accessors above forward the caller's
+  // memory_order; each AtomicArray *member* declares its own discipline and
+  // is checked at its own call sites.
   std::unique_ptr<std::atomic<T>[]> data_;
   std::size_t size_ = 0;
 };

@@ -5,7 +5,10 @@
 // directed edges remain addressable in CSR form.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 
 namespace ppscan {
 
@@ -14,5 +17,17 @@ using EdgeId = std::uint64_t;
 
 /// Sentinel for "no vertex" (e.g. unassigned cluster id).
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Checked narrowing for the size_t/EdgeId -> VertexId graph boundary.
+/// Container sizes and arc counts are 64-bit while vertex ids are 32-bit;
+/// every crossing must prove the value fits instead of silently truncating
+/// (ppscan_lint's vertexid-narrowing rule enforces using this helper).
+template <typename From>
+[[nodiscard]] constexpr VertexId checked_vertex_cast(From value) noexcept {
+  static_assert(std::is_integral_v<From>,
+                "checked_vertex_cast narrows integral values only");
+  assert(std::in_range<VertexId>(value));
+  return static_cast<VertexId>(value);
+}
 
 }  // namespace ppscan

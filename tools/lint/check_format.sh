@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# clang-format gate. By default checks files changed relative to a base ref
+# (CI passes the PR base SHA); --all checks the whole tree.
+#
+# Usage: check_format.sh [--all | --base <git-ref>] [clang-format-binary]
+#
+# Exit codes: 0 clean, 1 needs formatting, 2 usage error,
+#             77 clang-format unavailable (ctest SKIP_RETURN_CODE).
+set -u -o pipefail
+
+MODE="all"
+BASE=""
+FMT="${CLANG_FORMAT:-clang-format}"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --all) MODE="all"; shift ;;
+    --base) MODE="base"; BASE="${2:?--base needs a ref}"; shift 2 ;;
+    *) FMT="$1"; shift ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$ROOT" || exit 2
+
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "check_format: '$FMT' not found; skipping (install clang-format or" \
+       "set CLANG_FORMAT; CI runs the pinned version)" >&2
+  exit 77
+fi
+
+if [ "$MODE" = "base" ]; then
+  mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+                         '*.cpp' '*.hpp' | grep -E '^(src|tools|bench|tests)/')
+else
+  mapfile -t FILES < <(git ls-files '*.cpp' '*.hpp' |
+                         grep -E '^(src|tools|bench|tests)/' |
+                         grep -v '^tools/lint/testdata/')
+fi
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "check_format: no files to check"
+  exit 0
+fi
+
+echo "check_format: $("$FMT" --version) over ${#FILES[@]} files"
+
+STATUS=0
+for f in "${FILES[@]}"; do
+  if ! "$FMT" --dry-run --Werror --style=file "$f" 2>/dev/null; then
+    echo "$f:1: [format] differs from .clang-format (run: $FMT -i $f)"
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_format: clean"
+fi
+exit "$STATUS"

@@ -1,0 +1,746 @@
+#!/usr/bin/env python3
+"""ppscan_lint — concurrency-protocol and repo-invariant checker.
+
+Generic static analysis (clang-tidy, see .clang-tidy) cannot check the
+invariants this repository's lock-free layer actually relies on: *which*
+memory orders each std::atomic member is allowed to use, and the phase /
+ownership protocol that makes a relaxed operation correct in one place and a
+bug in another. This linter encodes those invariants:
+
+  protocol-missing    every std::atomic / AtomicArray / unique_ptr<atomic[]>
+                      member in the configured paths must carry a
+                      `// protocol: <discipline>` annotation naming its
+                      ordering discipline (disciplines are defined in
+                      atomics_protocol.toml).
+  protocol-unknown    the annotation names a discipline the config does not
+                      define.
+  protocol-order      a load/store/RMW/CAS/wait call site on an annotated
+                      member uses a memory_order outside the discipline's
+                      allowed set (the implicit default — seq_cst for
+                      std::atomic, relaxed for the AtomicArray wrapper — is
+                      checked too, so an accidental bare `.load()` on a
+                      relaxed counter is caught).
+  protocol-ambiguous  two members share a name but declare different
+                      disciplines — call sites are resolved by receiver
+                      name, so this must be an error, not a guess.
+  protocol-docs       an annotated member is missing from the protocol table
+                      in docs/memory_model.md (keeps the docs complete).
+  banned-api          rand()/srand()/time(nullptr)/naked new[] in phase-body
+                      code (config-driven pattern list).
+  vertexid-narrowing  `static_cast<VertexId>(...)` of a size-like 64-bit
+                      expression at a graph boundary; use
+                      ppscan::checked_vertex_cast, which asserts the value
+                      fits.
+  order-assert        functions listed in the config (the similarity-reuse
+                      core-checking paths, Algorithm 3) must contain their
+                      declared `u < v` order-constraint assertion.
+
+Engine: a comment/string-aware tokenizer (no dependencies beyond the
+standard library). When the optional libclang python bindings are installed,
+`--verify-with-libclang` cross-validates the declaration scan against a real
+AST walk; the bindings are NOT required — this tool must run anywhere the
+repo builds.
+
+Per-site waivers: `// lint-ok: <rule>` on the offending line or the line
+directly above suppresses that rule at that site. Waivers are counted in the
+summary so they stay visible.
+
+Output: `file:line: [rule] message` — clickable in CI logs and editors.
+Exit codes: 0 clean, 1 findings, 2 configuration/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+import tomllib
+
+# --------------------------------------------------------------------------
+# Source model: comment/string-aware scan
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """One scanned file: raw text, code with comments/strings blanked
+    (offsets and newlines preserved), and per-line comment text."""
+
+    path: str
+    text: str
+    code: str  # comments and string literals replaced by spaces
+    comments: dict[int, str]  # 1-based line -> concatenated comment text
+
+    def line_of(self, offset: int) -> int:
+        return self.text.count("\n", 0, offset) + 1
+
+
+def blank_comments_and_strings(text: str) -> tuple[str, dict[int, str]]:
+    """Replaces comments and string/char literals with spaces (newlines kept)
+    and collects comment text per line. Handles //, /* */, "", '', and
+    R"delim( )delim" raw strings."""
+    out: list[str] = []
+    comments: dict[int, str] = {}
+    i, n = 0, len(text)
+    line = 1
+
+    def add_comment(ln: int, s: str) -> None:
+        comments[ln] = comments.get(ln, "") + " " + s
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("\n")
+            line += 1
+            i += 1
+        elif c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            add_comment(line, text[i:j])
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i : j + 2]
+            for k, part in enumerate(chunk.split("\n")):
+                add_comment(line + k, part)
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            line += chunk.count("\n")
+            i = j + 2
+        elif c == 'R' and nxt == '"':
+            m = re.match(r'R"([^ ()\\\t\n]*)\(', text[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, i + m.end())
+                j = n if j < 0 else j + len(close)
+                chunk = text[i:j]
+                out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+                line += chunk.count("\n")
+                i = j
+            else:
+                out.append(c)
+                i += 1
+        elif c in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), comments
+
+
+def load_source(path: pathlib.Path, root: pathlib.Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    code, comments = blank_comments_and_strings(text)
+    return SourceFile(str(path.relative_to(root)), text, code, comments)
+
+
+# --------------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def waived(src: SourceFile, line: int, rule: str) -> bool:
+    for ln in (line, line - 1):
+        comment = src.comments.get(ln, "")
+        m = re.search(r"lint-ok:\s*([A-Za-z0-9_,\- ]+)", comment)
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Config
+# --------------------------------------------------------------------------
+
+ORDER_NAMES = {"relaxed", "consume", "acquire", "release", "acq_rel", "seq_cst"}
+
+
+@dataclasses.dataclass
+class Discipline:
+    name: str
+    summary: str
+    allowed: dict[str, set[str]]  # op-kind -> allowed orders
+    cas_failure: set[str]
+    dynamic: bool  # allow non-literal (forwarded) order arguments
+
+
+@dataclasses.dataclass
+class Config:
+    disciplines: dict[str, Discipline]
+    protocol_paths: list[str]
+    exclude_paths: list[str]
+    docs_file: str | None
+    banned: list[dict]
+    narrowing_paths: list[str]
+    narrowing_hints: list[str]
+    required_asserts: list[dict]
+
+
+def load_config(path: pathlib.Path) -> Config:
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise SystemExit(f"ppscan_lint: cannot read config {path}: {exc}")
+
+    disciplines: dict[str, Discipline] = {}
+    for name, spec in data.get("disciplines", {}).items():
+        allowed = {}
+        for op in ("load", "store", "rmw", "cas", "wait"):
+            orders = set(spec.get(op, []))
+            bad = orders - ORDER_NAMES
+            if bad:
+                raise SystemExit(
+                    f"ppscan_lint: discipline {name}: unknown order(s) {bad}")
+            allowed[op] = orders
+        cas_failure = set(spec.get("cas_failure",
+                                   allowed["cas"] | {"relaxed", "acquire"}))
+        disciplines[name] = Discipline(
+            name=name,
+            summary=spec.get("summary", ""),
+            allowed=allowed,
+            cas_failure=cas_failure,
+            dynamic=bool(spec.get("dynamic", False)),
+        )
+    protocol = data.get("protocol", {})
+    narrowing = data.get("narrowing", {})
+    return Config(
+        disciplines=disciplines,
+        protocol_paths=protocol.get("paths", ["src/"]),
+        exclude_paths=data.get("exclude_paths", []),
+        docs_file=protocol.get("docs_file"),
+        banned=data.get("banned", []),
+        narrowing_paths=narrowing.get("paths", ["src/"]),
+        narrowing_hints=narrowing.get(
+            "hints", [r"\.size\s*\(\)", r"\bEdgeId\b", r"\bsize_t\b",
+                      r"\buint64_t\b", r"\.num_arcs\s*\(\)"]),
+        required_asserts=data.get("required_asserts", []),
+    )
+
+
+# --------------------------------------------------------------------------
+# Declaration scan: atomic members and their protocol annotations
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class AtomicDecl:
+    path: str
+    line: int
+    name: str
+    kind: str  # "atomic" (std::atomic / unique_ptr<atomic[]>) | "wrapper"
+    discipline: str | None  # None = unannotated
+
+
+# Anchors for declarations whose type carries atomics. `unique_ptr<...>` is
+# only kept when its template arguments mention std::atomic.
+DECL_ANCHOR = re.compile(
+    r"\b(?:std\s*::\s*)?(atomic|atomic_flag|unique_ptr|AtomicArray)\s*<")
+IDENT = re.compile(r"[A-Za-z_]\w*")
+
+
+def balance(code: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Index one past the matching close bracket, or -1."""
+    depth = 0
+    for i in range(start, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def find_decls(src: SourceFile) -> list[AtomicDecl]:
+    decls: list[AtomicDecl] = []
+    code = src.code
+    for m in DECL_ANCHOR.finditer(code):
+        head = m.group(1)
+        lt = code.index("<", m.end() - 1)
+        end = balance(code, lt, "<", ">")
+        if end < 0:
+            continue
+        inner = code[lt:end]
+        if head == "unique_ptr" and "atomic" not in inner:
+            continue
+        # Reject anchors that are themselves nested inside another template
+        # argument list (e.g. the atomic< inside make_unique<...> or
+        # unique_ptr<...> — the outer anchor reports the declaration).
+        before = code[max(0, m.start() - 64):m.start()]
+        if re.search(r"[<,]\s*(?:std\s*::\s*)?$", before):
+            continue
+        j = end
+        while j < len(code) and code[j] in " \t\n*&":
+            if code[j] in "*&":  # pointer/reference to atomic: not a member
+                j = -1
+                break
+            j += 1
+        if j < 0 or j >= len(code):
+            continue
+        ident = IDENT.match(code, j)
+        if not ident:
+            continue
+        k = ident.end()
+        while k < len(code) and code[k] in " \t\n":
+            k += 1
+        if k < len(code) and code[k] == "{":
+            k = balance(code, k, "{", "}")
+            if k < 0:
+                continue
+            while k < len(code) and code[k] in " \t\n":
+                k += 1
+        if k >= len(code) or code[k] not in ";=":
+            continue  # function declaration, ctor call, etc.
+        line = src.line_of(m.start())
+        kind = "wrapper" if head == "AtomicArray" else "atomic"
+        decls.append(AtomicDecl(src.path, line, ident.group(0), kind,
+                                find_protocol_annotation(src, line)))
+    return decls
+
+
+def find_protocol_annotation(src: SourceFile, decl_line: int) -> str | None:
+    """`protocol: <name>` trailing on the declaration line or in the
+    contiguous comment block directly above it."""
+    candidates = [decl_line]
+    ln = decl_line - 1
+    while ln > 0 and src.comments.get(ln):
+        candidates.append(ln)
+        ln -= 1
+    for ln in candidates:
+        m = re.search(r"protocol:\s*([A-Za-z0-9_\-]+)", src.comments.get(ln, ""))
+        if m:
+            return m.group(1)
+    return None
+
+
+# --------------------------------------------------------------------------
+# Call-site scan: memory orders vs declared discipline
+# --------------------------------------------------------------------------
+
+OP_CALL = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|compare_exchange_strong|"
+    r"compare_exchange_weak|compare_exchange|fetch_add|fetch_sub|fetch_or|"
+    r"fetch_and|fetch_xor|wait)\s*\(")
+
+# op -> (kind, 0-based index of the memory_order argument) per receiver kind
+ORDER_ARG_ATOMIC = {
+    "load": ("load", 0), "store": ("store", 1), "exchange": ("rmw", 1),
+    "fetch_add": ("rmw", 1), "fetch_sub": ("rmw", 1), "fetch_or": ("rmw", 1),
+    "fetch_and": ("rmw", 1), "fetch_xor": ("rmw", 1), "wait": ("wait", 1),
+    "compare_exchange_strong": ("cas", 2), "compare_exchange_weak": ("cas", 2),
+}
+ORDER_ARG_WRAPPER = {
+    "load": ("load", 1), "store": ("store", 2), "fetch_add": ("rmw", 2),
+    "compare_exchange": ("cas", 3),
+}
+ORDER_TOKEN = re.compile(
+    r"^(?:std\s*::\s*)?memory_order(?:_|\s*::\s*)"
+    r"(relaxed|consume|acquire|release|acq_rel|seq_cst)$")
+
+
+def receiver_before(code: str, dot: int) -> str | None:
+    """Identifier owning the access chain ending at `dot` (the `.`/`->`),
+    skipping one trailing [index] or () group: `data_[i].load`, `w->hb.load`."""
+    i = dot - 1
+    while i >= 0 and code[i] in " \t\n":
+        i -= 1
+    if i >= 0 and code[i] in ")]":
+        close = code[i]
+        open_ch = "(" if close == ")" else "["
+        depth = 0
+        while i >= 0:
+            if code[i] == close:
+                depth += 1
+            elif code[i] == open_ch:
+                depth -= 1
+                if depth == 0:
+                    i -= 1
+                    break
+            i -= 1
+        while i >= 0 and code[i] in " \t\n":
+            i -= 1
+    end = i + 1
+    while i >= 0 and (code[i].isalnum() or code[i] == "_"):
+        i -= 1
+    name = code[i + 1:end]
+    return name if name else None
+
+
+def split_args(argtext: str) -> list[str]:
+    args, depth, cur = [], 0, []
+    for ch in argtext:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def classify_order(arg: str | None, default: str) -> str:
+    """Returns an order name, or 'dynamic' for a forwarded/non-literal order."""
+    if arg is None:
+        return default
+    m = ORDER_TOKEN.match(arg.strip())
+    return m.group(1) if m else "dynamic"
+
+
+def check_call_sites(src: SourceFile, registry: dict[str, AtomicDecl],
+                     cfg: Config) -> list[Finding]:
+    findings: list[Finding] = []
+    code = src.code
+    for m in OP_CALL.finditer(code):
+        op = m.group(1)
+        recv = receiver_before(code, m.start())
+        decl = registry.get(recv) if recv else None
+        if decl is None or decl.discipline not in cfg.disciplines:
+            continue
+        disc = cfg.disciplines[decl.discipline]
+        table = ORDER_ARG_WRAPPER if decl.kind == "wrapper" else ORDER_ARG_ATOMIC
+        if op not in table:
+            continue
+        kind, order_idx = table[op]
+        close = balance(code, m.end() - 1, "(", ")")
+        if close < 0:
+            continue
+        args = split_args(code[m.end():close - 1])
+        default = "relaxed" if decl.kind == "wrapper" else "seq_cst"
+        line = src.line_of(m.start())
+        if waived(src, line, "protocol-order"):
+            continue
+
+        def bad(kind_label: str, order: str, allowed: set[str]) -> None:
+            findings.append(Finding(
+                src.path, line, "protocol-order",
+                f"{recv}.{op}: {kind_label} order '{order}' not allowed by "
+                f"protocol '{disc.name}' (allowed: "
+                f"{', '.join(sorted(allowed)) or 'none'})"))
+
+        order = classify_order(
+            args[order_idx] if len(args) > order_idx else None, default)
+        allowed = disc.allowed[kind]
+        if order == "dynamic":
+            if not disc.dynamic:
+                bad(kind, "<non-literal>", allowed)
+        elif order not in allowed:
+            bad(kind, order, allowed)
+        if kind == "cas":
+            if len(args) > order_idx + 1:
+                fail = classify_order(args[order_idx + 1], default)
+            else:
+                # [atomics.types.operations]: the one-order CAS derives its
+                # failure order from the success order (release -> relaxed,
+                # acq_rel -> acquire, otherwise the same).
+                fail = {"release": "relaxed", "acq_rel": "acquire"}.get(
+                    order, order)
+            if fail == "dynamic":
+                if not disc.dynamic:
+                    bad("cas-failure", "<non-literal>", disc.cas_failure)
+            elif fail not in disc.cas_failure and fail != "dynamic":
+                bad("cas-failure", fail, disc.cas_failure)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Simple pattern rules: banned APIs, VertexId narrowing
+# --------------------------------------------------------------------------
+
+
+def check_banned(src: SourceFile, cfg: Config) -> list[Finding]:
+    findings = []
+    for rule in cfg.banned:
+        if not path_in(src.path, rule.get("paths", ["src/"])):
+            continue
+        for m in re.finditer(rule["pattern"], src.code):
+            line = src.line_of(m.start())
+            if waived(src, line, "banned-api"):
+                continue
+            findings.append(Finding(src.path, line, "banned-api",
+                                    f"{rule['name']}: {rule['message']}"))
+    return findings
+
+
+NARROW_CAST = re.compile(r"static_cast\s*<\s*VertexId\s*>\s*\(")
+
+
+def check_narrowing(src: SourceFile, cfg: Config) -> list[Finding]:
+    if not path_in(src.path, cfg.narrowing_paths):
+        return []
+    findings = []
+    hints = [re.compile(h) for h in cfg.narrowing_hints]
+    for m in NARROW_CAST.finditer(src.code):
+        close = balance(src.code, m.end() - 1, "(", ")")
+        if close < 0:
+            continue
+        arg = src.code[m.end():close - 1]
+        if not any(h.search(arg) for h in hints):
+            continue
+        line = src.line_of(m.start())
+        if waived(src, line, "vertexid-narrowing"):
+            continue
+        findings.append(Finding(
+            src.path, line, "vertexid-narrowing",
+            "size-like value narrowed with a raw static_cast<VertexId>; use "
+            "ppscan::checked_vertex_cast (util/types.hpp), which asserts the "
+            "value is representable"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Required order-constraint assertions (Algorithm 3 contract)
+# --------------------------------------------------------------------------
+
+
+def check_required_asserts(sources: dict[str, SourceFile],
+                           cfg: Config) -> list[Finding]:
+    findings = []
+    for req in cfg.required_asserts:
+        src = sources.get(req["file"])
+        if src is None:
+            findings.append(Finding(req["file"], 1, "order-assert",
+                                    "file listed in [[required_asserts]] was "
+                                    "not scanned (moved or deleted?)"))
+            continue
+        fn = req["function"]
+        body = None
+        body_line = 1
+        for m in re.finditer(r"\b" + re.escape(fn) + r"\s*\(", src.code):
+            close = balance(src.code, m.end() - 1, "(", ")")
+            if close < 0:
+                continue
+            k = close
+            while k < len(src.code) and src.code[k] in " \t\n":
+                k += 1
+            if k < len(src.code) and src.code[k] == "{":
+                end = balance(src.code, k, "{", "}")
+                if end > 0:
+                    body = src.code[k:end]
+                    body_line = src.line_of(m.start())
+                    break
+        if body is None:
+            findings.append(Finding(
+                req["file"], 1, "order-assert",
+                f"function '{fn}' (with a body) not found; update "
+                "[[required_asserts]] if it moved"))
+            continue
+        if not re.search(req["pattern"], body):
+            findings.append(Finding(
+                req["file"], body_line, "order-assert",
+                f"'{fn}' must assert its order constraint "
+                f"(pattern /{req['pattern']}/): {req.get('reason', '')}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Docs completeness
+# --------------------------------------------------------------------------
+
+
+def check_docs(decls: list[AtomicDecl], cfg: Config,
+               root: pathlib.Path) -> list[Finding]:
+    if not cfg.docs_file:
+        return []
+    docs_path = root / cfg.docs_file
+    if not docs_path.is_file():
+        return [Finding(cfg.docs_file, 1, "protocol-docs",
+                        "protocol docs file missing")]
+    docs = docs_path.read_text(encoding="utf-8")
+    findings = []
+    for d in decls:
+        if d.discipline and f"`{d.name}`" not in docs:
+            findings.append(Finding(
+                d.path, d.line, "protocol-docs",
+                f"atomic member `{d.name}` is annotated but missing from the "
+                f"protocol table in {cfg.docs_file}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h", ".cxx"}
+
+
+def path_in(path: str, prefixes: list[str]) -> bool:
+    for p in prefixes:
+        base = p.rstrip("/")
+        if path == base or path.startswith(base + "/"):
+            return True
+    return False
+
+
+def collect_files(root: pathlib.Path, cfg: Config) -> list[pathlib.Path]:
+    scopes = set(cfg.protocol_paths) | set(cfg.narrowing_paths)
+    for rule in cfg.banned:
+        scopes |= set(rule.get("paths", ["src/"]))
+    files: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for scope in sorted(scopes):
+        base = root / scope
+        if not base.exists():
+            continue
+        candidates = [base] if base.is_file() else sorted(base.rglob("*"))
+        for p in candidates:
+            if p.suffix not in SOURCE_SUFFIXES or p in seen:
+                continue
+            rel = str(p.relative_to(root))
+            if path_in(rel, cfg.exclude_paths):
+                continue
+            seen.add(p)
+            files.append(p)
+    return files
+
+
+def run_lint(cfg: Config, root: pathlib.Path,
+             check_docs_table: bool = True) -> list[Finding]:
+    sources: dict[str, SourceFile] = {}
+    for path in collect_files(root, cfg):
+        src = load_source(path, root)
+        sources[src.path] = src
+
+    findings: list[Finding] = []
+    decls: list[AtomicDecl] = []
+    for src in sources.values():
+        if path_in(src.path, cfg.protocol_paths):
+            decls.extend(find_decls(src))
+
+    registry: dict[str, AtomicDecl] = {}
+    for d in decls:
+        src = sources[d.path]
+        if d.discipline is None:
+            if not waived(src, d.line, "protocol-missing"):
+                findings.append(Finding(
+                    d.path, d.line, "protocol-missing",
+                    f"atomic member '{d.name}' has no `// protocol:` "
+                    "annotation naming its ordering discipline"))
+            continue
+        if d.discipline not in cfg.disciplines:
+            findings.append(Finding(
+                d.path, d.line, "protocol-unknown",
+                f"'{d.name}' names discipline '{d.discipline}', which "
+                "atomics_protocol.toml does not define"))
+            continue
+        prior = registry.get(d.name)
+        if prior and prior.discipline != d.discipline:
+            findings.append(Finding(
+                d.path, d.line, "protocol-ambiguous",
+                f"'{d.name}' declared with discipline '{d.discipline}' here "
+                f"but '{prior.discipline}' at {prior.path}:{prior.line}; "
+                "call sites resolve by receiver name — rename one member"))
+            continue
+        registry[d.name] = d
+
+    for src in sources.values():
+        if path_in(src.path, cfg.protocol_paths):
+            findings.extend(check_call_sites(src, registry, cfg))
+        findings.extend(check_banned(src, cfg))
+        findings.extend(check_narrowing(src, cfg))
+    findings.extend(check_required_asserts(sources, cfg))
+    if check_docs_table:
+        findings.extend(check_docs(decls, cfg, root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def verify_with_libclang(cfg: Config, root: pathlib.Path) -> int:
+    """Optional cross-validation: every std::atomic field libclang sees must
+    be in the tokenizer's declaration registry. Requires the clang python
+    bindings; returns the number of declarations the tokenizer missed."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        print("ppscan_lint: libclang python bindings unavailable; "
+              "skipping AST cross-validation (tokenizer engine is "
+              "authoritative)", file=sys.stderr)
+        return 0
+    index = cindex.Index.create()
+    missed = 0
+    tokenizer_decls = set()
+    for path in collect_files(root, cfg):
+        src = load_source(path, root)
+        if path_in(src.path, cfg.protocol_paths):
+            for d in find_decls(src):
+                tokenizer_decls.add((d.path, d.name))
+    for path in collect_files(root, cfg):
+        rel = str(path.relative_to(root))
+        if not path_in(rel, cfg.protocol_paths) or path.suffix != ".hpp":
+            continue
+        tu = index.parse(str(path), args=["-std=c++20", f"-I{root}/src"])
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind == cindex.CursorKind.FIELD_DECL and \
+                    "atomic" in cur.type.spelling and \
+                    cur.location.file and \
+                    str(cur.location.file) == str(path):
+                if (rel, cur.spelling) not in tokenizer_decls:
+                    print(f"{rel}:{cur.location.line}: [libclang-verify] "
+                          f"field '{cur.spelling}' missed by tokenizer",
+                          file=sys.stderr)
+                    missed += 1
+    return missed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--config", default=None,
+                        help="config TOML (default: tools/lint/"
+                             "atomics_protocol.toml under --root)")
+    parser.add_argument("--no-docs-check", action="store_true",
+                        help="skip the protocol-docs completeness rule")
+    parser.add_argument("--verify-with-libclang", action="store_true",
+                        help="cross-validate the declaration scan with the "
+                             "optional clang python bindings")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root).resolve()
+    config_path = pathlib.Path(args.config) if args.config else \
+        root / "tools" / "lint" / "atomics_protocol.toml"
+    if not config_path.is_file():
+        print(f"ppscan_lint: config not found: {config_path}", file=sys.stderr)
+        return 2
+    cfg = load_config(config_path)
+
+    findings = run_lint(cfg, root, check_docs_table=not args.no_docs_check)
+    for f in findings:
+        print(f)
+    if args.verify_with_libclang:
+        if verify_with_libclang(cfg, root) > 0:
+            return 1
+    if findings:
+        print(f"ppscan_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("ppscan_lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

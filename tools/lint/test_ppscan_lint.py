@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Self-tests for ppscan_lint: every rule must fire on its known-bad snippet
+and stay silent on the known-good set.
+
+Runs the real engine with the real discipline definitions from
+atomics_protocol.toml, re-scoped onto tools/lint/testdata. Exit 0 iff all
+tests pass, so `ctest -L lint` can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import pathlib
+import sys
+import unittest
+
+LINT_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = LINT_DIR.parent.parent
+GOOD = "tools/lint/testdata/good"
+BAD = "tools/lint/testdata/bad"
+
+spec = importlib.util.spec_from_file_location(
+    "ppscan_lint", LINT_DIR / "ppscan_lint.py")
+ppscan_lint = importlib.util.module_from_spec(spec)
+sys.modules["ppscan_lint"] = ppscan_lint
+spec.loader.exec_module(ppscan_lint)
+
+
+def scoped_config(paths, *, docs_file=None, required_asserts=()):
+    """The shipped config with every rule's scope rewritten to `paths`."""
+    cfg = ppscan_lint.load_config(LINT_DIR / "atomics_protocol.toml")
+    banned = [dict(rule, paths=list(paths)) for rule in cfg.banned]
+    return dataclasses.replace(
+        cfg,
+        protocol_paths=list(paths),
+        narrowing_paths=list(paths),
+        exclude_paths=[],
+        banned=banned,
+        docs_file=docs_file,
+        required_asserts=list(required_asserts),
+    )
+
+
+def lint(paths, **kwargs):
+    check_docs = kwargs.get("docs_file") is not None
+    cfg = scoped_config(paths, **kwargs)
+    return ppscan_lint.run_lint(cfg, REPO_ROOT, check_docs_table=check_docs)
+
+
+def rules_in(findings, path_suffix):
+    return sorted({f.rule for f in findings if f.path.endswith(path_suffix)})
+
+
+class KnownGoodTest(unittest.TestCase):
+    def test_good_tree_is_silent(self):
+        findings = lint([GOOD], docs_file=f"{GOOD}/docs_table.md",
+                        required_asserts=[{
+                            "file": f"{GOOD}/has_assert.cpp",
+                            "function": "mirror_arc",
+                            "pattern":
+                                r"assert\(\s*!ordered\s*\|\|\s*u\s*<\s*v\s*\)",
+                            "reason": "order-constraint assert required",
+                        }])
+        self.assertEqual([], [str(f) for f in findings])
+
+
+class KnownBadTest(unittest.TestCase):
+    def setUp(self):
+        self.findings = lint([BAD])
+
+    def test_protocol_missing_fires(self):
+        self.assertIn("protocol-missing",
+                      rules_in(self.findings, "missing_annotation.hpp"))
+
+    def test_protocol_unknown_fires(self):
+        self.assertIn("protocol-unknown",
+                      rules_in(self.findings, "unknown_protocol.hpp"))
+
+    def test_protocol_ambiguous_fires(self):
+        self.assertIn("protocol-ambiguous",
+                      rules_in(self.findings, "ambiguous.hpp"))
+
+    def test_protocol_order_fires_per_site(self):
+        hits = [f for f in self.findings
+                if f.path.endswith("order_mismatch.hpp")
+                and f.rule == "protocol-order"]
+        messages = "\n".join(f.message for f in hits)
+        # Three distinct violations: release rmw, defaulted seq_cst load,
+        # and an over-strong CAS failure order.
+        self.assertGreaterEqual(len(hits), 3, messages)
+        self.assertIn("fetch_add", messages)
+        self.assertIn("load", messages)
+        self.assertIn("cas-failure", messages)
+
+    def test_banned_api_fires_for_each_api(self):
+        hits = [f for f in self.findings
+                if f.path.endswith("banned_api.cpp") and f.rule == "banned-api"]
+        self.assertGreaterEqual(len(hits), 3,
+                                "\n".join(str(f) for f in hits))
+
+    def test_vertexid_narrowing_fires(self):
+        self.assertIn("vertexid-narrowing",
+                      rules_in(self.findings, "narrowing.cpp"))
+
+    def test_order_assert_fires_when_missing(self):
+        findings = lint([BAD], required_asserts=[{
+            "file": f"{BAD}/missing_assert.cpp",
+            "function": "mirror_arc",
+            "pattern": r"assert\(\s*!ordered\s*\|\|\s*u\s*<\s*v\s*\)",
+            "reason": "order-constraint assert required",
+        }])
+        self.assertIn("order-assert",
+                      rules_in(findings, "missing_assert.cpp"))
+
+    def test_protocol_docs_fires_when_member_undocumented(self):
+        # Point the docs check at a table that lacks the bad tree's members.
+        findings = lint([BAD], docs_file=f"{GOOD}/docs_table.md")
+        self.assertIn("protocol-docs", {f.rule for f in findings})
+
+
+class WaiverTest(unittest.TestCase):
+    def test_lint_ok_waives_a_single_site(self):
+        waived = REPO_ROOT / GOOD / "_waived_tmp.hpp"
+        waived.write_text(
+            "#pragma once\n#include <atomic>\n"
+            "namespace ppscan {\nstruct W {\n"
+            "  std::atomic<int> x_{0};  // lint-ok: protocol-missing\n"
+            "};\n}  // namespace ppscan\n",
+            encoding="utf-8")
+        try:
+            findings = lint([GOOD])
+            self.assertEqual([], rules_in(findings, "_waived_tmp.hpp"))
+        finally:
+            waived.unlink()
+
+
+class RepoTreeTest(unittest.TestCase):
+    def test_shipped_tree_is_clean(self):
+        cfg = ppscan_lint.load_config(LINT_DIR / "atomics_protocol.toml")
+        findings = ppscan_lint.run_lint(cfg, REPO_ROOT, check_docs_table=True)
+        self.assertEqual([], [str(f) for f in findings])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main(verbosity=2))

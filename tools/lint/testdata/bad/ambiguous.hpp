@@ -1,0 +1,20 @@
+// Known-bad: two members share a name but declare different disciplines;
+// call-site checking resolves by receiver name, so this is ambiguous
+// -> protocol-ambiguous.
+#pragma once
+
+#include <atomic>
+
+namespace ppscan {
+
+class WriterSide {
+ private:
+  std::atomic<int> shared_{0};  // protocol: relaxed-counter
+};
+
+class ReaderSide {
+ private:
+  std::atomic<int> shared_{0};  // protocol: release-acquire
+};
+
+}  // namespace ppscan

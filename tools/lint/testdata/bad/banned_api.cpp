@@ -1,0 +1,14 @@
+// Known-bad: banned APIs in phase code -> banned-api (rand, time-as-seed,
+// naked new[]).
+#include <cstdlib>
+#include <ctime>
+
+namespace ppscan {
+
+int roll_unseeded() { return rand() % 6; }
+
+unsigned clock_seed() { return static_cast<unsigned>(time(nullptr)); }
+
+int* scratch_buffer(int n) { return new int[static_cast<unsigned>(n)]; }
+
+}  // namespace ppscan

@@ -1,0 +1,14 @@
+// Known-bad: atomic member with no protocol annotation -> protocol-missing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppscan {
+
+class Unannotated {
+ private:
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace ppscan

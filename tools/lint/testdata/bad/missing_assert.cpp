@@ -1,0 +1,15 @@
+// Known-bad: a similarity-reuse path whose required order-constraint assert
+// is absent -> order-assert (driven by a [[required_asserts]] entry the
+// self-test runner points at this file).
+#include "util/types.hpp"
+
+namespace ppscan {
+
+void mirror_arc(VertexId u, VertexId v, bool ordered) {
+  // Missing: assert(!ordered || u < v);
+  (void)u;
+  (void)v;
+  (void)ordered;
+}
+
+}  // namespace ppscan

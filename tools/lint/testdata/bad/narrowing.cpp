@@ -1,0 +1,14 @@
+// Known-bad: unchecked VertexId narrowing at a graph boundary
+// -> vertexid-narrowing.
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ppscan {
+
+VertexId count_rows(const std::vector<int>& offsets) {
+  return static_cast<VertexId>(offsets.size() - 1);
+}
+
+}  // namespace ppscan

@@ -1,0 +1,29 @@
+// Known-bad: call-site memory orders violating the declared discipline
+// -> protocol-order (three distinct sites: default seq_cst load on a
+// relaxed counter, release fetch_add on a relaxed counter, and a CAS
+// failure order stronger than the discipline allows).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppscan {
+
+class WrongOrders {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_release); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
+
+  bool claim() {
+    bool expected = false;
+    return flag_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};  // protocol: relaxed-counter
+  std::atomic<bool> flag_{false};       // protocol: cancel-token
+};
+
+}  // namespace ppscan

@@ -1,0 +1,14 @@
+// Known-bad: annotation names a discipline the config does not define
+// -> protocol-unknown.
+#pragma once
+
+#include <atomic>
+
+namespace ppscan {
+
+class Mislabeled {
+ private:
+  std::atomic<int> state_{0};  // protocol: totally-ordered-magic
+};
+
+}  // namespace ppscan

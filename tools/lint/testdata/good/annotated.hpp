@@ -1,0 +1,41 @@
+// Known-good: every rule should stay silent on this file.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ppscan {
+
+class GoodCounters {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  void publish(int v) {
+    payload_ = v;
+    ready_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool consume(int& out) const {
+    if (!ready_.load(std::memory_order_acquire)) return false;
+    out = payload_;
+    return true;
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};  // protocol: relaxed-counter
+  // protocol: release-acquire — payload_ is published before the flag flips.
+  std::atomic<bool> ready_{false};
+  int payload_ = 0;
+};
+
+inline VertexId count_vertices(const std::vector<int>& xs) {
+  return checked_vertex_cast(xs.size());
+}
+
+}  // namespace ppscan
