@@ -33,6 +33,7 @@ inline int run_overall_comparison(int argc, char** argv,
     algorithms = split_list(flags.get_string("algorithms", ""));
   }
 
+  MetricsSink metrics(flags, figure_name);
   Table table({"dataset", "eps", "algorithm", "runtime(s)",
                "speedup-vs-pSCAN", "invocations"});
   for (const auto& name : dataset_flag(flags)) {
@@ -47,15 +48,20 @@ inline int run_overall_comparison(int argc, char** argv,
       std::vector<RunStats> stats;
       double pscan_seconds = 0;
       for (const auto& algorithm : algorithms) {
-        RunStats best;
+        ScanRun best;
         for (int rep = 0; rep < repeats; ++rep) {
-          const auto run = run_algorithm(algorithm, graph, params, config);
-          if (rep == 0 || run.stats.total_seconds < best.total_seconds) {
-            best = run.stats;
+          auto run = run_algorithm(algorithm, graph, params, config);
+          if (rep == 0 ||
+              run.stats.total_seconds < best.stats.total_seconds) {
+            best = std::move(run);
           }
         }
-        if (algorithm == "pSCAN") pscan_seconds = best.total_seconds;
-        stats.push_back(best);
+        if (algorithm == "pSCAN") pscan_seconds = best.stats.total_seconds;
+        metrics.add(make_metrics_report(
+            figure_name, algorithm, name, eps, mu,
+            static_cast<std::uint64_t>(config.num_threads),
+            to_string(resolve_kernel(config.kernel)), graph, best));
+        stats.push_back(best.stats);
       }
       for (std::size_t i = 0; i < algorithms.size(); ++i) {
         const double speedup =
@@ -71,7 +77,7 @@ inline int run_overall_comparison(int argc, char** argv,
                              std::to_string(mu) + ", ppSCAN kernel=" +
                              to_string(ppscan_kernel) + ", threads=" +
                              std::to_string(config.num_threads));
-  return 0;
+  return metrics.flush() ? 0 : 1;
 }
 
 }  // namespace ppscan::bench

@@ -3,18 +3,58 @@
 // records how it was produced.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_support/datasets.hpp"
+#include "bench_support/metrics.hpp"
+#include "obs/metrics_json.hpp"
 #include "setops/intersect.hpp"
 #include "util/env.hpp"
 #include "util/flags.hpp"
 #include "util/report.hpp"
 
 namespace ppscan::bench {
+
+/// Machine-readable sidecar for a figure harness: rows collected via add()
+/// are written as the schema-v1 file envelope (obs/metrics_json.hpp) when
+/// `--metrics-json FILE` was given, e.g. the CI BENCH_*.json artifacts.
+/// Inactive (add() is a no-op) when the flag is absent.
+class MetricsSink {
+ public:
+  MetricsSink(const Flags& flags, std::string figure)
+      : path_(flags.get_string("metrics-json", "")),
+        figure_(std::move(figure)) {}
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  void add(obs::MetricsReport row) {
+    if (active()) rows_.push_back(std::move(row));
+  }
+
+  /// Writes the envelope; returns false (with a message on stderr) when the
+  /// file cannot be written. No-op when inactive.
+  bool flush() const {
+    if (!active()) return true;
+    std::ofstream stream(path_);
+    if (!stream) {
+      std::cerr << "metrics-json: cannot open " << path_ << " for writing\n";
+      return false;
+    }
+    stream << obs::metrics_file_json(figure_, rows_).dump(2) << "\n";
+    std::cout << "# metrics -> " << path_ << " (" << rows_.size()
+              << " rows, schema v" << obs::kMetricsSchemaVersion << ")\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string figure_;
+  std::vector<obs::MetricsReport> rows_;
+};
 
 inline std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> out;

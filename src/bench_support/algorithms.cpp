@@ -20,12 +20,14 @@ ScanRun run_algorithm(const std::string& name, const CsrGraph& graph,
     ScanOriginalOptions options;
     options.limits = config.limits;
     options.cancel = config.cancel;
+    options.trace = config.trace;
     return scan_original(graph, params, options);
   }
   if (name == "pSCAN") {
     PscanOptions options;
     options.limits = config.limits;
     options.cancel = config.cancel;
+    options.trace = config.trace;
     return pscan(graph, params, options);
   }
   if (name == "anySCAN") {
@@ -33,6 +35,7 @@ ScanRun run_algorithm(const std::string& name, const CsrGraph& graph,
     options.num_threads = config.num_threads;
     options.limits = config.limits;
     options.cancel = config.cancel;
+    options.trace = config.trace;
     return anyscan_lite(graph, params, options);
   }
   if (name == "SCAN-XP") {
@@ -40,6 +43,7 @@ ScanRun run_algorithm(const std::string& name, const CsrGraph& graph,
     options.num_threads = config.num_threads;
     options.limits = config.limits;
     options.cancel = config.cancel;
+    options.trace = config.trace;
     return scanxp(graph, params, options);
   }
   if (name == "ppSCAN" || name == "ppSCAN-NO") {
@@ -49,6 +53,7 @@ ScanRun run_algorithm(const std::string& name, const CsrGraph& graph,
         name == "ppSCAN" ? config.kernel : IntersectKind::MergeEarlyStop;
     options.limits = config.limits;
     options.cancel = config.cancel;
+    options.trace = config.trace;
     return ppscan(graph, params, options);
   }
   throw std::invalid_argument("unknown algorithm: " + name);

@@ -20,6 +20,10 @@ struct AlgorithmConfig {
   RunLimits limits;
   /// Optional external cancel token; not owned, may be null.
   CancelToken* cancel = nullptr;
+  /// Optional trace collector (obs/trace.hpp), forwarded to every
+  /// algorithm. Not owned; must be sized for at least num_threads workers
+  /// and outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Algorithm names accepted by run_algorithm, in the order the paper's

@@ -108,7 +108,7 @@ CsrGraph generate(const std::string& name, double scale) {
 }
 
 fs::path cache_dir() {
-  if (const char* dir = std::getenv("PPSCAN_CACHE_DIR")) return dir;
+  if (const auto dir = env_string("PPSCAN_CACHE_DIR")) return *dir;
   return fs::temp_directory_path() / "ppscan-datasets";
 }
 

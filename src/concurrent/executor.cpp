@@ -169,6 +169,17 @@ void Executor::supervisor_loop() {
     }
     if (gov->should_stop() && announced_for != gov) {
       announced_for = gov;
+#if PPSCAN_TRACE_ENABLED
+      // The supervisor has its own single-writer slot: a trip landing in
+      // the timeline shows when the drain started relative to the worker
+      // spans it cut short.
+      if (obs::TraceCollector* tc = trace_.load(std::memory_order_acquire);
+          tc != nullptr) {
+        tc->emit(tc->supervisor_slot(), obs::TraceEventKind::GovernorTrip,
+                 "governor-trip",
+                 static_cast<std::uint64_t>(gov->abort_info().reason));
+      }
+#endif
       wake_workers();
     }
     supervisor_busy_.store(0, std::memory_order_release);
@@ -314,11 +325,13 @@ bool Executor::try_claim(int self, TaskRange* out) {
     const int victim = (self + d) % num_workers_;
     if (claim_from_segment(victim, p, &index)) {
       me.steals.fetch_add(1, std::memory_order_relaxed);
+      record_steal(self, victim);
       *out = tasks_[index];
       return true;
     }
     if (workers_[static_cast<std::size_t>(victim)]->deque.steal(&packed)) {
       me.steals.fetch_add(1, std::memory_order_relaxed);
+      record_steal(self, victim);
       *out = unpack(packed);
       return true;
     }
@@ -332,7 +345,7 @@ bool Executor::try_claim(int self, TaskRange* out) {
   return false;
 }
 
-void Executor::execute(TaskRange range, Worker& self) {
+void Executor::execute(TaskRange range, Worker& self, int self_index) {
   // Claim boundary: heartbeat odd while inside the body, token poll every
   // claim (one relaxed load, so the cancellation drain costs one claim +
   // one counter per remaining task, no locks), and the deadline clock read
@@ -347,13 +360,34 @@ void Executor::execute(TaskRange range, Worker& self) {
         gov->poll_deadline()));
   if (stop) {
     self.skipped.fetch_add(1, std::memory_order_relaxed);
+#if PPSCAN_TRACE_ENABLED
+    if (obs::TraceCollector* tc = trace_.load(std::memory_order_acquire);
+        tc != nullptr && tc->task_events()) {
+      tc->emit(self_index, obs::TraceEventKind::TaskSkip, tc->phase_name(),
+               range.beg);
+    }
+#endif
   } else {
     const auto t0 = Clock::now();
     fn_(ctx_, range.beg, range.end);
-    self.busy_ns.fetch_add(elapsed_ns(t0, Clock::now()),
-                           std::memory_order_relaxed);
+    const auto t1 = Clock::now();
+    self.busy_ns.fetch_add(elapsed_ns(t0, t1), std::memory_order_relaxed);
     self.executed.fetch_add(1, std::memory_order_relaxed);
+#if PPSCAN_TRACE_ENABLED
+    // Reuses the busy-stopwatch clock reads, so tracing adds no extra
+    // Clock::now() per task — only the record() when a collector is
+    // installed and per-task events are on.
+    if (obs::TraceCollector* tc = trace_.load(std::memory_order_acquire);
+        tc != nullptr && tc->task_events()) {
+      tc->buffer(self_index)
+          .record(obs::TraceEventKind::TaskRun, tc->phase_name(),
+                  tc->since_epoch_ns(t0), elapsed_ns(t0, t1), range.beg);
+    }
+#endif
   }
+#if !PPSCAN_TRACE_ENABLED
+  (void)self_index;
+#endif
   self.heartbeat.fetch_add(1, std::memory_order_relaxed);
   finish_one_task();
 }
@@ -390,7 +424,7 @@ void Executor::worker_loop(int index) {
     if (try_claim(index, &range)) {
       flush_idle();
       failures = 0;
-      execute(range, self);
+      execute(range, self, index);
       continue;
     }
     if (pending_.load(std::memory_order_relaxed) != 0) {

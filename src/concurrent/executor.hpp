@@ -55,6 +55,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace ppscan {
@@ -264,6 +265,19 @@ class Executor {
     return governor_.load(std::memory_order_acquire);
   }
 
+  /// Installs (or clears, with nullptr) the trace collector. Master only,
+  /// at a barrier, same lifetime contract as install_governor: the
+  /// collector must outlive every subsequent run()/wait_idle() until
+  /// replaced. Workers record TaskRun/TaskSkip/Steal events into their own
+  /// slot, the supervisor records GovernorTrip into its dedicated slot.
+  /// A no-op (beyond the pointer swap) when tracing is compiled out.
+  void install_trace(obs::TraceCollector* trace) {
+    trace_.store(trace, std::memory_order_release);
+  }
+  [[nodiscard]] obs::TraceCollector* trace() const {
+    return trace_.load(std::memory_order_acquire);
+  }
+
  private:
   /// Claims between clock reads on the per-claim deadline poll. The trip
   /// itself is supervisor-driven; this only affects how fast a worker
@@ -320,7 +334,21 @@ class Executor {
   bool try_claim(int self, TaskRange* out);
   /// CAS-claims one task index from `victim`'s segment for phase `tag`.
   bool claim_from_segment(int victim, std::uint32_t tag, std::uint32_t* out);
-  void execute(TaskRange range, Worker& self);
+  void execute(TaskRange range, Worker& self, int self_index);
+  /// Trace hook for a successful steal (compiled out with PPSCAN_TRACE=OFF;
+  /// the relaxed steals counter is unconditional either way).
+  void record_steal(int self, int victim) {
+#if PPSCAN_TRACE_ENABLED
+    if (obs::TraceCollector* tc = trace_.load(std::memory_order_acquire);
+        tc != nullptr && tc->task_events()) {
+      tc->emit(self, obs::TraceEventKind::Steal, "steal",
+               static_cast<std::uint64_t>(victim));
+    }
+#else
+    (void)self;
+    (void)victim;
+#endif
+  }
   void finish_one_task();
   void wake_workers();
   [[nodiscard]] std::uint64_t heartbeat_sum() const;
@@ -363,6 +391,14 @@ class Executor {
   // protocol: seqcst-handshake — paired with supervisor_busy_ (see
   // install_governor); workers' read-only poll is the acquire load.
   std::atomic<RunGovernor*> governor_{nullptr};
+
+  // Trace collector, installed by the master at a barrier like governor_
+  // (but never touched by the supervisor handshake: the supervisor only
+  // reads it inside a tick that already holds supervisor_busy_ for the
+  // governor, and the collector outlives the run by contract).
+  // protocol: release-acquire — publisher=master in install_trace (release
+  // store), consumers=workers/supervisor (acquire load per use).
+  std::atomic<obs::TraceCollector*> trace_{nullptr};
 
   // Governance supervisor thread (lazily spawned by install_governor).
   // supervisor_busy_ is the grace-period handshake: the supervisor raises

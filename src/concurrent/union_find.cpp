@@ -18,6 +18,17 @@ VertexId UnionFind::find(VertexId x) {
   return x;
 }
 
+VertexId UnionFind::find_counted(VertexId x, std::uint64_t* steps) {
+  std::uint64_t hops = 0;
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+    ++hops;
+  }
+  *steps += hops;
+  return x;
+}
+
 bool UnionFind::unite(VertexId x, VertexId y) {
   VertexId rx = find(x);
   VertexId ry = find(y);
@@ -46,6 +57,24 @@ VertexId ParallelUnionFind::find(VertexId x) {
       parent_.compare_exchange(x, expected, gp);
     }
     x = gp;
+  }
+}
+
+VertexId ParallelUnionFind::find_counted(VertexId x, std::uint64_t* steps) {
+  std::uint64_t hops = 0;
+  for (;;) {
+    const VertexId p = parent_.load(x);
+    if (p == x) {
+      *steps += hops;
+      return x;
+    }
+    const VertexId gp = parent_.load(p);
+    if (p != gp) {
+      VertexId expected = p;
+      parent_.compare_exchange(x, expected, gp);
+    }
+    x = gp;
+    ++hops;
   }
 }
 

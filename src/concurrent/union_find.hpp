@@ -29,6 +29,10 @@ class UnionFind {
   void reset(VertexId n);
 
   VertexId find(VertexId x);
+  /// find() that also adds the number of parent hops walked to *steps —
+  /// the observability layer's path-length signal (obs::AlgoCounters
+  /// uf_find_steps). Identical set semantics to find().
+  VertexId find_counted(VertexId x, std::uint64_t* steps);
   /// Returns true when two distinct sets were merged.
   bool unite(VertexId x, VertexId y);
   bool same_set(VertexId x, VertexId y) { return find(x) == find(y); }
@@ -53,6 +57,10 @@ class ParallelUnionFind {
 
   /// Thread-safe root lookup with path halving.
   VertexId find(VertexId x);
+  /// Thread-safe find() that also adds the parent hops walked to *steps
+  /// (caller-owned, single-writer — pass a worker-local counter). The
+  /// observability layer's path-length signal.
+  VertexId find_counted(VertexId x, std::uint64_t* steps);
   /// Thread-safe merge; returns true when this call performed the link.
   bool unite(VertexId x, VertexId y);
   /// Thread-safe; false may be stale (see header comment), true is exact.

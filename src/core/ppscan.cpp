@@ -9,6 +9,7 @@
 #include "concurrent/thread_pool.hpp"
 #include "concurrent/union_find.hpp"
 #include "graph/reverse_index.hpp"
+#include "obs/trace.hpp"
 #include "util/atomic_array.hpp"
 #include "util/timer.hpp"
 
@@ -23,12 +24,14 @@ class PpScanRunner {
         params_(params),
         options_(options),
         kernel_(similar_fn(options.kernel)),
-        governor_(options.limits, options.cancel) {
+        governor_(options.limits, options.cancel),
+        counters_(static_cast<std::size_t>(options.num_threads) + 1) {
     if (options.scheduler.runtime == RuntimeKind::MutexPool) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     } else {
       exec_ = std::make_unique<Executor>(options.num_threads);
       exec_->install_governor(&governor_);
+      if (options.trace != nullptr) exec_->install_trace(options.trace);
     }
     sched_ = options.scheduler;
     sched_.governor = &governor_;
@@ -61,6 +64,12 @@ class PpScanRunner {
 
   ScanRun run() {
     WallTimer total;
+    // One KernelDispatch event per run: the kernels themselves are the
+    // innermost loops and must stay trace-free (the trace-hotpath lint
+    // rule), so the resolved kind is recorded here, once.
+    PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::KernelDispatch,
+                              "kernel-dispatch",
+                              resolve_kernel(options_.kernel));
     if (alloc_ok_ && options_.use_reverse_index && !governor_.should_stop()) {
       const std::uint64_t bytes =
           static_cast<std::uint64_t>(graph_.num_arcs()) * sizeof(EdgeId);
@@ -99,12 +108,30 @@ class PpScanRunner {
     run.stats = stats_;
     run.stats.compsim_invocations =
         invocations_.load(std::memory_order_relaxed);
+    // The slot merge happens after every phase barrier (and after the
+    // serial fallbacks returned), which is the happens-before edge the
+    // plain per-worker counters need.
+    run.stats.counters = counters_.merged();
     if (exec_) {
+      run.stats.runtime_kind =
+          options_.scheduler.kind == SchedulerKind::OmpDynamic
+              ? "openmp"
+              : to_string(RuntimeKind::WorkSteal);
       const ExecutorStats es = exec_->stats();
       run.stats.tasks_executed = es.tasks_executed;
       run.stats.steals = es.steals;
       run.stats.busy_seconds = es.busy_seconds;
       run.stats.idle_seconds = es.idle_seconds;
+    } else {
+      // MutexPool ablation: the legacy pool keeps no per-worker counters,
+      // so the executor block is *explicitly zeroed* — runtime_kind is how
+      // a metrics consumer tells "unmeasured on this runtime" from "ran
+      // with zero steals" (they used to be indistinguishable).
+      run.stats.runtime_kind = to_string(RuntimeKind::MutexPool);
+      run.stats.tasks_executed = 0;
+      run.stats.steals = 0;
+      run.stats.busy_seconds = 0;
+      run.stats.idle_seconds = 0;
     }
     run.stats.total_seconds = total.elapsed_s();
     record_governance(governor_, run.stats);
@@ -121,14 +148,26 @@ class PpScanRunner {
 
   /// Runs one named phase under the governor: skipped entirely once the
   /// token is tripped, counted as completed only when it reached its
-  /// barrier uncancelled.
+  /// barrier uncancelled. With a trace collector, the phase body runs
+  /// inside a Begin/End span on the master slot, and the phase label is
+  /// published so workers can name their task events.
   template <typename Body>
   void phase(const char* name, Body&& body) {
     if (governor_.should_stop()) return;
     governor_.enter_phase(name);
     // Re-check: the cancel_at_phase test hook trips on phase entry.
-    if (governor_.should_stop()) return;
+    if (governor_.should_stop()) {
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace,
+                                obs::TraceEventKind::GovernorTrip,
+                                "phase-skipped", 0);
+      return;
+    }
+    PPSCAN_TRACE_SET_PHASE(options_.trace, name);
+    PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::PhaseBegin,
+                              name, 0);
     body();
+    PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::PhaseEnd,
+                              name, 0);
     if (!governor_.should_stop()) governor_.finish_phase();
   }
 
@@ -159,6 +198,7 @@ class PpScanRunner {
         [this](VertexId u) {
           std::uint32_t sd = 0;
           std::uint32_t ed = graph_.degree(u);
+          std::uint64_t pruned = 0;
           for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
                ++e) {
             const VertexId v = graph_.dst()[e];
@@ -171,12 +211,22 @@ class PpScanRunner {
               if (need <= 2) {
                 value = kSimFlag;
                 ++sd;
+                ++pruned;
               } else if (need > std::min(du, dv) + 1) {
                 value = kNSimFlag;
                 --ed;
+                ++pruned;
               }
             }
             sim_.store(e, value);
+          }
+          if (pruned != 0) {
+            // Each direction is decided by its own tail here (no mirror),
+            // so a predicate-settled arc is touched + pruned, once per
+            // direction.
+            obs::AlgoCounters& c = counters_.slot(worker_slot());
+            c.arcs_touched += pruned;
+            c.arcs_predicate_pruned += pruned;
           }
           if (sd >= params_.mu) {
             set_role(u, Role::Core);
@@ -198,6 +248,12 @@ class PpScanRunner {
     sim_.store(reverse_index_.empty() ? graph_.reverse_arc(u, e)
                                       : reverse_index_.reverse(e),
                flag);
+    // One intersection decided two directed arcs: the computed one and the
+    // mirrored reverse (the u < v reuse the funnel singles out).
+    obs::AlgoCounters& c = counters_.slot(worker_slot());
+    c.arcs_touched += 2;
+    c.sims_computed += 1;
+    c.sims_reused += 1;
     return sim;
   }
 
@@ -215,11 +271,13 @@ class PpScanRunner {
       if (value == kSimFlag) {
         if (++sd >= params_.mu && early) {
           set_role(u, Role::Core);
+          counters_.slot(worker_slot()).core_early_exits += 1;
           return;
         }
       } else if (value == kNSimFlag) {
         if (--ed < params_.mu && early) {
           set_role(u, Role::NonCore);
+          counters_.slot(worker_slot()).core_early_exits += 1;
           return;
         }
       }
@@ -238,11 +296,13 @@ class PpScanRunner {
       if (compute_arc(u, e, static_cast<std::uint32_t>(value))) {
         if (++sd >= params_.mu && early) {
           set_role(u, Role::Core);
+          counters_.slot(worker_slot()).core_early_exits += 1;
           return;
         }
       } else {
         if (--ed < params_.mu && early) {
           set_role(u, Role::NonCore);
+          counters_.slot(worker_slot()).core_early_exits += 1;
           return;
         }
       }
@@ -285,7 +345,8 @@ class PpScanRunner {
             if (u >= v || role_of(v) != Role::Core) continue;
             if (sim_.load(e) != kSimFlag) continue;
             if (options_.unionfind_pruning && uf_.same_set(u, v)) continue;
-            uf_.unite(u, v);
+            counters_.slot(worker_slot()).uf_unions +=
+                uf_.unite(u, v) ? 1 : 0;
           }
         });
   }
@@ -306,13 +367,15 @@ class PpScanRunner {
                   !(options_.unionfind_pruning && uf_.same_set(u, v))) {
                 // Possible only when phase 4 raced a later flag write —
                 // cannot happen with barriers, but uniting is idempotent.
-                uf_.unite(u, v);
+                counters_.slot(worker_slot()).uf_unions +=
+                    uf_.unite(u, v) ? 1 : 0;
               }
               continue;
             }
             if (options_.unionfind_pruning && uf_.same_set(u, v)) continue;
             if (compute_arc(u, e, static_cast<std::uint32_t>(value))) {
-              uf_.unite(u, v);
+              counters_.slot(worker_slot()).uf_unions +=
+                  uf_.unite(u, v) ? 1 : 0;
             }
           }
         });
@@ -324,7 +387,9 @@ class PpScanRunner {
     run_phase(
         [this](VertexId u) { return role_of(u) == Role::Core; },
         [this](VertexId u) {
-          const VertexId root = uf_.find(u);
+          obs::AlgoCounters& c = counters_.slot(worker_slot());
+          c.uf_finds += 1;
+          const VertexId root = uf_.find_counted(u, &c.uf_find_steps);
           VertexId current = cluster_id_.load(root);
           while (u < current &&
                  !cluster_id_.compare_exchange(root, current, u)) {
@@ -332,10 +397,11 @@ class PpScanRunner {
         });
   }
 
-  /// Membership buffer the calling thread may append to without
-  /// synchronization: its worker slot on either runtime, its OpenMP thread
-  /// slot under the omp policy, or the trailing master slot.
-  [[nodiscard]] std::size_t membership_slot() const {
+  /// Slot the calling thread may write without synchronization (both the
+  /// membership buffers and the per-worker counter slots share this
+  /// layout): its worker slot on either runtime, its OpenMP thread slot
+  /// under the omp policy, or the trailing master slot.
+  [[nodiscard]] std::size_t worker_slot() const {
     if (exec_) {
       const int w = exec_->current_worker();
       if (w >= 0) return static_cast<std::size_t>(w);
@@ -359,8 +425,12 @@ class PpScanRunner {
     run_phase(
         [this](VertexId u) { return role_of(u) == Role::Core; },
         [this](VertexId u) {
-          auto& local = membership_slots_[membership_slot()].pairs;
-          const VertexId cid = cluster_id_.load(uf_.find(u));
+          const std::size_t slot = worker_slot();
+          auto& local = membership_slots_[slot].pairs;
+          obs::AlgoCounters& c = counters_.slot(slot);
+          c.uf_finds += 1;
+          const VertexId cid =
+              cluster_id_.load(uf_.find_counted(u, &c.uf_find_steps));
           for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
                ++e) {
             const VertexId v = graph_.dst()[e];
@@ -474,6 +544,9 @@ class PpScanRunner {
   std::vector<std::pair<VertexId, VertexId>> memberships_;
   // protocol: relaxed-counter — CompSim invocation tally (Figure 4).
   std::atomic<std::uint64_t> invocations_{0};
+  // Per-worker pruning-funnel slots (same slot layout as
+  // membership_slots_); merged into RunStats::counters at the end.
+  obs::CounterSlots counters_;
   RunStats stats_;
 };
 

@@ -58,6 +58,11 @@ struct PpScanOptions {
   /// Not owned; may be null. A tripped token makes the run return a
   /// labeled partial result (see ScanRun).
   CancelToken* cancel = nullptr;
+
+  /// Optional trace collector (obs/trace.hpp): phase spans land on its
+  /// master slot, per-task/steal events on the worker slots. Not owned;
+  /// must be sized for at least num_threads workers and outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 ScanRun ppscan(const CsrGraph& graph, const ScanParams& params,

@@ -8,6 +8,7 @@
 #include "concurrent/executor.hpp"
 #include "concurrent/run_governor.hpp"
 #include "concurrent/union_find.hpp"
+#include "obs/trace.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
 
@@ -61,6 +62,11 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
 
   Executor pool(options.num_threads);
   pool.install_governor(&governor);
+  if (options.trace != nullptr) pool.install_trace(options.trace);
+  // Per-worker counter slots (workers 0..N-1, last = master fallback);
+  // merged serially after the final phase barrier.
+  obs::CounterSlots counters(static_cast<std::size_t>(options.num_threads) +
+                             1);
   SchedulerOptions sched;
   sched.governor = &governor;
   const CountFn count = count_fn(options.count_kernel);
@@ -75,7 +81,12 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
     governor.enter_phase(name);
     // Re-check: the cancel_at_phase test hook trips on phase entry.
     if (governor.should_stop()) return;
+    PPSCAN_TRACE_SET_PHASE(options.trace, name);
+    PPSCAN_TRACE_MASTER_EVENT(options.trace, obs::TraceEventKind::PhaseBegin,
+                              name, 0);
     body();
+    PPSCAN_TRACE_MASTER_EVENT(options.trace, obs::TraceEventKind::PhaseEnd,
+                              name, 0);
     if (!governor.should_stop()) governor.finish_phase();
   };
 
@@ -87,6 +98,9 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
           pool, graph_.num_vertices(), degree_of, all,
           [&](VertexId u) {
             std::uint64_t local = 0;
+            const int w = pool.current_worker();
+            obs::AlgoCounters& c = counters.slot(
+                w >= 0 ? static_cast<std::size_t>(w) : counters.size() - 1);
             for (EdgeId e = graph_.offset_begin(u); e < graph_.offset_end(u);
                  ++e) {
               const VertexId v = graph_.dst()[e];
@@ -96,6 +110,11 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
               ++local;
               overlap_[e] = cn;
               overlap_[graph_.reverse_arc(u, e)] = cn;
+              // Exhaustive build: one intersection per u < v edge decides
+              // both directions (computed arc + mirrored reused arc).
+              c.arcs_touched += 2;
+              c.sims_computed += 1;
+              c.sims_reused += 1;
             }
             intersections.fetch_add(local, std::memory_order_relaxed);
           },
@@ -120,6 +139,8 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
   }
 
   complete_ = alloc_ok && !governor.should_stop();
+  // Phase barriers ordered every worker's slot writes before this merge.
+  build_stats_.counters = counters.merged();
   build_stats_.intersections = intersections.load(std::memory_order_relaxed);
   build_stats_.construction_seconds = timer.elapsed_s();
   build_stats_.abort = governor.abort_info();
@@ -161,19 +182,25 @@ ScanRun GsIndex::query(const ScanParams& params) const {
          ++slot) {
       if (!entry_similar(params.eps, u, slot)) break;  // sorted: all done
       const VertexId v = graph_.dst()[ordered_arcs_[slot]];
-      if (u < v && run.result.roles[v] == Role::Core) uf.unite(u, v);
+      if (u < v && run.result.roles[v] == Role::Core) {
+        run.stats.counters.uf_unions += uf.unite(u, v) ? 1 : 0;
+      }
     }
   }
 
   std::vector<VertexId> cluster_id(n, kInvalidVertex);
+  obs::AlgoCounters& qc = run.stats.counters;
   for (VertexId u = 0; u < n; ++u) {
     if (run.result.roles[u] != Role::Core) continue;
-    const VertexId root = uf.find(u);
+    qc.uf_finds += 1;
+    const VertexId root = uf.find_counted(u, &qc.uf_find_steps);
     cluster_id[root] = std::min(cluster_id[root], u);
   }
   for (VertexId u = 0; u < n; ++u) {
     if (run.result.roles[u] != Role::Core) continue;
-    run.result.core_cluster_id[u] = cluster_id[uf.find(u)];
+    qc.uf_finds += 1;
+    run.result.core_cluster_id[u] =
+        cluster_id[uf.find_counted(u, &qc.uf_find_steps)];
     for (EdgeId slot = graph_.offset_begin(u); slot < graph_.offset_end(u);
          ++slot) {
       if (!entry_similar(params.eps, u, slot)) break;

@@ -43,11 +43,17 @@ class GsIndex {
     RunLimits limits;
     /// Optional external cancel token; not owned, may be null.
     CancelToken* cancel = nullptr;
+    /// Optional trace collector (obs/trace.hpp): phase spans land on its
+    /// master slot. Not owned; must be sized for at least num_threads
+    /// workers and outlive the construction.
+    obs::TraceCollector* trace = nullptr;
   };
 
   struct BuildStats {
     double construction_seconds = 0;
     std::uint64_t intersections = 0;
+    /// Pruning-funnel counters for the construction pass (obs/counters.hpp).
+    obs::AlgoCounters counters;
     /// Why an aborted construction stopped; reason None = built fully.
     RunAborted abort;
   };

@@ -1,0 +1,411 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ppscan::obs {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::number_u64(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.num_ = static_cast<double>(u);
+  v.u64_ = u;
+  v.is_integer_ = true;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("json: missing key '" + key + "'");
+}
+
+void JsonValue::push(JsonValue value) { items_.push_back(std::move(value)); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d, bool is_integer,
+                   std::uint64_t u64) {
+  if (is_integer) {
+    out += std::to_string(u64);
+    return;
+  }
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number:
+      append_number(out, num_, is_integer_, u64_);
+      break;
+    case Kind::String:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!first) append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!first) append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            // ASCII range only; the exporters never emit more.
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    const bool integral =
+        tok.find_first_of(".eE") == std::string::npos && tok[0] != '-';
+    if (integral) {
+      std::uint64_t u = 0;
+      const auto [ptr, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (ec == std::errc() && ptr == tok.data() + tok.size()) {
+        return JsonValue::number_u64(u);
+      }
+    }
+    try {
+      return JsonValue::number(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("malformed number '" + tok + "'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ppscan::obs

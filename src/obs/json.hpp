@@ -1,0 +1,86 @@
+// Minimal dependency-free JSON value: enough of a writer + parser for the
+// metrics/trace exporters and the schema round-trip tests. Not a general
+// JSON library — no \uXXXX surrogate pairs, numbers are double or uint64,
+// object key order is preserved (stable, diffable output).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppscan::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Object, Array };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue number_u64(std::uint64_t u);
+  static JsonValue string(std::string s);
+  static JsonValue object();
+  static JsonValue array();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return num_; }
+  /// Exact when the value was written via number_u64 or parsed from an
+  /// unsigned integer literal; otherwise truncates the double.
+  [[nodiscard]] std::uint64_t as_u64() const {
+    return is_integer_ ? u64_ : static_cast<std::uint64_t>(num_);
+  }
+  [[nodiscard]] bool is_integer() const { return is_integer_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  // --- object interface -----------------------------------------------
+  void set(std::string key, JsonValue value);
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Throws std::out_of_range when the key is absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const {
+    return members_;
+  }
+
+  // --- array interface ------------------------------------------------
+  void push(JsonValue value);
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const JsonValue& at(std::size_t i) const { return items_[i]; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Serializes. indent 0 = compact single line; indent > 0 pretty-prints
+  /// with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage). Throws
+  /// std::runtime_error with a byte offset on malformed input.
+  static JsonValue parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t u64_ = 0;
+  bool is_integer_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Escapes a string for embedding in JSON output (used by the streaming
+/// trace writer, which never builds a JsonValue tree for event rows).
+std::string json_escape(const std::string& s);
+
+}  // namespace ppscan::obs

@@ -1,0 +1,235 @@
+#include "obs/metrics_json.hpp"
+
+#include <stdexcept>
+
+namespace ppscan::obs {
+namespace {
+
+// The v1 schema, field by field. validate_metrics_json walks exactly this
+// table, so adding a field here (and in metrics_to_json/metrics_from_json
+// and the docs/observability.md table) is the complete change.
+enum class FieldType : std::uint8_t { String, U64, Double };
+
+struct FieldSpec {
+  const char* key;
+  FieldType type;
+};
+
+constexpr FieldSpec kSchemaV1[] = {
+    {"schema_version", FieldType::U64},
+    {"tool", FieldType::String},
+    {"algorithm", FieldType::String},
+    {"dataset", FieldType::String},
+    {"eps", FieldType::String},
+    {"mu", FieldType::U64},
+    {"threads", FieldType::U64},
+    {"kernel", FieldType::String},
+    {"runtime_kind", FieldType::String},
+    {"num_vertices", FieldType::U64},
+    {"num_edges", FieldType::U64},
+    {"total_seconds", FieldType::Double},
+    {"similarity_seconds", FieldType::Double},
+    {"pruning_seconds", FieldType::Double},
+    {"stage_prune_seconds", FieldType::Double},
+    {"stage_check_seconds", FieldType::Double},
+    {"stage_core_cluster_seconds", FieldType::Double},
+    {"stage_noncore_cluster_seconds", FieldType::Double},
+    {"busy_seconds", FieldType::Double},
+    {"idle_seconds", FieldType::Double},
+    {"compsim_invocations", FieldType::U64},
+    {"tasks_submitted", FieldType::U64},
+    {"tasks_executed", FieldType::U64},
+    {"steals", FieldType::U64},
+    {"num_clusters", FieldType::U64},
+    {"num_cores", FieldType::U64},
+    {"abort_reason", FieldType::String},
+    {"abort_phase", FieldType::String},
+    {"phases_completed", FieldType::U64},
+    {"peak_governed_bytes", FieldType::U64},
+    {"arcs_touched", FieldType::U64},
+    {"arcs_predicate_pruned", FieldType::U64},
+    {"sims_computed", FieldType::U64},
+    {"sims_reused", FieldType::U64},
+    {"core_early_exits", FieldType::U64},
+    {"uf_unions", FieldType::U64},
+    {"uf_finds", FieldType::U64},
+    {"uf_find_steps", FieldType::U64},
+};
+
+std::string type_name(FieldType t) {
+  switch (t) {
+    case FieldType::String:
+      return "string";
+    case FieldType::U64:
+      return "unsigned integer";
+    case FieldType::Double:
+      return "number";
+  }
+  return "?";
+}
+
+bool type_matches(const JsonValue& v, FieldType t) {
+  switch (t) {
+    case FieldType::String:
+      return v.is_string();
+    case FieldType::U64:
+      return v.is_number() && v.is_integer();
+    case FieldType::Double:
+      // An integral literal is still a valid double field (0 is "0").
+      return v.is_number();
+  }
+  return false;
+}
+
+}  // namespace
+
+JsonValue metrics_to_json(const MetricsReport& r) {
+  JsonValue o = JsonValue::object();
+  o.set("schema_version", JsonValue::number_u64(kMetricsSchemaVersion));
+  o.set("tool", JsonValue::string(r.tool));
+  o.set("algorithm", JsonValue::string(r.algorithm));
+  o.set("dataset", JsonValue::string(r.dataset));
+  o.set("eps", JsonValue::string(r.eps));
+  o.set("mu", JsonValue::number_u64(r.mu));
+  o.set("threads", JsonValue::number_u64(r.threads));
+  o.set("kernel", JsonValue::string(r.kernel));
+  o.set("runtime_kind", JsonValue::string(r.runtime_kind));
+  o.set("num_vertices", JsonValue::number_u64(r.num_vertices));
+  o.set("num_edges", JsonValue::number_u64(r.num_edges));
+  o.set("total_seconds", JsonValue::number(r.total_seconds));
+  o.set("similarity_seconds", JsonValue::number(r.similarity_seconds));
+  o.set("pruning_seconds", JsonValue::number(r.pruning_seconds));
+  o.set("stage_prune_seconds", JsonValue::number(r.stage_prune_seconds));
+  o.set("stage_check_seconds", JsonValue::number(r.stage_check_seconds));
+  o.set("stage_core_cluster_seconds",
+        JsonValue::number(r.stage_core_cluster_seconds));
+  o.set("stage_noncore_cluster_seconds",
+        JsonValue::number(r.stage_noncore_cluster_seconds));
+  o.set("busy_seconds", JsonValue::number(r.busy_seconds));
+  o.set("idle_seconds", JsonValue::number(r.idle_seconds));
+  o.set("compsim_invocations", JsonValue::number_u64(r.compsim_invocations));
+  o.set("tasks_submitted", JsonValue::number_u64(r.tasks_submitted));
+  o.set("tasks_executed", JsonValue::number_u64(r.tasks_executed));
+  o.set("steals", JsonValue::number_u64(r.steals));
+  o.set("num_clusters", JsonValue::number_u64(r.num_clusters));
+  o.set("num_cores", JsonValue::number_u64(r.num_cores));
+  o.set("abort_reason", JsonValue::string(r.abort_reason));
+  o.set("abort_phase", JsonValue::string(r.abort_phase));
+  o.set("phases_completed", JsonValue::number_u64(r.phases_completed));
+  o.set("peak_governed_bytes", JsonValue::number_u64(r.peak_governed_bytes));
+  o.set("arcs_touched", JsonValue::number_u64(r.counters.arcs_touched));
+  o.set("arcs_predicate_pruned",
+        JsonValue::number_u64(r.counters.arcs_predicate_pruned));
+  o.set("sims_computed", JsonValue::number_u64(r.counters.sims_computed));
+  o.set("sims_reused", JsonValue::number_u64(r.counters.sims_reused));
+  o.set("core_early_exits", JsonValue::number_u64(r.counters.core_early_exits));
+  o.set("uf_unions", JsonValue::number_u64(r.counters.uf_unions));
+  o.set("uf_finds", JsonValue::number_u64(r.counters.uf_finds));
+  o.set("uf_find_steps", JsonValue::number_u64(r.counters.uf_find_steps));
+  return o;
+}
+
+JsonValue metrics_file_json(const std::string& figure,
+                            const std::vector<MetricsReport>& rows) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", JsonValue::number_u64(kMetricsSchemaVersion));
+  doc.set("figure", JsonValue::string(figure));
+  JsonValue arr = JsonValue::array();
+  for (const MetricsReport& r : rows) arr.push(metrics_to_json(r));
+  doc.set("rows", std::move(arr));
+  return doc;
+}
+
+std::string validate_metrics_json(const JsonValue& row) {
+  if (!row.is_object()) return "metrics row is not a JSON object";
+  for (const FieldSpec& f : kSchemaV1) {
+    if (!row.has(f.key)) {
+      return std::string("missing required key '") + f.key + "'";
+    }
+    if (!type_matches(row.at(f.key), f.type)) {
+      return std::string("key '") + f.key + "' is not a " + type_name(f.type);
+    }
+  }
+  if (row.at("schema_version").as_u64() != kMetricsSchemaVersion) {
+    return "schema_version != " + std::to_string(kMetricsSchemaVersion);
+  }
+  const std::uint64_t touched = row.at("arcs_touched").as_u64();
+  const std::uint64_t decided = row.at("arcs_predicate_pruned").as_u64() +
+                                row.at("sims_computed").as_u64() +
+                                row.at("sims_reused").as_u64();
+  if (touched != decided) {
+    return "funnel invariant violated: arcs_touched=" +
+           std::to_string(touched) + " but pruned+computed+reused=" +
+           std::to_string(decided);
+  }
+  return "";
+}
+
+std::string validate_metrics_file_json(const JsonValue& doc) {
+  if (!doc.is_object()) return "metrics file is not a JSON object";
+  if (!doc.has("schema_version") || !doc.at("schema_version").is_integer() ||
+      doc.at("schema_version").as_u64() != kMetricsSchemaVersion) {
+    return "file envelope missing schema_version == " +
+           std::to_string(kMetricsSchemaVersion);
+  }
+  if (!doc.has("figure") || !doc.at("figure").is_string()) {
+    return "file envelope missing string 'figure'";
+  }
+  if (!doc.has("rows") || !doc.at("rows").is_array()) {
+    return "file envelope missing array 'rows'";
+  }
+  const JsonValue& rows = doc.at("rows");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string err = validate_metrics_json(rows.at(i));
+    if (!err.empty()) return "rows[" + std::to_string(i) + "]: " + err;
+  }
+  return "";
+}
+
+MetricsReport metrics_from_json(const JsonValue& row) {
+  const std::string err = validate_metrics_json(row);
+  if (!err.empty()) throw std::runtime_error("metrics schema: " + err);
+  MetricsReport r;
+  r.tool = row.at("tool").as_string();
+  r.algorithm = row.at("algorithm").as_string();
+  r.dataset = row.at("dataset").as_string();
+  r.eps = row.at("eps").as_string();
+  r.mu = row.at("mu").as_u64();
+  r.threads = row.at("threads").as_u64();
+  r.kernel = row.at("kernel").as_string();
+  r.runtime_kind = row.at("runtime_kind").as_string();
+  r.num_vertices = row.at("num_vertices").as_u64();
+  r.num_edges = row.at("num_edges").as_u64();
+  r.total_seconds = row.at("total_seconds").as_double();
+  r.similarity_seconds = row.at("similarity_seconds").as_double();
+  r.pruning_seconds = row.at("pruning_seconds").as_double();
+  r.stage_prune_seconds = row.at("stage_prune_seconds").as_double();
+  r.stage_check_seconds = row.at("stage_check_seconds").as_double();
+  r.stage_core_cluster_seconds =
+      row.at("stage_core_cluster_seconds").as_double();
+  r.stage_noncore_cluster_seconds =
+      row.at("stage_noncore_cluster_seconds").as_double();
+  r.busy_seconds = row.at("busy_seconds").as_double();
+  r.idle_seconds = row.at("idle_seconds").as_double();
+  r.compsim_invocations = row.at("compsim_invocations").as_u64();
+  r.tasks_submitted = row.at("tasks_submitted").as_u64();
+  r.tasks_executed = row.at("tasks_executed").as_u64();
+  r.steals = row.at("steals").as_u64();
+  r.num_clusters = row.at("num_clusters").as_u64();
+  r.num_cores = row.at("num_cores").as_u64();
+  r.abort_reason = row.at("abort_reason").as_string();
+  r.abort_phase = row.at("abort_phase").as_string();
+  r.phases_completed = row.at("phases_completed").as_u64();
+  r.peak_governed_bytes = row.at("peak_governed_bytes").as_u64();
+  r.counters.arcs_touched = row.at("arcs_touched").as_u64();
+  r.counters.arcs_predicate_pruned = row.at("arcs_predicate_pruned").as_u64();
+  r.counters.sims_computed = row.at("sims_computed").as_u64();
+  r.counters.sims_reused = row.at("sims_reused").as_u64();
+  r.counters.core_early_exits = row.at("core_early_exits").as_u64();
+  r.counters.uf_unions = row.at("uf_unions").as_u64();
+  r.counters.uf_finds = row.at("uf_finds").as_u64();
+  r.counters.uf_find_steps = row.at("uf_find_steps").as_u64();
+  return r;
+}
+
+}  // namespace ppscan::obs

@@ -1,0 +1,93 @@
+// Versioned machine-readable metrics: one flat JSON object per run,
+// written by `ppscan_cli --metrics-json` and by the bench harnesses'
+// `--metrics-json` (one row per dataset × eps × algorithm), so runs can be
+// diffed across commits — the BENCH_*.json perf trajectory.
+//
+// Schema v1 is documented field-by-field in docs/observability.md; the
+// validator below and the docs table are kept in lockstep (the round-trip
+// test tests/test_metrics_json.cpp checks emitted output against it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace ppscan::obs {
+
+/// Bump when a field is added/renamed/retyped; record the change in the
+/// schema version table in docs/observability.md.
+inline constexpr std::uint64_t kMetricsSchemaVersion = 1;
+
+/// Everything one metrics row carries. Deliberately plain data — the
+/// adapter from an algorithm's RunStats lives in
+/// src/bench_support/metrics.hpp so obs stays dependency-free.
+struct MetricsReport {
+  // Provenance.
+  std::string tool;       ///< emitting binary, e.g. "ppscan_cli"
+  std::string algorithm;  ///< "ppSCAN", "pSCAN", "SCAN", ...
+  std::string dataset;    ///< dataset/graph label (file stem for the CLI)
+  std::string eps;        ///< ε exactly as given on the command line
+  std::uint64_t mu = 0;
+  std::uint64_t threads = 0;
+  std::string kernel;        ///< resolved intersection kernel
+  std::string runtime_kind;  ///< RunStats::runtime_kind
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;  ///< undirected edges (num_arcs / 2)
+
+  // Timings (seconds).
+  double total_seconds = 0;
+  double similarity_seconds = 0;
+  double pruning_seconds = 0;
+  double stage_prune_seconds = 0;
+  double stage_check_seconds = 0;
+  double stage_core_cluster_seconds = 0;
+  double stage_noncore_cluster_seconds = 0;
+  double busy_seconds = 0;
+  double idle_seconds = 0;
+
+  // Work counters.
+  std::uint64_t compsim_invocations = 0;
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+
+  // Result shape.
+  std::uint64_t num_clusters = 0;
+  std::uint64_t num_cores = 0;
+
+  // Governance outcome.
+  std::string abort_reason;  ///< "none" for a completed run
+  std::string abort_phase;
+  std::uint64_t phases_completed = 0;
+  std::uint64_t peak_governed_bytes = 0;
+
+  // Pruning funnel.
+  AlgoCounters counters;
+};
+
+/// Serializes one report as a schema-v1 object (includes
+/// "schema_version").
+[[nodiscard]] JsonValue metrics_to_json(const MetricsReport& report);
+
+/// Wraps rows in the file-level envelope:
+///   {"schema_version": 1, "figure": <label>, "rows": [...]}
+[[nodiscard]] JsonValue metrics_file_json(const std::string& figure,
+                                          const std::vector<MetricsReport>& rows);
+
+/// Validates one row object against the documented v1 schema: every
+/// required key present with the right JSON type, schema_version == 1,
+/// and the funnel invariant pruned + computed + reused == touched.
+/// Returns "" when valid, else the first violation (for test messages).
+[[nodiscard]] std::string validate_metrics_json(const JsonValue& row);
+
+/// Validates the file envelope and every row within.
+[[nodiscard]] std::string validate_metrics_file_json(const JsonValue& doc);
+
+/// Parses a row back into a MetricsReport (inverse of metrics_to_json;
+/// the round-trip test checks equality). Throws on schema violations.
+[[nodiscard]] MetricsReport metrics_from_json(const JsonValue& row);
+
+}  // namespace ppscan::obs

@@ -1,0 +1,59 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace ppscan::obs {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t resolve_capacity(std::size_t requested) {
+  if (!kTraceEnabled) return 0;
+  std::size_t cap = requested;
+  if (cap == 0) {
+    cap = static_cast<std::size_t>(env_u64("PPSCAN_TRACE_CAP", 16384));
+    if (cap == 0) cap = 16384;
+  }
+  return round_up_pow2(std::max<std::size_t>(cap, 64));
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity) {
+  const std::size_t cap = resolve_capacity(capacity);
+  if (cap != 0) {
+    events_.resize(cap);
+    mask_ = cap - 1;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t total = cursor_.load(std::memory_order_relaxed);
+  if (total == 0 || events_.empty()) return out;
+  const std::uint64_t kept =
+      std::min<std::uint64_t>(total, static_cast<std::uint64_t>(events_.size()));
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t seq = total - kept; seq < total; ++seq) {
+    out.push_back(events_[static_cast<std::size_t>(seq) & mask_]);
+  }
+  return out;
+}
+
+TraceCollector::TraceCollector(int num_workers, std::size_t capacity)
+    : num_workers_(num_workers < 0 ? 0 : num_workers),
+      epoch_(std::chrono::steady_clock::now()),
+      task_events_(env_flag("PPSCAN_TRACE_TASKS", true)) {
+  buffers_.reserve(static_cast<std::size_t>(num_slots()));
+  for (int i = 0; i < num_slots(); ++i) {
+    buffers_.push_back(std::make_unique<TraceBuffer>(capacity));
+  }
+}
+
+}  // namespace ppscan::obs

@@ -8,6 +8,8 @@
 #include "concurrent/executor.hpp"
 #include "concurrent/run_governor.hpp"
 #include "concurrent/union_find.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
 
@@ -68,6 +70,16 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
 
   Executor pool(options.num_threads);
   pool.install_governor(&governor);
+  if (options.trace != nullptr) pool.install_trace(options.trace);
+  // Per-worker counter slots (workers 0..N-1, last = master fallback);
+  // merged serially after the final phase barrier.
+  obs::CounterSlots counters(static_cast<std::size_t>(options.num_threads) +
+                             1);
+  const auto counter_slot = [&]() -> obs::AlgoCounters& {
+    const int w = pool.current_worker();
+    return counters.slot(w >= 0 ? static_cast<std::size_t>(w)
+                                : counters.size() - 1);
+  };
   SchedulerOptions sched;
   sched.governor = &governor;
   // protocol: relaxed-counter — CompSim tally, read at the final barrier.
@@ -79,7 +91,12 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
     governor.enter_phase(name);
     // Re-check: the cancel_at_phase test hook trips on phase entry.
     if (governor.should_stop()) return;
+    PPSCAN_TRACE_SET_PHASE(options.trace, name);
+    PPSCAN_TRACE_MASTER_EVENT(options.trace, obs::TraceEventKind::PhaseBegin,
+                              name, 0);
     body();
+    PPSCAN_TRACE_MASTER_EVENT(options.trace, obs::TraceEventKind::PhaseEnd,
+                              name, 0);
     if (!governor.should_stop()) governor.finish_phase();
   };
 
@@ -106,11 +123,20 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
               std::uint32_t sd = 0;
               std::uint32_t ed = graph.degree(u);
               std::uint64_t local_invocations = 0;
+              obs::AlgoCounters& c = counter_slot();
               for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
                    ++e) {
                 const ArcEval eval =
                     evaluate_arc(graph, params, u, graph.dst()[e]);
-                if (eval.computed) ++local_invocations;
+                // Each direction is evaluated by its own tail (anySCAN's
+                // accepted redundancy): one touched arc, pruned or computed.
+                c.arcs_touched += 1;
+                if (eval.computed) {
+                  ++local_invocations;
+                  c.sims_computed += 1;
+                } else {
+                  c.arcs_predicate_pruned += 1;
+                }
                 sim[e] = eval.flag;
                 local_flags.push_back(eval.flag);
                 if (eval.flag == kSimFlag) {
@@ -118,7 +144,10 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
                 } else {
                   --ed;
                 }
-                if (sd >= params.mu || ed < params.mu) break;  // local min-max
+                if (sd >= params.mu || ed < params.mu) {  // local min-max
+                  c.core_early_exits += 1;
+                  break;
+                }
               }
               run.result.roles[u] =
                   sd >= params.mu ? Role::Core : Role::NonCore;
@@ -140,19 +169,26 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
           [&](VertexId u) {
             std::vector<std::pair<VertexId, VertexId>> local;
             std::uint64_t local_invocations = 0;
+            obs::AlgoCounters& c = counter_slot();
             for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
                  ++e) {
               const VertexId v = graph.dst()[e];
               std::int32_t flag = sim[e];
               if (flag == kSimUncached) {
                 const ArcEval eval = evaluate_arc(graph, params, u, v);
-                if (eval.computed) ++local_invocations;
+                c.arcs_touched += 1;
+                if (eval.computed) {
+                  ++local_invocations;
+                  c.sims_computed += 1;
+                } else {
+                  c.arcs_predicate_pruned += 1;
+                }
                 flag = eval.flag;
                 sim[e] = flag;
               }
               if (flag != kSimFlag) continue;
               if (run.result.roles[v] == Role::Core) {
-                if (u < v) uf.unite(u, v);
+                if (u < v) c.uf_unions += uf.unite(u, v) ? 1 : 0;
               } else {
                 local.emplace_back(u, v);
               }
@@ -172,23 +208,37 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
     // when the run tripped earlier so an unclustered core keeps
     // kInvalidVertex instead of being fabricated into a singleton cluster.
     phase("AssignIds", [&] {
+      // Serial phase body — the calling thread uses the master fallback slot.
+      obs::AlgoCounters& c = counters.slot(counters.size() - 1);
       for (VertexId u = 0; u < n; ++u) {
         if (run.result.roles[u] != Role::Core) continue;
-        const VertexId root = uf.find(u);
+        c.uf_finds += 1;
+        const VertexId root = uf.find_counted(u, &c.uf_find_steps);
         cluster_id[root] = std::min(cluster_id[root], u);
       }
       for (VertexId u = 0; u < n; ++u) {
         if (run.result.roles[u] != Role::Core) continue;
-        run.result.core_cluster_id[u] = cluster_id[uf.find(u)];
+        c.uf_finds += 1;
+        run.result.core_cluster_id[u] =
+            cluster_id[uf.find_counted(u, &c.uf_find_steps)];
       }
       for (const auto& [core, noncore] : core_noncore_sim_edges) {
+        c.uf_finds += 1;
         run.result.noncore_memberships.emplace_back(
-            noncore, cluster_id[uf.find(core)]);
+            noncore, cluster_id[uf.find_counted(core, &c.uf_find_steps)]);
       }
     });
   }
 
   run.result.normalize();
+  // Phase barriers ordered every worker's slot writes before this merge.
+  run.stats.counters = counters.merged();
+  run.stats.runtime_kind = to_string(RuntimeKind::WorkSteal);
+  const ExecutorStats pool_stats = pool.stats();
+  run.stats.tasks_executed = pool_stats.tasks_executed;
+  run.stats.steals = pool_stats.steals;
+  run.stats.busy_seconds = pool_stats.busy_seconds;
+  run.stats.idle_seconds = pool_stats.idle_seconds;
   run.stats.compsim_invocations = invocations.load(std::memory_order_relaxed);
   run.stats.total_seconds = total.elapsed_s();
   record_governance(governor, run.stats);

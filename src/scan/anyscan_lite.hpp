@@ -26,6 +26,10 @@ struct AnyScanLiteOptions {
   RunLimits limits;
   /// Optional external cancel token; not owned, may be null.
   CancelToken* cancel = nullptr;
+
+  /// Optional trace collector (obs/trace.hpp): phase spans land on its
+  /// master slot. Not owned; must outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,

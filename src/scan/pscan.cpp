@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "concurrent/union_find.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ppscan {
@@ -70,7 +71,13 @@ class PscanRunner {
     governor_.enter_phase(name);
     // Re-check: the cancel_at_phase test hook trips on phase entry.
     if (governor_.should_stop()) return;
+    // Sequential runner: the calling thread is the collector's master slot.
+    PPSCAN_TRACE_SET_PHASE(options_.trace, name);
+    PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::PhaseBegin,
+                              name, 0);
     body();
+    PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::PhaseEnd,
+                              name, 0);
     if (!governor_.should_stop()) governor_.finish_phase();
   }
 
@@ -128,6 +135,11 @@ class PscanRunner {
     sim_[e] = value;
     sim_[graph_.reverse_arc(u, e)] = value;
     if (value == kSimFlag || value == kNSimFlag) {
+      // The predicate decides both directions at once (mirror write above):
+      // two arcs touched, two pruned. A cached bound (> 0) is not a decision
+      // yet — compute_arc counts it when the intersection settles the edge.
+      run_.stats.counters.arcs_touched += 2;
+      run_.stats.counters.arcs_predicate_pruned += 2;
       apply_decision(u, v, value == kSimFlag);
     }
     return value;
@@ -160,6 +172,11 @@ class PscanRunner {
     const std::int32_t flag = sim ? kSimFlag : kNSimFlag;
     sim_[e] = flag;
     sim_[graph_.reverse_arc(u, e)] = flag;
+    // One intersection settles both directions: the computed arc plus the
+    // mirrored reverse arc (counted as reused, like ppSCAN's u < v rule).
+    run_.stats.counters.arcs_touched += 2;
+    run_.stats.counters.sims_computed += 1;
+    run_.stats.counters.sims_reused += 1;
     apply_decision(u, v, sim);
     return sim;
   }
@@ -177,8 +194,14 @@ class PscanRunner {
         if (value > 0) {
           compute_arc(u, e, static_cast<std::uint32_t>(value));
         }
-        if (sd_[u] >= params_.mu || ed_[u] < params_.mu) break;
+        if (sd_[u] >= params_.mu || ed_[u] < params_.mu) {
+          run_.stats.counters.core_early_exits += 1;
+          break;
+        }
       }
+    } else {
+      // sd/ed bounds were already conclusive — the arc loop never ran.
+      run_.stats.counters.core_early_exits += 1;
     }
     run_.result.roles[u] =
         sd_[u] >= params_.mu ? Role::Core : Role::NonCore;
@@ -197,7 +220,9 @@ class PscanRunner {
                     ? kSimFlag
                     : kNSimFlag;
       }
-      if (value == kSimFlag) uf_.unite(u, v);
+      if (value == kSimFlag) {
+        run_.stats.counters.uf_unions += uf_.unite(u, v) ? 1 : 0;
+      }
     }
   }
 
@@ -206,12 +231,16 @@ class PscanRunner {
     std::vector<VertexId> cluster_id(graph_.num_vertices(), kInvalidVertex);
     for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
       if (run_.result.roles[u] != Role::Core) continue;
-      const VertexId root = uf_.find(u);
+      run_.stats.counters.uf_finds += 1;
+      const VertexId root =
+          uf_.find_counted(u, &run_.stats.counters.uf_find_steps);
       cluster_id[root] = std::min(cluster_id[root], u);
     }
     for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
       if (run_.result.roles[u] != Role::Core) continue;
-      run_.result.core_cluster_id[u] = cluster_id[uf_.find(u)];
+      run_.stats.counters.uf_finds += 1;
+      run_.result.core_cluster_id[u] =
+          cluster_id[uf_.find_counted(u, &run_.stats.counters.uf_find_steps)];
     }
     for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
       if (run_.result.roles[u] != Role::Core) continue;
@@ -228,8 +257,10 @@ class PscanRunner {
                       : kNSimFlag;
         }
         if (value == kSimFlag) {
+          run_.stats.counters.uf_finds += 1;
           run_.result.noncore_memberships.emplace_back(
-              v, cluster_id[uf_.find(u)]);
+              v, cluster_id[uf_.find_counted(
+                     u, &run_.stats.counters.uf_find_steps)]);
         }
       }
     }

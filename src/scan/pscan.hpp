@@ -34,6 +34,10 @@ struct PscanOptions {
   RunLimits limits;
   /// Optional external cancel token; not owned, may be null.
   CancelToken* cancel = nullptr;
+
+  /// Optional trace collector (obs/trace.hpp): phase spans land on its
+  /// master slot. Not owned; must outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 ScanRun pscan(const CsrGraph& graph, const ScanParams& params,

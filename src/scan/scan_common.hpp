@@ -10,10 +10,15 @@
 
 #include "concurrent/run_governor.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/counters.hpp"
 #include "setops/similarity.hpp"
 #include "util/types.hpp"
 
 namespace ppscan {
+
+namespace obs {
+class TraceCollector;  // obs/trace.hpp; options structs only hold a pointer
+}  // namespace obs
 
 /// SCAN input parameters (paper §2): 0 < ε ≤ 1 and µ ≥ 1. A vertex is a
 /// core when it has at least µ ε-similar neighbors (|N_ε(u)| − 1 ≥ µ).
@@ -115,6 +120,17 @@ struct RunStats {
   int abort_worker = -1;
   std::uint32_t phases_completed = 0;
   std::uint64_t peak_governed_bytes = 0;
+  /// Which execution runtime produced the executor counters above:
+  /// "worksteal" (the lock-free executor), "mutex" (the
+  /// RuntimeKind::MutexPool ablation), "openmp", or "serial". On every
+  /// runtime except "worksteal" the tasks_executed/steals/busy/idle block
+  /// is *explicitly zero* — those runtimes keep no such counters — so a
+  /// metrics consumer must key off this field rather than read zeros as
+  /// "perfectly balanced".
+  std::string runtime_kind = "serial";
+  /// The pruning funnel (see obs/counters.hpp for the convention and the
+  /// invariant pruned + computed + reused == touched).
+  obs::AlgoCounters counters;
 };
 
 /// Result + statistics bundle every algorithm entry point returns.

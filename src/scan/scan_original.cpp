@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/trace.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
 
@@ -35,12 +36,18 @@ class ScanOriginalRunner {
     WallTimer total;
     if (alloc_ok_ && !governor_.should_stop()) {
       governor_.enter_phase("ExpandClusters");
+      PPSCAN_TRACE_SET_PHASE(options_.trace, "ExpandClusters");
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace,
+                                obs::TraceEventKind::PhaseBegin,
+                                "ExpandClusters", 0);
       VertexId next_cluster = 0;
       for (VertexId u = 0;
            u < graph_.num_vertices() && !governor_.checkpoint(); ++u) {
         if (run_.result.roles[u] != Role::Unknown) continue;
         if (check_core(u) == Role::Core) expand_cluster(u, next_cluster++);
       }
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::PhaseEnd,
+                                "ExpandClusters", 0);
       if (!governor_.should_stop()) governor_.finish_phase();
     }
     run_.result.normalize();
@@ -66,6 +73,10 @@ class ScanOriginalRunner {
     // |Γ(u)∩Γ(v)| = |N(u)∩N(v)| + 2 for adjacent u, v.
     const bool sim = similarity_holds(params_.eps, common + 2,
                                       graph_.degree(u), graph_.degree(v));
+    // Original SCAN has no pruning and no mirroring: every directed arc is
+    // intersected by its own tail, so the funnel is all sims_computed.
+    run_.stats.counters.arcs_touched += 1;
+    run_.stats.counters.sims_computed += 1;
     return sim ? kSimFlag : kNSimFlag;
   }
 

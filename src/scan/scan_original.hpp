@@ -20,6 +20,10 @@ struct ScanOriginalOptions {
   RunLimits limits;
   /// Optional external cancel token; not owned, may be null.
   CancelToken* cancel = nullptr;
+
+  /// Optional trace collector (obs/trace.hpp): phase spans land on its
+  /// master slot. Not owned; must outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 ScanRun scan_original(const CsrGraph& graph, const ScanParams& params,

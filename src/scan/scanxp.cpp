@@ -6,6 +6,8 @@
 #include "concurrent/run_governor.hpp"
 #include "concurrent/task_scheduler.hpp"
 #include "concurrent/union_find.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
 
@@ -45,6 +47,16 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
 
   Executor executor(options.num_threads);
   executor.install_governor(&governor);
+  if (options.trace != nullptr) executor.install_trace(options.trace);
+  // Per-worker counter slots (workers 0..N-1, last = master fallback);
+  // merged serially after the final executor barrier.
+  obs::CounterSlots counters(static_cast<std::size_t>(options.num_threads) +
+                             1);
+  const auto counter_slot = [&]() -> obs::AlgoCounters& {
+    const int w = executor.current_worker();
+    return counters.slot(w >= 0 ? static_cast<std::size_t>(w)
+                                : counters.size() - 1);
+  };
   SchedulerOptions sched;
   sched.governor = &governor;
   std::vector<TaskRange> scratch;  // flat boundary array, reused per phase
@@ -61,7 +73,12 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
     governor.enter_phase(name);
     // Re-check: the cancel_at_phase test hook trips on phase entry.
     if (governor.should_stop()) return;
+    PPSCAN_TRACE_SET_PHASE(options.trace, name);
+    PPSCAN_TRACE_MASTER_EVENT(options.trace, obs::TraceEventKind::PhaseBegin,
+                              name, 0);
     body();
+    PPSCAN_TRACE_MASTER_EVENT(options.trace, obs::TraceEventKind::PhaseEnd,
+                              name, 0);
     if (!governor.should_stop()) governor.finish_phase();
   };
 
@@ -74,6 +91,7 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
           executor, n, degree_of, all,
           [&](VertexId u) {
             std::uint64_t local = 0;
+            obs::AlgoCounters& c = counter_slot();
             for (EdgeId e = graph.offset_begin(u); e < graph.offset_end(u);
                  ++e) {
               const VertexId v = graph.dst()[e];
@@ -87,6 +105,11 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
               const std::int32_t flag = s ? kSimFlag : kNSimFlag;
               sim[e] = flag;
               sim[graph.reverse_arc(u, e)] = flag;
+              // One intersection per u < v edge decides both directions:
+              // computed arc + mirrored (reused) reverse arc, no pruning.
+              c.arcs_touched += 2;
+              c.sims_computed += 1;
+              c.sims_reused += 1;
             }
             invocations.fetch_add(local, std::memory_order_relaxed);
           },
@@ -123,7 +146,9 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
                  ++e) {
               const VertexId v = graph.dst()[e];
               if (u >= v || sim[e] != kSimFlag) continue;
-              if (run.result.roles[v] == Role::Core) uf.unite(u, v);
+              if (run.result.roles[v] == Role::Core) {
+                counter_slot().uf_unions += uf.unite(u, v) ? 1 : 0;
+              }
             }
           },
           sched, &scratch);
@@ -136,7 +161,9 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
           executor, n, degree_of,
           [&](VertexId u) { return run.result.roles[u] == Role::Core; },
           [&](VertexId u) {
-            const VertexId root = uf.find(u);
+            obs::AlgoCounters& c = counter_slot();
+            c.uf_finds += 1;
+            const VertexId root = uf.find_counted(u, &c.uf_find_steps);
             VertexId current = cluster_id.load(root);
             while (u < current &&
                    !cluster_id.compare_exchange(root, current, u)) {
@@ -169,7 +196,10 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
               if (sim[e] != kSimFlag || run.result.roles[v] == Role::Core) {
                 continue;
               }
-              local.emplace_back(v, cluster_id.load(uf.find(u)));
+              obs::AlgoCounters& c = counter_slot();
+              c.uf_finds += 1;
+              local.emplace_back(
+                  v, cluster_id.load(uf.find_counted(u, &c.uf_find_steps)));
             }
           },
           sched, &scratch);
@@ -184,14 +214,22 @@ ScanRun scanxp(const CsrGraph& graph, const ScanParams& params,
           s.pairs.end());
     }
 
+    // Serial tail (after the last barrier): the master fallback slot.
+    obs::AlgoCounters& mc = counters.slot(counters.size() - 1);
     for (VertexId u = 0; u < n; ++u) {
       if (run.result.roles[u] == Role::Core) {
-        run.result.core_cluster_id[u] = cluster_id.load(uf.find(u));
+        mc.uf_finds += 1;
+        run.result.core_cluster_id[u] =
+            cluster_id.load(uf.find_counted(u, &mc.uf_find_steps));
       }
     }
   }
 
   run.result.normalize();
+  // The executor barrier above ordered every worker's slot writes before
+  // this serial merge.
+  run.stats.counters = counters.merged();
+  run.stats.runtime_kind = to_string(RuntimeKind::WorkSteal);
   run.stats.compsim_invocations = invocations.load(std::memory_order_relaxed);
   const ExecutorStats es = executor.stats();
   run.stats.tasks_executed = es.tasks_executed;

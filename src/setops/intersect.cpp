@@ -1,8 +1,9 @@
 #include "setops/intersect.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
+
+#include "util/env.hpp"
 
 namespace ppscan {
 namespace {
@@ -10,15 +11,12 @@ namespace {
 /// Degree-skew ratio above which the Auto dispatcher switches a pair to the
 /// galloping kernel: galloping wins once the longer list is so much longer
 /// that jumping beats scanning. Tunable via PPSCAN_GALLOP_SKEW (docs/
-/// tuning.md); 0 disables galloping entirely.
+/// tuning.md); 0 disables galloping entirely. Note the checked parse: a
+/// malformed value now warns and keeps the default 64, where the old
+/// atol() silently read garbage as 0 and turned galloping off.
 std::size_t gallop_skew_threshold() {
-  static const std::size_t value = [] {
-    if (const char* env = std::getenv("PPSCAN_GALLOP_SKEW")) {
-      const long parsed = std::atol(env);
-      if (parsed >= 0) return static_cast<std::size_t>(parsed);
-    }
-    return std::size_t{64};
-  }();
+  static const std::size_t value =
+      static_cast<std::size_t>(env_u64("PPSCAN_GALLOP_SKEW", 64));
   return value;
 }
 

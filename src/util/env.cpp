@@ -1,22 +1,101 @@
 #include "util/env.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <thread>
 
 namespace ppscan {
+namespace {
+
+// Warn once per (variable, value-class) so a bench loop re-reading a bad
+// knob doesn't flood stderr, but the first read of every bad knob is loud.
+void warn_once(const char* name, const std::string& value,
+               const char* expected, const std::string& fallback) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mu);
+  if (!warned.insert(name).second) return;
+  std::fprintf(stderr,
+               "ppscan: ignoring %s=\"%s\" (expected %s); using %s\n", name,
+               value.c_str(), expected, fallback.c_str());
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> env_string(const char* name) {
+  if (const char* v = std::getenv(name)) return std::string(v);
+  return std::nullopt;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::string v = lower(*raw);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  warn_once(name, *raw, "a boolean (1/0, true/false, yes/no, on/off)",
+            fallback ? "true" : "false");
+  return fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::string& s = *raw;
+  // strtoull happily wraps "-3" to a huge value; reject signs up front.
+  const bool looks_numeric =
+      !s.empty() && std::isdigit(static_cast<unsigned char>(s.front())) != 0;
+  if (looks_numeric) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  warn_once(name, s, "an unsigned base-10 integer", std::to_string(fallback));
+  return fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::string& s = *raw;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (!s.empty() && errno == 0 && end != nullptr && *end == '\0' &&
+      std::isfinite(v)) {
+    return v;
+  }
+  warn_once(name, s, "a finite number", std::to_string(fallback));
+  return fallback;
+}
 
 double bench_scale() {
-  if (const char* s = std::getenv("PPSCAN_SCALE")) {
-    const double v = std::strtod(s, nullptr);
-    if (v > 0) return v;
-  }
+  const double v = env_double("PPSCAN_SCALE", 1.0);
+  if (v > 0) return v;
+  warn_once("PPSCAN_SCALE", std::to_string(v), "a positive number", "1");
   return 1.0;
 }
 
 int default_threads() {
-  if (const char* s = std::getenv("PPSCAN_THREADS")) {
-    const long v = std::strtol(s, nullptr, 10);
-    if (v > 0) return static_cast<int>(v);
+  // "0" (or unset) means "use the hardware"; anything unparseable warns
+  // inside env_u64 and lands on the same default.
+  const std::uint64_t v = env_u64("PPSCAN_THREADS", 0);
+  if (v >= 1) {
+    constexpr std::uint64_t kMax = 4096;  // sanity bound, not a real limit
+    return static_cast<int>(v > kMax ? kMax : v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

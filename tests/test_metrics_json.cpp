@@ -1,0 +1,158 @@
+// Round-trip and schema tests for the machine-readable metrics
+// (obs/metrics_json.hpp): an emitted row must validate against the
+// documented v1 schema and survive emit → dump → parse → reconstruct with
+// every field intact; the negative cases pin the validator's messages to
+// actual violations rather than accidents of field order.
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics_json.hpp"
+
+namespace ppscan::obs {
+namespace {
+
+MetricsReport sample_report() {
+  MetricsReport r;
+  r.tool = "ppscan_cli";
+  r.algorithm = "ppSCAN";
+  r.dataset = "livejournal-sim";
+  r.eps = "0.6";
+  r.mu = 5;
+  r.threads = 16;
+  r.kernel = "avx2";
+  r.runtime_kind = "worksteal";
+  r.num_vertices = 4000000;
+  r.num_edges = 34000000;
+  r.total_seconds = 12.5;
+  r.similarity_seconds = 8.25;
+  r.pruning_seconds = 1.75;
+  r.stage_prune_seconds = 2.0;
+  r.stage_check_seconds = 7.0;
+  r.stage_core_cluster_seconds = 2.5;
+  r.stage_noncore_cluster_seconds = 1.0;
+  r.busy_seconds = 180.0;
+  r.idle_seconds = 20.0;
+  r.compsim_invocations = 29000000;
+  r.tasks_submitted = 5000;
+  r.tasks_executed = 5000;
+  r.steals = 321;
+  r.num_clusters = 12345;
+  r.num_cores = 987654;
+  r.abort_reason = "none";
+  r.abort_phase = "";
+  r.phases_completed = 7;
+  r.peak_governed_bytes = 1ull << 30;
+  r.counters.arcs_touched = 68000000;
+  r.counters.arcs_predicate_pruned = 10000000;
+  r.counters.sims_computed = 29000000;
+  r.counters.sims_reused = 29000000;
+  r.counters.core_early_exits = 3000000;
+  r.counters.uf_unions = 900000;
+  r.counters.uf_finds = 4000000;
+  r.counters.uf_find_steps = 4100000;
+  return r;
+}
+
+TEST(MetricsJson, EmittedRowValidatesAgainstSchema) {
+  const auto row = metrics_to_json(sample_report());
+  EXPECT_EQ(validate_metrics_json(row), "");
+}
+
+TEST(MetricsJson, RoundTripPreservesEveryField) {
+  const MetricsReport original = sample_report();
+  // Through the full pipeline: emit, serialize, parse, reconstruct.
+  const auto parsed = JsonValue::parse(metrics_to_json(original).dump(2));
+  const MetricsReport back = metrics_from_json(parsed);
+
+  EXPECT_EQ(back.tool, original.tool);
+  EXPECT_EQ(back.algorithm, original.algorithm);
+  EXPECT_EQ(back.dataset, original.dataset);
+  EXPECT_EQ(back.eps, original.eps);
+  EXPECT_EQ(back.mu, original.mu);
+  EXPECT_EQ(back.threads, original.threads);
+  EXPECT_EQ(back.kernel, original.kernel);
+  EXPECT_EQ(back.runtime_kind, original.runtime_kind);
+  EXPECT_EQ(back.num_vertices, original.num_vertices);
+  EXPECT_EQ(back.num_edges, original.num_edges);
+  EXPECT_DOUBLE_EQ(back.total_seconds, original.total_seconds);
+  EXPECT_DOUBLE_EQ(back.similarity_seconds, original.similarity_seconds);
+  EXPECT_DOUBLE_EQ(back.pruning_seconds, original.pruning_seconds);
+  EXPECT_DOUBLE_EQ(back.stage_prune_seconds, original.stage_prune_seconds);
+  EXPECT_DOUBLE_EQ(back.stage_check_seconds, original.stage_check_seconds);
+  EXPECT_DOUBLE_EQ(back.stage_core_cluster_seconds,
+                   original.stage_core_cluster_seconds);
+  EXPECT_DOUBLE_EQ(back.stage_noncore_cluster_seconds,
+                   original.stage_noncore_cluster_seconds);
+  EXPECT_DOUBLE_EQ(back.busy_seconds, original.busy_seconds);
+  EXPECT_DOUBLE_EQ(back.idle_seconds, original.idle_seconds);
+  EXPECT_EQ(back.compsim_invocations, original.compsim_invocations);
+  EXPECT_EQ(back.tasks_submitted, original.tasks_submitted);
+  EXPECT_EQ(back.tasks_executed, original.tasks_executed);
+  EXPECT_EQ(back.steals, original.steals);
+  EXPECT_EQ(back.num_clusters, original.num_clusters);
+  EXPECT_EQ(back.num_cores, original.num_cores);
+  EXPECT_EQ(back.abort_reason, original.abort_reason);
+  EXPECT_EQ(back.abort_phase, original.abort_phase);
+  EXPECT_EQ(back.phases_completed, original.phases_completed);
+  EXPECT_EQ(back.peak_governed_bytes, original.peak_governed_bytes);
+  EXPECT_EQ(back.counters.arcs_touched, original.counters.arcs_touched);
+  EXPECT_EQ(back.counters.arcs_predicate_pruned,
+            original.counters.arcs_predicate_pruned);
+  EXPECT_EQ(back.counters.sims_computed, original.counters.sims_computed);
+  EXPECT_EQ(back.counters.sims_reused, original.counters.sims_reused);
+  EXPECT_EQ(back.counters.core_early_exits,
+            original.counters.core_early_exits);
+  EXPECT_EQ(back.counters.uf_unions, original.counters.uf_unions);
+  EXPECT_EQ(back.counters.uf_finds, original.counters.uf_finds);
+  EXPECT_EQ(back.counters.uf_find_steps, original.counters.uf_find_steps);
+}
+
+TEST(MetricsJson, FileEnvelopeValidates) {
+  const auto doc =
+      metrics_file_json("fig2", {sample_report(), sample_report()});
+  EXPECT_EQ(validate_metrics_file_json(doc), "");
+  // And survives serialization.
+  EXPECT_EQ(validate_metrics_file_json(JsonValue::parse(doc.dump())), "");
+  EXPECT_EQ(doc.at("figure").as_string(), "fig2");
+  EXPECT_EQ(doc.at("rows").size(), 2u);
+}
+
+TEST(MetricsJson, MissingKeyIsReported) {
+  auto row = metrics_to_json(sample_report());
+  auto broken = JsonValue::object();
+  for (const auto& [key, value] : row.members()) {
+    if (key != "steals") broken.set(key, value);
+  }
+  const auto violation = validate_metrics_json(broken);
+  EXPECT_NE(violation.find("steals"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, WrongTypeIsReported) {
+  auto row = metrics_to_json(sample_report());
+  row.set("threads", JsonValue::string("sixteen"));
+  const auto violation = validate_metrics_json(row);
+  EXPECT_NE(violation.find("threads"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, WrongSchemaVersionIsReported) {
+  auto row = metrics_to_json(sample_report());
+  row.set("schema_version", JsonValue::number_u64(99));
+  const auto violation = validate_metrics_json(row);
+  EXPECT_NE(violation.find("schema_version"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, BrokenFunnelInvariantIsReported) {
+  MetricsReport r = sample_report();
+  r.counters.arcs_touched += 1;  // pruned + computed + reused no longer adds up
+  const auto violation = validate_metrics_json(metrics_to_json(r));
+  EXPECT_NE(violation.find("arcs_touched"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, ParserRejectsGarbage) {
+  EXPECT_THROW(JsonValue::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppscan::obs

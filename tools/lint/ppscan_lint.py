@@ -34,6 +34,10 @@ bug in another. This linter encodes those invariants:
   order-assert        functions listed in the config (the similarity-reuse
                       core-checking paths, Algorithm 3) must contain their
                       declared `u < v` order-constraint assertion.
+  trace-hotpath       PPSCAN_TRACE_* macros in the configured hot paths
+                      (the setops kernels): even compiled-out trace hooks
+                      are forbidden where a null-check or function call
+                      would sit inside the per-element intersection loops.
 
 Engine: a comment/string-aware tokenizer (no dependencies beyond the
 standard library). When the optional libclang python bindings are installed,
@@ -194,6 +198,7 @@ class Config:
     narrowing_paths: list[str]
     narrowing_hints: list[str]
     required_asserts: list[dict]
+    trace_hotpath_paths: list[str]
 
 
 def load_config(path: pathlib.Path) -> Config:
@@ -223,6 +228,7 @@ def load_config(path: pathlib.Path) -> Config:
         )
     protocol = data.get("protocol", {})
     narrowing = data.get("narrowing", {})
+    trace = data.get("trace", {})
     return Config(
         disciplines=disciplines,
         protocol_paths=protocol.get("paths", ["src/"]),
@@ -234,6 +240,7 @@ def load_config(path: pathlib.Path) -> Config:
             "hints", [r"\.size\s*\(\)", r"\bEdgeId\b", r"\bsize_t\b",
                       r"\buint64_t\b", r"\.num_arcs\s*\(\)"]),
         required_asserts=data.get("required_asserts", []),
+        trace_hotpath_paths=trace.get("hotpath_paths", []),
     )
 
 
@@ -514,6 +521,33 @@ def check_narrowing(src: SourceFile, cfg: Config) -> list[Finding]:
     return findings
 
 
+TRACE_MACRO = re.compile(r"\bPPSCAN_TRACE_[A-Z0-9_]+\s*\(")
+
+
+def check_trace_hotpath(src: SourceFile, cfg: Config) -> list[Finding]:
+    """Trace hooks are banned from the configured hot paths. Even with
+    PPSCAN_TRACE=OFF the macro still evaluates to a statement, and with it
+    ON the null-check + clock read lands inside per-element kernel loops
+    whose cost model the paper's figures depend on. Instrument the *caller*
+    (phase body / task wrapper), never the kernel."""
+    if not path_in(src.path, cfg.trace_hotpath_paths):
+        return []
+    findings = []
+    for m in TRACE_MACRO.finditer(src.code):
+        line = src.line_of(m.start())
+        # The macro's own definition site is not a use.
+        line_start = src.code.rfind("\n", 0, m.start()) + 1
+        if re.match(r"\s*#\s*define\b", src.code[line_start:m.start()]):
+            continue
+        if waived(src, line, "trace-hotpath"):
+            continue
+        findings.append(Finding(
+            src.path, line, "trace-hotpath",
+            "PPSCAN_TRACE_* macro in a trace-free hot path; record the event "
+            "from the calling phase body instead (see docs/observability.md)"))
+    return findings
+
+
 # --------------------------------------------------------------------------
 # Required order-constraint assertions (Algorithm 3 contract)
 # --------------------------------------------------------------------------
@@ -599,7 +633,8 @@ def path_in(path: str, prefixes: list[str]) -> bool:
 
 
 def collect_files(root: pathlib.Path, cfg: Config) -> list[pathlib.Path]:
-    scopes = set(cfg.protocol_paths) | set(cfg.narrowing_paths)
+    scopes = set(cfg.protocol_paths) | set(cfg.narrowing_paths) | \
+        set(cfg.trace_hotpath_paths)
     for rule in cfg.banned:
         scopes |= set(rule.get("paths", ["src/"]))
     files: list[pathlib.Path] = []
@@ -664,6 +699,7 @@ def run_lint(cfg: Config, root: pathlib.Path,
             findings.extend(check_call_sites(src, registry, cfg))
         findings.extend(check_banned(src, cfg))
         findings.extend(check_narrowing(src, cfg))
+        findings.extend(check_trace_hotpath(src, cfg))
     findings.extend(check_required_asserts(sources, cfg))
     if check_docs_table:
         findings.extend(check_docs(decls, cfg, root))

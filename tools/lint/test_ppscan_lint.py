@@ -39,6 +39,7 @@ def scoped_config(paths, *, docs_file=None, required_asserts=()):
         banned=banned,
         docs_file=docs_file,
         required_asserts=list(required_asserts),
+        trace_hotpath_paths=list(paths),
     )
 
 
@@ -102,6 +103,10 @@ class KnownBadTest(unittest.TestCase):
     def test_vertexid_narrowing_fires(self):
         self.assertIn("vertexid-narrowing",
                       rules_in(self.findings, "narrowing.cpp"))
+
+    def test_trace_hotpath_fires(self):
+        self.assertIn("trace-hotpath",
+                      rules_in(self.findings, "trace_hotpath.cpp"))
 
     def test_order_assert_fires_when_missing(self):
         findings = lint([BAD], required_asserts=[{

@@ -23,11 +23,16 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "bench_support/algorithms.hpp"
+#include "bench_support/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_json.hpp"
 #include "graph/edge_list_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
@@ -138,6 +143,17 @@ void save_graph(const CsrGraph& graph, const std::string& path) {
   }
 }
 
+/// Dataset label for metrics rows: the graph file's stem ("web-uk" from
+/// "data/web-uk.bin").
+std::string file_stem(const std::string& path) {
+  const auto slash = path.find_last_of("/\\");
+  const auto begin = slash == std::string::npos ? 0 : slash + 1;
+  const auto dot = path.find_last_of('.');
+  const auto end = (dot == std::string::npos || dot <= begin) ? path.size()
+                                                              : dot;
+  return path.substr(begin, end - begin);
+}
+
 std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> out;
   std::size_t begin = 0;
@@ -243,6 +259,20 @@ int cmd_cluster(const Flags& flags) {
   config.cancel = &g_signal_cancel;
   const auto algorithm = flags.get_string("algorithm", "ppSCAN");
 
+  // Per-worker event tracing, exported in Chrome/Perfetto trace format.
+  const auto trace_out = flags.get_string("trace-out", "");
+  std::unique_ptr<obs::TraceCollector> collector;
+  if (!trace_out.empty()) {
+    if (!obs::kTraceEnabled) {
+      std::cerr << "cluster: warning: tracing was compiled out "
+                   "(PPSCAN_TRACE=OFF); " << trace_out
+                << " will contain no events\n";
+    }
+    collector =
+        std::make_unique<obs::TraceCollector>(config.num_threads);
+    config.trace = collector.get();
+  }
+
   const ScopedCancelSignals signals;
   const auto run = run_algorithm(algorithm, graph, params, config);
   std::cout << algorithm << " eps=" << params.eps.to_double()
@@ -262,6 +292,44 @@ int cmd_cluster(const Flags& flags) {
   if (!out.empty()) {
     write_scan_result(run.result, out);
     std::cout << "result -> " << out << "\n";
+  }
+
+  if (collector) {
+    std::ofstream stream(trace_out);
+    if (!stream) {
+      std::cerr << "cluster: cannot open " << trace_out << " for writing\n";
+      return 1;
+    }
+    write_chrome_trace(stream, *collector);
+    std::cout << "trace -> " << trace_out
+              << " (load in ui.perfetto.dev or chrome://tracing)\n";
+  }
+
+  const auto metrics_out = flags.get_string("metrics-json", "");
+  if (!metrics_out.empty()) {
+    const auto report = make_metrics_report(
+        "ppscan_cli", algorithm, file_stem(flags.positionals()[1]),
+        flags.get_string("eps", "0.5"), params.mu,
+        static_cast<std::uint64_t>(config.num_threads),
+        to_string(resolve_kernel(config.kernel)), graph, run);
+    const auto row = obs::metrics_to_json(report);
+    // The emitter and the schema validator are kept in lockstep; a
+    // violation here is a bug, not a user error.
+    const auto violation = obs::validate_metrics_json(row);
+    if (!violation.empty()) {
+      std::cerr << "cluster: internal error: metrics row fails its own "
+                   "schema: " << violation << "\n";
+      return 1;
+    }
+    std::ofstream stream(metrics_out);
+    if (!stream) {
+      std::cerr << "cluster: cannot open " << metrics_out
+                << " for writing\n";
+      return 1;
+    }
+    stream << row.dump(2) << "\n";
+    std::cout << "metrics -> " << metrics_out << " (schema v"
+              << obs::kMetricsSchemaVersion << ")\n";
   }
   return abort_exit_code(run.stats.abort_reason);
 }
@@ -391,6 +459,8 @@ void usage() {
          "          [--timeout-ms T] [--mem-budget-mb M] [--stall-ms S]\n"
          "          (limits / SIGINT yield a partial result; exit codes:\n"
          "           124 deadline, 125 budget, 126 stall, 130 cancelled)\n"
+         "          [--trace-out trace.json]   per-worker Perfetto trace\n"
+         "          [--metrics-json row.json]  schema-v1 metrics row\n"
          "  classify <graph> <result>\n"
          "  validate <graph>                 (check CSR invariants)\n"
          "  validate <graph> <result> [--eps E] [--mu M] [--partial]\n"
