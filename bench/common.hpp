@@ -11,6 +11,7 @@
 
 #include "bench_support/datasets.hpp"
 #include "bench_support/metrics.hpp"
+#include "concurrent/topology.hpp"
 #include "obs/metrics_json.hpp"
 #include "setops/intersect.hpp"
 #include "util/env.hpp"
@@ -20,7 +21,7 @@
 namespace ppscan::bench {
 
 /// Machine-readable sidecar for a figure harness: rows collected via add()
-/// are written as the schema-v1 file envelope (obs/metrics_json.hpp) when
+/// are written as the schema-v2 file envelope (obs/metrics_json.hpp) when
 /// `--metrics-json FILE` was given, e.g. the CI BENCH_*.json artifacts.
 /// Inactive (add() is a no-op) when the flag is absent.
 class MetricsSink {
@@ -100,6 +101,12 @@ inline std::vector<std::string> dataset_flag(const Flags& flags) {
 inline std::vector<std::string> eps_flag(const Flags& flags) {
   if (flags.has("eps")) return split_list(flags.get_string("eps", ""));
   return default_eps_list();
+}
+
+/// Common flag: --numa=auto|off|interleave (default off). Throws the
+/// parse error from parse_numa_mode on an unknown name.
+inline NumaMode numa_flag(const Flags& flags) {
+  return parse_numa_mode(flags.get_string("numa", "off"));
 }
 
 }  // namespace ppscan::bench

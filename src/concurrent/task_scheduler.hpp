@@ -95,6 +95,17 @@ struct SchedulerOptions {
   /// single huge range drains promptly after a trip. Not owned; must
   /// outlive the scheduled phases. nullptr = ungoverned (zero overhead).
   RunGovernor* governor = nullptr;
+  /// StaticRange only: split by equal *degree sums* instead of equal
+  /// vertex counts, so static partitions align with work on skewed
+  /// degree distributions (the similarity phases' cost is degree-shaped).
+  bool edge_balanced_static = false;
+  /// Interior vertex boundaries no task may cross (NUMA node shards,
+  /// from edge_balanced_boundaries). When set with the WorkSteal runtime
+  /// and an executor whose num_nodes() matches, bundled tasks are grouped
+  /// by shard and dispatched with Executor::run_sharded so node k's
+  /// workers start on shard k — the range their node's CSR pages were
+  /// placed for. Not owned; must outlive the scheduled phases.
+  const std::vector<VertexId>* shard_bounds = nullptr;
 };
 
 /// Vertices between cancel-token polls inside a scheduled range. Power of
@@ -108,28 +119,22 @@ struct ScheduleStats {
 
 namespace detail {
 
-/// Bundles [0, n) into TaskRange boundaries according to `options`,
-/// appending to `ranges` (not cleared). Vertices failing `needs_work` still
-/// land inside some range under non-degree policies; the worker-side
-/// re-test skips them. Returns the number of ranges appended.
-///
-/// Guards the degenerate inputs (n == 0, n < num_threads, zero-width
-/// ranges) that made the seed StaticRange math hazardous.
+/// Bundles the sub-range [lo, hi) according to `options`. `num_threads` is
+/// the thread share this sub-range is expected to run on (the whole pool
+/// without sharding, one node's share with it).
 template <typename DegreeOf, typename NeedsWork>
-std::uint64_t bundle_ranges(std::vector<TaskRange>& ranges, VertexId n,
-                            int num_threads, DegreeOf&& degree_of,
-                            NeedsWork&& needs_work,
-                            const SchedulerOptions& options) {
-  const std::size_t before = ranges.size();
-  if (n == 0) return 0;
+void bundle_subrange(std::vector<TaskRange>& ranges, VertexId lo, VertexId hi,
+                     int num_threads, DegreeOf&& degree_of,
+                     NeedsWork&& needs_work, const SchedulerOptions& options) {
+  if (lo >= hi) return;
   const auto push = [&](VertexId beg, VertexId end) {
     if (beg < end) ranges.push_back({beg, end});
   };
   switch (options.kind) {
     case SchedulerKind::DegreeSum: {
       std::uint64_t deg_sum = 0;
-      VertexId beg = 0;
-      for (VertexId u = 0; u < n; ++u) {
+      VertexId beg = lo;
+      for (VertexId u = lo; u < hi; ++u) {
         if (!needs_work(u)) continue;
         deg_sum += degree_of(u);
         if (deg_sum > options.degree_threshold) {
@@ -138,26 +143,97 @@ std::uint64_t bundle_ranges(std::vector<TaskRange>& ranges, VertexId n,
           beg = u + 1;
         }
       }
-      push(beg, n);
+      push(beg, hi);
       break;
     }
     case SchedulerKind::StaticRange: {
       const auto t = static_cast<VertexId>(std::max(1, num_threads));
-      const VertexId width = std::max<VertexId>(1, (n + t - 1) / t);
-      for (VertexId beg = 0; beg < n; beg += width) {
-        push(beg, std::min<VertexId>(beg + width, n));
+      if (options.edge_balanced_static) {
+        // Degree-weighted split: part i ends at the first vertex whose
+        // degree prefix crosses i/t of the sub-range's total, so every
+        // static partition carries a near-equal edge count instead of a
+        // near-equal vertex count.
+        std::uint64_t total = 0;
+        for (VertexId u = lo; u < hi; ++u) total += degree_of(u);
+        if (total == 0) {
+          push(lo, hi);
+          break;
+        }
+        std::uint64_t prefix = 0;
+        VertexId beg = lo;
+        VertexId part = 1;
+        for (VertexId u = lo; u < hi && part < t; ++u) {
+          prefix += degree_of(u);
+          if (prefix * t >= total * part) {
+            push(beg, u + 1);
+            beg = u + 1;
+            ++part;
+          }
+        }
+        push(beg, hi);
+      } else {
+        const VertexId width = std::max<VertexId>(1, (hi - lo + t - 1) / t);
+        for (VertexId beg = lo; beg < hi; beg += width) {
+          push(beg, std::min<VertexId>(beg + width, hi));
+        }
       }
       break;
     }
     case SchedulerKind::FixedChunk: {
       const VertexId width = std::max<VertexId>(1, options.chunk_size);
-      for (VertexId beg = 0; beg < n; beg += width) {
-        push(beg, std::min<VertexId>(beg + width, n));
+      for (VertexId beg = lo; beg < hi; beg += width) {
+        push(beg, std::min<VertexId>(beg + width, hi));
       }
       break;
     }
     case SchedulerKind::OmpDynamic:
       break;  // handled by the callers (no bundling)
+  }
+}
+
+/// Bundles [0, n) into TaskRange boundaries according to `options`,
+/// appending to `ranges` (not cleared). Vertices failing `needs_work` still
+/// land inside some range under non-degree policies; the worker-side
+/// re-test skips them. Returns the number of ranges appended.
+///
+/// With `options.shard_bounds`, no range crosses a shard boundary and the
+/// bundling runs shard by shard; `shard_task_begin` (when given) receives
+/// the per-shard task offsets — shards + 1 entries, relative to the ranges
+/// appended by THIS call — in the exact shape Executor::run_sharded takes.
+///
+/// Guards the degenerate inputs (n == 0, n < num_threads, zero-width
+/// ranges) that made the seed StaticRange math hazardous.
+template <typename DegreeOf, typename NeedsWork>
+std::uint64_t bundle_ranges(std::vector<TaskRange>& ranges, VertexId n,
+                            int num_threads, DegreeOf&& degree_of,
+                            NeedsWork&& needs_work,
+                            const SchedulerOptions& options,
+                            std::vector<std::size_t>* shard_task_begin =
+                                nullptr) {
+  const std::size_t before = ranges.size();
+  std::vector<VertexId> cuts{0};
+  if (options.shard_bounds != nullptr) {
+    for (const VertexId b : *options.shard_bounds) {
+      cuts.push_back(std::clamp(b, cuts.back(), n));
+    }
+  }
+  cuts.push_back(n);
+  const std::size_t shards = cuts.size() - 1;
+  // With sharding, each shard is bundled for its share of the pool so a
+  // static split still yields ~num_threads tasks overall.
+  const int share =
+      shards > 1 ? std::max(1, num_threads / static_cast<int>(shards))
+                 : num_threads;
+  if (shard_task_begin != nullptr) shard_task_begin->clear();
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (shard_task_begin != nullptr) {
+      shard_task_begin->push_back(ranges.size() - before);
+    }
+    bundle_subrange(ranges, cuts[s], cuts[s + 1], share, degree_of,
+                    needs_work, options);
+  }
+  if (shard_task_begin != nullptr) {
+    shard_task_begin->push_back(ranges.size() - before);
   }
   return ranges.size() - before;
 }
@@ -232,11 +308,26 @@ ScheduleStats schedule_vertex_tasks(Executor& executor, VertexId n,
   std::vector<TaskRange> local;
   std::vector<TaskRange>& ranges = scratch != nullptr ? *scratch : local;
   ranges.clear();
+  // Shard-aligned dispatch only when the executor's node count matches the
+  // shard count — anything else (uniform executor, stale bounds) falls
+  // back to the plain even split, which is always correct.
+  const bool sharded =
+      options.shard_bounds != nullptr &&
+      executor.num_nodes() ==
+          static_cast<int>(options.shard_bounds->size()) + 1 &&
+      executor.num_nodes() > 1;
+  std::vector<std::size_t> shard_task_begin;
   stats.tasks_submitted = detail::bundle_ranges(
-      ranges, n, executor.num_threads(), degree_of, needs_work, options);
+      ranges, n, executor.num_threads(), degree_of, needs_work, options,
+      sharded ? &shard_task_begin : nullptr);
   const auto body = detail::make_range_body(needs_work, work,
                                             options.governor);
-  executor.run(ranges.data(), ranges.size(), body);
+  if (sharded) {
+    executor.run_sharded(ranges.data(), ranges.size(),
+                         shard_task_begin.data(), body);
+  } else {
+    executor.run(ranges.data(), ranges.size(), body);
+  }
   return stats;
 }
 

@@ -1,0 +1,220 @@
+#include "concurrent/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/env.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ppscan {
+namespace {
+
+/// Largest node directory index probed under a sysfs node dir. Real
+/// machines top out far below this; the bound only caps the fixture scan.
+constexpr int kMaxNodeScan = 1024;
+
+NumaTopology fallback_topology(std::string reason, std::vector<int> cpus) {
+  NumaTopology topo;
+  topo.nodes.push_back({0, std::move(cpus)});
+  topo.source = "fallback";
+  topo.fallback_reason = std::move(reason);
+  return topo;
+}
+
+bool read_first_line(const std::string& path, std::string* out) {
+  std::ifstream stream(path);
+  if (!stream) return false;
+  std::getline(stream, *out);
+  return true;
+}
+
+}  // namespace
+
+NumaMode parse_numa_mode(const std::string& name) {
+  if (name == "auto") return NumaMode::Auto;
+  if (name == "off") return NumaMode::Off;
+  if (name == "interleave") return NumaMode::Interleave;
+  throw std::invalid_argument("unknown numa mode: " + name +
+                              " (expected auto|off|interleave)");
+}
+
+std::string to_string(NumaMode mode) {
+  switch (mode) {
+    case NumaMode::Auto: return "auto";
+    case NumaMode::Off: return "off";
+    case NumaMode::Interleave: return "interleave";
+  }
+  return "?";
+}
+
+bool parse_cpu_list(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  // Trim trailing whitespace/newline; an all-blank list is valid and empty.
+  std::string body = text;
+  while (!body.empty() &&
+         std::isspace(static_cast<unsigned char>(body.back())) != 0) {
+    body.pop_back();
+  }
+  if (body.empty()) return true;
+  std::stringstream ss(body);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) return false;
+    std::size_t dash = token.find('-');
+    try {
+      std::size_t used = 0;
+      if (dash == std::string::npos) {
+        const int cpu = std::stoi(token, &used);
+        if (used != token.size() || cpu < 0) return false;
+        out->push_back(cpu);
+      } else {
+        const std::string lo_text = token.substr(0, dash);
+        const std::string hi_text = token.substr(dash + 1);
+        if (lo_text.empty() || hi_text.empty()) return false;
+        const int lo = std::stoi(lo_text, &used);
+        if (used != lo_text.size()) return false;
+        const int hi = std::stoi(hi_text, &used);
+        if (used != hi_text.size()) return false;
+        if (lo < 0 || hi < lo) return false;
+        for (int cpu = lo; cpu <= hi; ++cpu) out->push_back(cpu);
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+std::vector<int> affinity_cpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+    }
+  }
+#endif
+  return cpus;
+}
+
+NumaTopology emulated_topology(int num_nodes, const std::vector<int>& cpus) {
+  NumaTopology topo;
+  topo.emulated = true;
+  topo.source = "env";
+  const int n = std::max(1, num_nodes);
+  topo.nodes.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    topo.nodes[static_cast<std::size_t>(i)].id = i;
+  }
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    topo.nodes[i % static_cast<std::size_t>(n)].cpus.push_back(cpus[i]);
+  }
+  // Fewer CPUs than requested nodes (a 1-CPU CI container emulating two
+  // sockets): the split is synthetic anyway, so surplus nodes share the
+  // whole CPU set — the node *structure* is what emulation exists to
+  // exercise, and pinning stays a harmless no-op.
+  for (NumaNode& node : topo.nodes) {
+    if (node.cpus.empty()) node.cpus = cpus;
+  }
+  return topo;
+}
+
+NumaTopology detect_topology_from(const std::string& node_dir) {
+  NumaTopology topo;
+  topo.source = "sysfs";
+  for (int id = 0; id < kMaxNodeScan; ++id) {
+    const std::string cpulist =
+        node_dir + "/node" + std::to_string(id) + "/cpulist";
+    std::string line;
+    if (!read_first_line(cpulist, &line)) {
+      // Node ids are dense; the first gap ends the scan.
+      break;
+    }
+    std::vector<int> cpus;
+    if (!parse_cpu_list(line, &cpus)) {
+      return fallback_topology(
+          "malformed cpulist for node" + std::to_string(id) + ": '" + line +
+              "'",
+          affinity_cpus());
+    }
+    if (!cpus.empty()) topo.nodes.push_back({id, std::move(cpus)});
+  }
+  if (topo.nodes.empty()) {
+    return fallback_topology("no sysfs NUMA nodes under " + node_dir,
+                             affinity_cpus());
+  }
+  return topo;
+}
+
+NumaTopology detect_topology() {
+  // Emulation override first: PPSCAN_NUMA_NODES=N splits the available
+  // CPUs into N synthetic nodes (N=1 is the explicit uniform topology).
+  const std::uint64_t emulate = env_u64("PPSCAN_NUMA_NODES", 0);
+  std::vector<int> usable = affinity_cpus();
+  if (usable.empty()) {
+    // Affinity unreadable (non-Linux, odd seccomp profile): synthesize ids
+    // [0, hardware_concurrency) so emulation and pinning-free detection
+    // still have CPUs to reason about.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned cpu = 0; cpu < hw; ++cpu) {
+      usable.push_back(static_cast<int>(cpu));
+    }
+  }
+  if (emulate >= 1) {
+    return emulated_topology(static_cast<int>(std::min<std::uint64_t>(
+                                 emulate, 1u << 10)),
+                             usable);
+  }
+  NumaTopology topo = detect_topology_from("/sys/devices/system/node");
+  if (!topo.fallback_reason.empty()) {
+    topo.nodes[0].cpus = usable;
+    return topo;
+  }
+  // Restrict each node to the CPUs this process may actually run on; a
+  // cpuset that empties a node drops the node.
+  std::vector<NumaNode> kept;
+  for (NumaNode& node : topo.nodes) {
+    std::vector<int> both;
+    std::set_intersection(node.cpus.begin(), node.cpus.end(), usable.begin(),
+                          usable.end(), std::back_inserter(both));
+    if (!both.empty()) {
+      node.cpus = std::move(both);
+      kept.push_back(std::move(node));
+    }
+  }
+  if (kept.empty()) {
+    return fallback_topology(
+        "affinity mask shares no CPU with any sysfs node", usable);
+  }
+  topo.nodes = std::move(kept);
+  return topo;
+}
+
+bool pin_thread_to_cpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  if (CPU_COUNT(&set) == 0) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ppscan

@@ -1,0 +1,100 @@
+// NUMA topology detection for the work-stealing executor.
+//
+// The executor's steal order and the CSR placement policy (see
+// graph/graph_placement.hpp) both key off a NumaTopology: the list of NUMA
+// nodes with the CPUs each one owns. Detection is libnuma-free — the
+// kernel's sysfs layout (/sys/devices/system/node/node*/cpulist) is the
+// source of truth, intersected with the process affinity mask so a
+// cpuset-restricted container never pins a worker onto a CPU it cannot run
+// on.
+//
+// Detection NEVER fails: a single-socket box, a container with sysfs
+// masked out, or an affinity mask that empties every node all degrade to
+// the uniform single-node topology with `fallback_reason` recording why —
+// the caller's behavior is then exactly the pre-NUMA executor. The
+// PPSCAN_NUMA_NODES environment knob overrides detection with an emulated
+// N-node split of the available CPUs so hierarchical stealing can be
+// exercised (and CI-tested) on single-socket machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppscan {
+
+/// User-facing NUMA policy (the CLI/bench `--numa=` flag).
+///   Auto       — detect the topology, pin workers round-robin across
+///                nodes, shard the graph with first-touch/mbind placement.
+///   Off        — pre-NUMA behavior: uniform steal order, no pinning.
+///   Interleave — no sharding/pinning, but interleave the CSR pages across
+///                nodes (the classic bandwidth-over-locality baseline).
+enum class NumaMode : std::uint8_t { Auto, Off, Interleave };
+
+NumaMode parse_numa_mode(const std::string& name);
+std::string to_string(NumaMode mode);
+
+/// One NUMA node: its kernel id and the CPUs of the process affinity mask
+/// that live on it.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+struct NumaTopology {
+  /// Nodes that own at least one usable CPU, ordered by kernel id. Never
+  /// empty: the degraded/fallback topology is one node owning every CPU
+  /// (possibly none, when even the affinity mask could not be read).
+  std::vector<NumaNode> nodes;
+  /// True for the PPSCAN_NUMA_NODES emulation: the node split is synthetic,
+  /// so placement records shard boundaries but must not mbind pages.
+  bool emulated = false;
+  /// Where the topology came from: "sysfs", "env", or "fallback".
+  std::string source;
+  /// Non-empty when detection degraded to the uniform topology; the exact
+  /// one-line reason the caller should surface (trace event / log line).
+  std::string fallback_reason;
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(nodes.size());
+  }
+  /// True when the topology carries no locality structure (<= 1 node); all
+  /// NUMA machinery then degenerates to the uniform behavior.
+  [[nodiscard]] bool uniform() const { return nodes.size() <= 1; }
+};
+
+/// Parses a kernel cpulist ("0-3,7,9-10") into sorted CPU ids. Returns
+/// false (leaving `out` unspecified) on malformed text — reversed ranges,
+/// non-numeric tokens — so a damaged sysfs never yields a bogus topology.
+bool parse_cpu_list(const std::string& text, std::vector<int>* out);
+
+/// Detects the machine topology:
+///   1. PPSCAN_NUMA_NODES >= 1 set → emulated round-robin split of the
+///      affinity-mask CPUs into that many nodes (capped at the CPU count).
+///   2. sysfs node directories, each cpulist intersected with the process
+///      affinity mask; nodes left with no CPU are dropped.
+///   3. Anything unexpected → the uniform fallback with fallback_reason.
+/// Never throws.
+NumaTopology detect_topology();
+
+/// Detection against a canned sysfs `node/` directory (test fixtures). No
+/// affinity intersection — the fixture's cpulists are taken as-is.
+NumaTopology detect_topology_from(const std::string& node_dir);
+
+/// Synthetic topology: `cpus` split round-robin across `num_nodes` nodes
+/// (marked emulated). num_nodes below 1 is treated as 1; with fewer CPUs
+/// than nodes the surplus nodes share the whole CPU set — the requested
+/// node count is always honored so emulation exercises the hierarchical
+/// machinery even on a 1-CPU box.
+NumaTopology emulated_topology(int num_nodes, const std::vector<int>& cpus);
+
+/// CPUs of the calling process's affinity mask (sched_getaffinity); empty
+/// when the mask cannot be read.
+std::vector<int> affinity_cpus();
+
+/// Pins the calling thread to `cpus`. Best effort: returns false (and
+/// changes nothing) on an empty list, a non-Linux build, or a failed
+/// syscall — a failed pin must never fail the run.
+bool pin_thread_to_cpus(const std::vector<int>& cpus);
+
+}  // namespace ppscan

@@ -7,7 +7,9 @@
 
 #include "concurrent/executor.hpp"
 #include "concurrent/thread_pool.hpp"
+#include "concurrent/topology.hpp"
 #include "concurrent/union_find.hpp"
+#include "graph/graph_placement.hpp"
 #include "graph/reverse_index.hpp"
 #include "obs/trace.hpp"
 #include "util/atomic_array.hpp"
@@ -29,12 +31,35 @@ class PpScanRunner {
     if (options.scheduler.runtime == RuntimeKind::MutexPool) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     } else {
-      exec_ = std::make_unique<Executor>(options.num_threads);
+      if (options.numa == NumaMode::Auto) {
+        // Topology-aware executor: round-robin node assignment, workers
+        // pinned to their node's CPUs, same-node-first steal order. A
+        // single-node detection result degrades to the uniform executor
+        // (the fallback reason lands in the trace, see run()).
+        topo_ = options.topology != nullptr ? *options.topology
+                                            : detect_topology();
+        exec_ = std::make_unique<Executor>(options.num_threads, topo_,
+                                           /*pin_workers=*/true);
+      } else {
+        exec_ = std::make_unique<Executor>(options.num_threads);
+      }
       exec_->install_governor(&governor_);
       if (options.trace != nullptr) exec_->install_trace(options.trace);
     }
     sched_ = options.scheduler;
     sched_.governor = &governor_;
+    // Static partitions follow the degree mass: every ppSCAN phase's cost
+    // is degree-shaped, so the StaticRange ablation splits by edge count
+    // rather than vertex count (no effect on the default DegreeSum policy).
+    sched_.edge_balanced_static = true;
+    if (exec_ && exec_->num_nodes() > 1) {
+      // One edge-balanced vertex shard per NUMA node; bundled tasks never
+      // cross a shard boundary and node k's workers claim shard k first —
+      // the same split apply_placement() used to place the CSR pages.
+      shard_bounds_ = edge_balanced_boundaries(
+          graph.offsets(), static_cast<std::size_t>(exec_->num_nodes()));
+      sched_.shard_bounds = &shard_bounds_;
+    }
     // Charge the state arrays against the memory budget before allocating;
     // on overshoot (or a real bad_alloc) the run aborts before any phase
     // and returns the all-Unknown partial result.
@@ -70,6 +95,13 @@ class PpScanRunner {
     PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::KernelDispatch,
                               "kernel-dispatch",
                               resolve_kernel(options_.kernel));
+    // NUMA detection degrades, never errors: when Auto fell back to the
+    // uniform single-node shape, one Mark records that the run is
+    // effectively numa=off (the reason string lives in NumaTopology).
+    if (options_.numa == NumaMode::Auto && !topo_.fallback_reason.empty()) {
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                "numa-fallback", 0);
+    }
     if (alloc_ok_ && options_.use_reverse_index && !governor_.should_stop()) {
       const std::uint64_t bytes =
           static_cast<std::uint64_t>(graph_.num_arcs()) * sizeof(EdgeId);
@@ -122,6 +154,12 @@ class PpScanRunner {
       run.stats.steals = es.steals;
       run.stats.busy_seconds = es.busy_seconds;
       run.stats.idle_seconds = es.idle_seconds;
+      run.stats.numa_mode = to_string(options_.numa);
+      run.stats.numa_nodes = static_cast<std::uint64_t>(exec_->num_nodes());
+      run.stats.steals_same_node = es.steals_same_node;
+      run.stats.steals_remote = es.steals_remote;
+      run.stats.remote_misses = es.remote_misses;
+      run.stats.per_node = es.per_node;
     } else {
       // MutexPool ablation: the legacy pool keeps no per-worker counters,
       // so the executor block is *explicitly zeroed* — runtime_kind is how
@@ -523,6 +561,10 @@ class PpScanRunner {
   RunGovernor governor_;
   SchedulerOptions sched_;
   bool alloc_ok_ = true;
+  // NumaMode::Auto only: the topology the executor was built from and the
+  // per-node vertex shard boundaries sched_.shard_bounds points into.
+  NumaTopology topo_;
+  std::vector<VertexId> shard_bounds_;
   std::unique_ptr<Executor> exec_;
   std::unique_ptr<ThreadPool> pool_;  // legacy mutex-queue baseline
   std::vector<TaskRange> range_scratch_;

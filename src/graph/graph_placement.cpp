@@ -1,0 +1,235 @@
+#include "graph/graph_placement.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "concurrent/topology.hpp"
+#include "graph/csr_graph.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ppscan {
+namespace {
+
+// Raw-syscall memory policy constants (uapi/linux/mempolicy.h). Defined
+// locally so the build never needs libnuma or its headers; guarded use
+// sites degrade to the recorded fallback when the syscall is unavailable.
+#if defined(__linux__) && defined(__NR_mbind)
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolMfMove = 1u << 1;
+
+/// mbind() the page-aligned hull of [addr, addr + len) to `nodemask`,
+/// moving already-faulted pages. Best effort: false on any failure.
+bool mbind_range(void* addr, std::size_t len, int mode,
+                 unsigned long nodemask) {
+  if (len == 0 || nodemask == 0) return true;
+  const auto page = static_cast<std::uintptr_t>(sysconf(_SC_PAGESIZE));
+  auto beg = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t end = beg + len;
+  beg &= ~(page - 1);
+  const std::size_t span = ((end - beg) + page - 1) / page * page;
+  unsigned long mask = nodemask;
+  return syscall(__NR_mbind, reinterpret_cast<void*>(beg), span, mode, &mask,
+                 sizeof(mask) * 8 + 1, kMpolMfMove) == 0;
+}
+#endif
+
+bool advise_hugepages(void* addr, std::size_t len) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (len == 0) return false;
+  // madvise wants page alignment; advise the aligned interior only so the
+  // neighboring heap objects on the boundary pages are left alone.
+  const auto page = static_cast<std::uintptr_t>(sysconf(_SC_PAGESIZE));
+  const auto raw = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t beg = (raw + page - 1) & ~(page - 1);
+  const std::uintptr_t end = (raw + len) & ~(page - 1);
+  if (end <= beg) return false;
+  return madvise(reinterpret_cast<void*>(beg), end - beg, MADV_HUGEPAGE) == 0;
+#else
+  (void)addr;
+  (void)len;
+  return false;
+#endif
+}
+
+/// One pass over every byte of each shard from a thread pinned to the
+/// shard's node: warms the node-local caches/TLB and, for pages the loader
+/// never faulted, makes first touch land on the owning node. The fallback
+/// placement mechanism when pages cannot be migrated outright.
+void parallel_touch(const NumaTopology& topo,
+                    const std::vector<std::pair<const void*, std::size_t>>&
+                        shard_bytes) {
+  std::vector<std::thread> threads;
+  threads.reserve(shard_bytes.size());
+  for (std::size_t k = 0; k < shard_bytes.size(); ++k) {
+    threads.emplace_back([&topo, &shard_bytes, k] {
+      if (k < topo.nodes.size()) {
+        pin_thread_to_cpus(topo.nodes[k].cpus);
+      }
+      const auto* bytes =
+          static_cast<const volatile char*>(shard_bytes[k].first);
+      std::size_t sum = 0;
+      for (std::size_t i = 0; i < shard_bytes[k].second; i += 64) {
+        sum += static_cast<std::size_t>(bytes[i]);
+      }
+      // The sum is dead; the volatile reads are the point.
+      (void)sum;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+std::string to_string(GraphPlacement placement) {
+  switch (placement) {
+    case GraphPlacement::Default: return "default";
+    case GraphPlacement::Sharded: return "sharded";
+    case GraphPlacement::Interleave: return "interleave";
+  }
+  return "?";
+}
+
+std::vector<VertexId> edge_balanced_boundaries(
+    const std::vector<EdgeId>& offsets, std::size_t shards) {
+  std::vector<VertexId> bounds;
+  if (shards <= 1 || offsets.size() <= 1) return bounds;
+  const VertexId n = checked_vertex_cast(offsets.size() - 1);
+  const std::uint64_t total = offsets.back();
+  bounds.reserve(shards - 1);
+  VertexId prev = 0;
+  for (std::size_t k = 1; k < shards; ++k) {
+    // Smallest vertex whose prefix of arcs reaches k/shards of the total;
+    // offsets is monotone, so a binary search finds it directly.
+    const std::uint64_t target =
+        total * static_cast<std::uint64_t>(k) / shards;
+    const auto it =
+        std::lower_bound(offsets.begin(), offsets.end(), target);
+    auto cut = static_cast<VertexId>(it - offsets.begin());
+    cut = std::clamp(cut, prev, n);
+    bounds.push_back(cut);
+    prev = cut;
+  }
+  return bounds;
+}
+
+PlacementReport CsrGraph::apply_placement(const PlacementOptions& options) {
+  PlacementReport report;
+  if (options.hugepages) {
+    const bool a = advise_hugepages(offsets_.data(),
+                                    offsets_.size() * sizeof(EdgeId));
+    const bool b =
+        advise_hugepages(dst_.data(), dst_.size() * sizeof(VertexId));
+    report.hugepages_advised = a || b;
+  }
+  if (options.placement == GraphPlacement::Default) return report;
+  const NumaTopology* topo = options.topology;
+  if (topo == nullptr || topo->uniform()) {
+    report.fallback_reason = "single NUMA node: placement is a no-op";
+    return report;
+  }
+  if (num_vertices() == 0) {
+    report.fallback_reason = "empty graph";
+    return report;
+  }
+  const auto nodes = static_cast<std::size_t>(topo->num_nodes());
+
+  if (options.placement == GraphPlacement::Interleave) {
+#if defined(__linux__) && defined(__NR_mbind)
+    if (topo->emulated) {
+      report.fallback_reason =
+          "emulated topology: interleave recorded, pages not migrated";
+      report.applied = true;
+      return report;
+    }
+    unsigned long mask = 0;
+    for (const NumaNode& node : topo->nodes) {
+      if (node.id >= 0 && node.id < 64) mask |= 1ul << node.id;
+    }
+    const bool a = mbind_range(offsets_.data(),
+                               offsets_.size() * sizeof(EdgeId),
+                               kMpolInterleave, mask);
+    const bool b = mbind_range(dst_.data(), dst_.size() * sizeof(VertexId),
+                               kMpolInterleave, mask);
+    report.applied = a && b;
+    if (!report.applied) {
+      report.fallback_reason =
+          std::string("mbind(interleave) failed: ") + std::strerror(errno);
+    }
+#else
+    report.fallback_reason = "mbind unavailable on this platform";
+#endif
+    return report;
+  }
+
+  // Sharded: one edge-balanced vertex range per node; shard k's slice of
+  // both arrays moves to node k.
+  report.shard_bounds = edge_balanced_boundaries(offsets_, nodes);
+  std::vector<std::pair<const void*, std::size_t>> shard_bytes;
+  bool all_ok = true;
+  bool any_mbind = false;
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const VertexId v_beg = k == 0 ? 0 : report.shard_bounds[k - 1];
+    const VertexId v_end = k + 1 == nodes
+                               ? num_vertices()
+                               : report.shard_bounds[k];
+    if (v_beg >= v_end) continue;
+    const EdgeId e_beg = offsets_[v_beg];
+    const EdgeId e_end = offsets_[v_end];
+    shard_bytes.emplace_back(
+        dst_.data() + e_beg,
+        static_cast<std::size_t>(e_end - e_beg) * sizeof(VertexId));
+#if defined(__linux__) && defined(__NR_mbind)
+    if (!topo->emulated) {
+      const int id = topo->nodes[k].id;
+      if (id < 0 || id >= 64) {
+        all_ok = false;
+        continue;
+      }
+      const unsigned long mask = 1ul << id;
+      any_mbind = true;
+      all_ok &= mbind_range(offsets_.data() + v_beg,
+                            static_cast<std::size_t>(v_end - v_beg + 1) *
+                                sizeof(EdgeId),
+                            kMpolBind, mask);
+      all_ok &= mbind_range(dst_.data() + e_beg,
+                            static_cast<std::size_t>(e_end - e_beg) *
+                                sizeof(VertexId),
+                            kMpolBind, mask);
+    }
+#endif
+  }
+  if (topo->emulated) {
+    // Synthetic nodes: nothing to migrate, but the warm pass still runs
+    // one pinned thread per shard so the emulated lane exercises the same
+    // shard structure the real path places.
+    parallel_touch(*topo, shard_bytes);
+    report.applied = true;
+    report.fallback_reason =
+        "emulated topology: shard split recorded, pages not migrated";
+    return report;
+  }
+  if (any_mbind && all_ok) {
+    report.applied = true;
+  } else if (any_mbind) {
+    report.fallback_reason =
+        std::string("mbind(bind) failed: ") + std::strerror(errno);
+  } else {
+    // No syscall available: fall back to the pinned touch pass (real
+    // first-touch for never-faulted pages, cache warmth otherwise).
+    parallel_touch(*topo, shard_bytes);
+    report.applied = true;
+    report.fallback_reason = "mbind unavailable: used pinned touch pass";
+  }
+  return report;
+}
+
+}  // namespace ppscan

@@ -3,9 +3,11 @@
 // `--metrics-json` (one row per dataset × eps × algorithm), so runs can be
 // diffed across commits — the BENCH_*.json perf trajectory.
 //
-// Schema v1 is documented field-by-field in docs/observability.md; the
+// Schema v2 is documented field-by-field in docs/observability.md; the
 // validator below and the docs table are kept in lockstep (the round-trip
 // test tests/test_metrics_json.cpp checks emitted output against it).
+// v2 added the NUMA block: numa_mode/placement/numa_nodes, the
+// same-node/remote steal split, remote_misses, and the per_node array.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +21,7 @@ namespace ppscan::obs {
 
 /// Bump when a field is added/renamed/retyped; record the change in the
 /// schema version table in docs/observability.md.
-inline constexpr std::uint64_t kMetricsSchemaVersion = 1;
+inline constexpr std::uint64_t kMetricsSchemaVersion = 2;
 
 /// Everything one metrics row carries. Deliberately plain data — the
 /// adapter from an algorithm's RunStats lives in
@@ -54,6 +56,17 @@ struct MetricsReport {
   std::uint64_t tasks_executed = 0;
   std::uint64_t steals = 0;
 
+  // NUMA shape (v2): policy/placement the run used, executor node count,
+  // steal locality split (steals == steals_same_node + steals_remote —
+  // the validator enforces it), and one NodeCounters row per node.
+  std::string numa_mode = "off";
+  std::string placement = "default";  ///< GraphPlacement applied to the CSR
+  std::uint64_t numa_nodes = 1;
+  std::uint64_t steals_same_node = 0;
+  std::uint64_t steals_remote = 0;
+  std::uint64_t remote_misses = 0;
+  std::vector<NodeCounters> per_node;
+
   // Result shape.
   std::uint64_t num_clusters = 0;
   std::uint64_t num_cores = 0;
@@ -68,18 +81,20 @@ struct MetricsReport {
   AlgoCounters counters;
 };
 
-/// Serializes one report as a schema-v1 object (includes
+/// Serializes one report as a schema-v2 object (includes
 /// "schema_version").
 [[nodiscard]] JsonValue metrics_to_json(const MetricsReport& report);
 
 /// Wraps rows in the file-level envelope:
-///   {"schema_version": 1, "figure": <label>, "rows": [...]}
+///   {"schema_version": 2, "figure": <label>, "rows": [...]}
 [[nodiscard]] JsonValue metrics_file_json(const std::string& figure,
                                           const std::vector<MetricsReport>& rows);
 
-/// Validates one row object against the documented v1 schema: every
-/// required key present with the right JSON type, schema_version == 1,
-/// and the funnel invariant pruned + computed + reused == touched.
+/// Validates one row object against the documented v2 schema: every
+/// required key present with the right JSON type, schema_version == 2,
+/// the per_node array well-formed, the steal split consistent
+/// (same_node + remote == steals), and the funnel invariant
+/// pruned + computed + reused == touched.
 /// Returns "" when valid, else the first violation (for test messages).
 [[nodiscard]] std::string validate_metrics_json(const JsonValue& row);
 

@@ -1,0 +1,173 @@
+// CSR placement (graph/graph_placement.hpp): edge-balanced shard
+// boundaries, and the in-place guarantee of apply_placement() — whatever
+// policy/topology/hugepage combination is requested, the offsets/dst
+// vectors keep their exact contents (placement moves pages, never data)
+// and the CSR invariants still hold. Round-trips run against an emulated
+// topology so they exercise the sharding logic on any machine.
+#include "graph/graph_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "concurrent/topology.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/fixtures.hpp"
+#include "graph/generators.hpp"
+
+namespace ppscan {
+namespace {
+
+NumaTopology two_nodes() { return emulated_topology(2, {0, 1, 2, 3}); }
+
+TEST(EdgeBalancedBoundaries, SingleShardHasNoBoundary) {
+  const CsrGraph graph = make_clique(8);
+  EXPECT_TRUE(edge_balanced_boundaries(graph.offsets(), 1).empty());
+  EXPECT_TRUE(edge_balanced_boundaries(graph.offsets(), 0).empty());
+}
+
+TEST(EdgeBalancedBoundaries, BalancesEdgeMassNotVertexCount) {
+  // A star: the hub owns half the arcs, every leaf one. A 2-shard split
+  // by *vertices* would put ~half the vertices in each shard; the edge-
+  // balanced split must cut right after the hub.
+  const CsrGraph graph = make_star(1000);
+  const auto bounds = edge_balanced_boundaries(graph.offsets(), 2);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_LE(bounds[0], 2u) << "cut should land immediately after the hub";
+}
+
+TEST(EdgeBalancedBoundaries, BoundariesAreMonotoneAndInRange) {
+  const CsrGraph graph = make_clique_chain(8, 6);
+  const std::size_t shards = 4;
+  const auto bounds = edge_balanced_boundaries(graph.offsets(), shards);
+  ASSERT_EQ(bounds.size(), shards - 1);
+  VertexId prev = 0;
+  for (const VertexId b : bounds) {
+    EXPECT_GE(b, prev);
+    EXPECT_LE(b, graph.num_vertices());
+    prev = b;
+  }
+  // Each shard's arc mass is within one max-degree of the ideal quarter.
+  const auto& offsets = graph.offsets();
+  std::vector<VertexId> cuts{0};
+  cuts.insert(cuts.end(), bounds.begin(), bounds.end());
+  cuts.push_back(graph.num_vertices());
+  const auto total = static_cast<std::uint64_t>(graph.num_arcs());
+  std::uint64_t max_degree = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    max_degree = std::max<std::uint64_t>(max_degree, graph.degree(u));
+  }
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const std::uint64_t mass = offsets[cuts[k + 1]] - offsets[cuts[k]];
+    EXPECT_LE(mass, total / shards + max_degree) << "shard " << k;
+  }
+}
+
+TEST(EdgeBalancedBoundaries, MoreShardsThanEdgesCollapseAtTail) {
+  const CsrGraph graph = make_path(3);  // 2 edges, 4 arcs
+  const auto bounds = edge_balanced_boundaries(graph.offsets(), 8);
+  ASSERT_EQ(bounds.size(), 7u);
+  for (const VertexId b : bounds) {
+    EXPECT_LE(b, graph.num_vertices());
+  }
+}
+
+/// The in-place contract: identical vectors before and after, whatever
+/// the policy.
+void expect_unchanged_round_trip(const PlacementOptions& options) {
+  CsrGraph graph = make_two_cliques_bridge(12);
+  const std::vector<EdgeId> offsets_before = graph.offsets();
+  const std::vector<VertexId> dst_before = graph.dst();
+  const PlacementReport report = graph.apply_placement(options);
+  (void)report;
+  EXPECT_EQ(graph.offsets(), offsets_before);
+  EXPECT_EQ(graph.dst(), dst_before);
+  EXPECT_NO_THROW(graph.validate());
+}
+
+TEST(GraphPlacement, ShardedRoundTripLeavesContentsIntact) {
+  const NumaTopology topo = two_nodes();
+  PlacementOptions options;
+  options.placement = GraphPlacement::Sharded;
+  options.topology = &topo;
+  expect_unchanged_round_trip(options);
+}
+
+TEST(GraphPlacement, InterleaveRoundTripLeavesContentsIntact) {
+  const NumaTopology topo = two_nodes();
+  PlacementOptions options;
+  options.placement = GraphPlacement::Interleave;
+  options.topology = &topo;
+  expect_unchanged_round_trip(options);
+}
+
+TEST(GraphPlacement, HugepagesRoundTripLeavesContentsIntact) {
+  PlacementOptions options;
+  options.hugepages = true;
+  expect_unchanged_round_trip(options);
+}
+
+TEST(GraphPlacement, ShardedOnEmulatedTopologyRecordsBounds) {
+  CsrGraph graph = make_clique_chain(6, 8);
+  const NumaTopology topo = two_nodes();
+  PlacementOptions options;
+  options.placement = GraphPlacement::Sharded;
+  options.topology = &topo;
+  const PlacementReport report = graph.apply_placement(options);
+  // Emulated topologies must not mbind (the split is synthetic) but do
+  // record the shard boundaries the scheduler/executor will reuse.
+  EXPECT_TRUE(report.applied);
+  ASSERT_EQ(report.shard_bounds.size(), 1u);
+  EXPECT_EQ(report.shard_bounds,
+            edge_balanced_boundaries(graph.offsets(), 2));
+}
+
+TEST(GraphPlacement, DefaultPolicyIsANoOp) {
+  CsrGraph graph = make_clique(8);
+  const PlacementReport report = graph.apply_placement({});
+  EXPECT_FALSE(report.applied);
+  EXPECT_FALSE(report.hugepages_advised);
+  EXPECT_TRUE(report.shard_bounds.empty());
+}
+
+TEST(GraphPlacement, SingleNodeTopologyDegradesWithReason) {
+  CsrGraph graph = make_clique(8);
+  const NumaTopology topo = emulated_topology(1, {0, 1});
+  PlacementOptions options;
+  options.placement = GraphPlacement::Sharded;
+  options.topology = &topo;
+  const PlacementReport report = graph.apply_placement(options);
+  EXPECT_FALSE(report.applied);
+  EXPECT_FALSE(report.fallback_reason.empty());
+}
+
+TEST(GraphPlacement, NullTopologyDegradesWithReason) {
+  CsrGraph graph = make_clique(8);
+  PlacementOptions options;
+  options.placement = GraphPlacement::Interleave;
+  const PlacementReport report = graph.apply_placement(options);
+  EXPECT_FALSE(report.applied);
+  EXPECT_FALSE(report.fallback_reason.empty());
+}
+
+TEST(GraphPlacement, PlacementNeverChangesClusteringInputs) {
+  // A larger generated graph through the full pipeline: place, then
+  // verify CSR invariants (symmetry included) still hold.
+  CsrGraph graph = erdos_renyi(2000, 8000, 42);
+  const NumaTopology topo = two_nodes();
+  PlacementOptions options;
+  options.placement = GraphPlacement::Sharded;
+  options.hugepages = true;
+  options.topology = &topo;
+  const std::vector<EdgeId> offsets_before = graph.offsets();
+  const std::vector<VertexId> dst_before = graph.dst();
+  graph.apply_placement(options);
+  EXPECT_EQ(graph.offsets(), offsets_before);
+  EXPECT_EQ(graph.dst(), dst_before);
+  EXPECT_NO_THROW(graph.validate());
+}
+
+}  // namespace
+}  // namespace ppscan

@@ -1,6 +1,6 @@
 // Round-trip and schema tests for the machine-readable metrics
 // (obs/metrics_json.hpp): an emitted row must validate against the
-// documented v1 schema and survive emit → dump → parse → reconstruct with
+// documented v2 schema and survive emit → dump → parse → reconstruct with
 // every field intact; the negative cases pin the validator's messages to
 // actual violations rather than accidents of field order.
 #include <gtest/gtest.h>
@@ -36,6 +36,13 @@ MetricsReport sample_report() {
   r.tasks_submitted = 5000;
   r.tasks_executed = 5000;
   r.steals = 321;
+  r.numa_mode = "auto";
+  r.placement = "sharded";
+  r.numa_nodes = 2;
+  r.steals_same_node = 300;
+  r.steals_remote = 21;
+  r.remote_misses = 7;
+  r.per_node = {{0, 8, 160, 9, 3}, {1, 8, 140, 12, 4}};
   r.num_clusters = 12345;
   r.num_cores = 987654;
   r.abort_reason = "none";
@@ -89,6 +96,23 @@ TEST(MetricsJson, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.tasks_submitted, original.tasks_submitted);
   EXPECT_EQ(back.tasks_executed, original.tasks_executed);
   EXPECT_EQ(back.steals, original.steals);
+  EXPECT_EQ(back.numa_mode, original.numa_mode);
+  EXPECT_EQ(back.placement, original.placement);
+  EXPECT_EQ(back.numa_nodes, original.numa_nodes);
+  EXPECT_EQ(back.steals_same_node, original.steals_same_node);
+  EXPECT_EQ(back.steals_remote, original.steals_remote);
+  EXPECT_EQ(back.remote_misses, original.remote_misses);
+  ASSERT_EQ(back.per_node.size(), original.per_node.size());
+  for (std::size_t i = 0; i < back.per_node.size(); ++i) {
+    EXPECT_EQ(back.per_node[i].node, original.per_node[i].node);
+    EXPECT_EQ(back.per_node[i].workers, original.per_node[i].workers);
+    EXPECT_EQ(back.per_node[i].steals_same_node,
+              original.per_node[i].steals_same_node);
+    EXPECT_EQ(back.per_node[i].steals_remote,
+              original.per_node[i].steals_remote);
+    EXPECT_EQ(back.per_node[i].remote_misses,
+              original.per_node[i].remote_misses);
+  }
   EXPECT_EQ(back.num_clusters, original.num_clusters);
   EXPECT_EQ(back.num_cores, original.num_cores);
   EXPECT_EQ(back.abort_reason, original.abort_reason);
@@ -146,6 +170,24 @@ TEST(MetricsJson, BrokenFunnelInvariantIsReported) {
   r.counters.arcs_touched += 1;  // pruned + computed + reused no longer adds up
   const auto violation = validate_metrics_json(metrics_to_json(r));
   EXPECT_NE(violation.find("arcs_touched"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, BrokenStealSplitIsReported) {
+  MetricsReport r = sample_report();
+  r.steals_remote += 1;  // same_node + remote no longer equals steals
+  const auto violation = validate_metrics_json(metrics_to_json(r));
+  EXPECT_NE(violation.find("steal split"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, MalformedPerNodeEntryIsReported) {
+  auto row = metrics_to_json(sample_report());
+  auto arr = JsonValue::array();
+  auto entry = JsonValue::object();
+  entry.set("node", JsonValue::number_u64(0));  // the other keys are missing
+  arr.push(std::move(entry));
+  row.set("per_node", std::move(arr));
+  const auto violation = validate_metrics_json(row);
+  EXPECT_NE(violation.find("per_node"), std::string::npos) << violation;
 }
 
 TEST(MetricsJson, ParserRejectsGarbage) {
