@@ -7,7 +7,9 @@
 // and memory vs per-query latency, against fresh ppSCAN runs, plus the
 // break-even query count.
 #include <iostream>
+#include <utility>
 
+#include "bench_support/metrics.hpp"
 #include "common.hpp"
 #include "core/ppscan.hpp"
 #include "index/gs_index.hpp"
@@ -20,6 +22,8 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(
       flags.get_int("threads", default_threads()));
   const auto mu = static_cast<std::uint32_t>(flags.get_int("mu", 5));
+  const auto metrics_path = flags.get_string("metrics-json", "");
+  std::vector<obs::JsonValue> metrics_rows;
 
   Table table({"dataset", "build(s)", "index-MB", "eps", "query(s)",
                "ppSCAN(s)", "online/query", "break-even-queries"});
@@ -42,18 +46,56 @@ int main(int argc, char** argv) {
       const double query_s = query_run.stats.total_seconds;
       const double online_s = online_run.stats.total_seconds;
       // Queries after which paying the build cost beats re-running ppSCAN.
+      // When the online run already beats a query there is no break-even
+      // count at all — the table says so instead of printing a sentinel.
       const double saved_per_query = online_s - query_s;
-      const double break_even =
-          saved_per_query > 0 ? build_seconds / saved_per_query : -1;
+      const bool amortizes = saved_per_query > 0;
+      const double break_even = amortizes ? build_seconds / saved_per_query : 0;
       table.add_row({name, Table::fmt(build_seconds), Table::fmt(index_mb, 1),
                      eps, Table::fmt(query_s), Table::fmt(online_s),
                      Table::fmt(query_s > 0 ? online_s / query_s : 0, 1),
-                     Table::fmt(break_even, 1)});
+                     amortizes ? Table::fmt(break_even, 1) : "n/a"});
+
+      if (!metrics_path.empty()) {
+        auto report = make_metrics_report(
+            "bench_index_vs_online", "GsIndex", name, eps, mu,
+            static_cast<std::uint64_t>(threads), "index", graph, query_run);
+        auto row = obs::metrics_to_json(report);
+        row.set("build_seconds", obs::JsonValue::number(build_seconds));
+        row.set("index_mb", obs::JsonValue::number(index_mb));
+        row.set("online_seconds", obs::JsonValue::number(online_s));
+        // A non-amortizing pair simply has no break_even_queries key —
+        // consumers must not have to know a sentinel convention.
+        if (amortizes) {
+          row.set("break_even_queries", obs::JsonValue::number(break_even));
+        }
+        metrics_rows.push_back(std::move(row));
+      }
     }
   }
   table.print(std::cout,
               "GS*-Index build-once/query-many vs ppSCAN online, mu=" +
                   std::to_string(mu));
-  std::cout << "(break-even -1 means the online run already beats a query)\n";
+  std::cout << "(break-even n/a means the online run already beats a query)\n";
+
+  if (!metrics_path.empty()) {
+    const auto doc =
+        obs::metrics_file_envelope("index_vs_online", std::move(metrics_rows));
+    const auto violation = obs::validate_metrics_file_json(doc);
+    if (!violation.empty()) {
+      std::cerr << "metrics-json: rows fail their own schema: " << violation
+                << "\n";
+      return 1;
+    }
+    std::ofstream stream(metrics_path);
+    if (!stream) {
+      std::cerr << "metrics-json: cannot open " << metrics_path
+                << " for writing\n";
+      return 1;
+    }
+    stream << doc.dump(2) << "\n";
+    std::cout << "# metrics -> " << metrics_path << " (schema v"
+              << obs::kMetricsSchemaVersion << ")\n";
+  }
   return 0;
 }

@@ -1,0 +1,269 @@
+// Serving benchmark: concurrent (ε, µ) load through serve::QueryService
+// over one shared GS*-Index (ROADMAP item 1).
+//
+// Three load shapes over an LFR community graph (default: n=65536,
+// avg-degree 32 → ~1M edges):
+//
+//   * closed/cold  — C client threads, one outstanding query each, result
+//     cache off: every answer walks the index. The honest per-query cost
+//     under concurrency.
+//   * closed/hot   — same clients, cache on, parameters pre-warmed: the
+//     repeated-parameter serving mix (dashboards re-asking the same few
+//     settings), which the service answers from the memo table.
+//   * open/hot     — a producer paces try_submit() at --offered-qps
+//     arrivals/s; refused admissions count as shed load. Latency here
+//     includes queue wait, the number an SLO actually sees.
+//
+// Every answer the harness checks is bit-identical to a fresh
+// single-threaded GsIndex::query (spot-checked before the load). Rows land
+// in --metrics-json as schema-v2 serving rows (queries[] +
+// latency_histogram) decorated with mode / queries_per_second /
+// offered_per_second keys, self-validated before writing — the committed
+// BENCH_serving.json artifact.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+#include "index/gs_index.hpp"
+#include "serve/query_service.hpp"
+#include "serve/serving_metrics.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ppscan;
+
+/// The mixed workload: every client cycles this grid, staggered by client
+/// index so concurrent batches carry different parameters.
+std::vector<ScanParams> workload_grid() {
+  std::vector<ScanParams> grid;
+  for (const std::uint64_t num : {1, 2, 3, 4}) {
+    for (const std::uint32_t mu : {2u, 5u, 8u}) {
+      ScanParams p;
+      p.eps = EpsRational{num, 5};
+      p.mu = mu;
+      grid.push_back(p);
+    }
+  }
+  return grid;
+}
+
+struct LoadRow {
+  std::string mode;
+  std::uint64_t clients = 0;
+  double offered_qps = 0;  // open loop only; 0 = closed loop
+  double elapsed = 0;
+  serve::ServiceSnapshot snap;
+
+  [[nodiscard]] double qps() const {
+    return elapsed > 0 ? static_cast<double>(snap.completed) / elapsed : 0;
+  }
+};
+
+/// Closed loop: each client keeps exactly one query outstanding.
+LoadRow run_closed_loop(const GsIndex& index, serve::ServiceOptions options,
+                        int clients, double duration_s, bool prewarm,
+                        std::string mode) {
+  serve::QueryService service(index, options);
+  const auto grid = workload_grid();
+  if (prewarm) {
+    for (const auto& params : grid) service.submit(params).get();
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::size_t i = static_cast<std::size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.submit(grid[i % grid.size()]).get();
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.join();
+  const double elapsed = timer.elapsed_s();
+  service.stop();
+
+  LoadRow row;
+  row.mode = std::move(mode);
+  row.clients = static_cast<std::uint64_t>(clients);
+  row.elapsed = elapsed;
+  row.snap = service.snapshot();
+  return row;
+}
+
+/// Open loop: arrivals paced at `offered_qps` regardless of completions;
+/// a full queue sheds the arrival instead of blocking the producer.
+LoadRow run_open_loop(const GsIndex& index, serve::ServiceOptions options,
+                      double offered_qps, double duration_s) {
+  serve::QueryService service(index, options);
+  const auto grid = workload_grid();
+  for (const auto& params : grid) service.submit(params).get();
+
+  std::vector<std::future<serve::QueryResponse>> inflight;
+  inflight.reserve(static_cast<std::size_t>(offered_qps * duration_s) + 16);
+  const auto period = std::chrono::duration<double>(1.0 / offered_qps);
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::duration<double>(duration_s);
+  WallTimer timer;
+  std::size_t i = 0;
+  for (auto next = start; next < end; next += std::chrono::duration_cast<
+           std::chrono::steady_clock::duration>(period)) {
+    std::this_thread::sleep_until(next);
+    std::future<serve::QueryResponse> f;
+    if (service.try_submit(grid[i % grid.size()], RunLimits{}, &f)) {
+      inflight.push_back(std::move(f));
+    }
+    ++i;
+  }
+  for (auto& f : inflight) f.get();
+  const double elapsed = timer.elapsed_s();
+  service.stop();
+
+  LoadRow row;
+  row.mode = "open/hot";
+  row.clients = 1;
+  row.offered_qps = offered_qps;
+  row.elapsed = elapsed;
+  row.snap = service.snapshot();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_banner(flags, "QueryService: concurrent (eps, mu) serving");
+
+  const bool smoke = flags.get_bool("smoke", false);
+  LfrParams lfr;
+  lfr.n = static_cast<VertexId>(flags.get_int("n", smoke ? 4096 : 65536));
+  lfr.avg_degree = flags.get_double("avg-degree", smoke ? 12 : 32);
+  lfr.mixing = 0.2;
+  const auto graph = lfr_like(lfr, 42);
+  const std::string dataset = "lfr-n" + std::to_string(lfr.n) + "-d" +
+                              std::to_string(static_cast<int>(lfr.avg_degree));
+  const int threads =
+      static_cast<int>(flags.get_int("threads", smoke ? 2 : 8));
+  const int clients =
+      static_cast<int>(flags.get_int("clients", smoke ? 2 : 4));
+  const double duration = flags.get_double("duration-s", smoke ? 0.3 : 3.0);
+  const double offered = flags.get_double("offered-qps", smoke ? 500 : 1200);
+  const NumaMode numa = bench::numa_flag(flags);
+
+  GsIndex::BuildOptions build;
+  build.num_threads = threads;
+  WallTimer build_timer;
+  const GsIndex index(graph, build);
+  std::cout << "# " << dataset << ": " << graph.num_vertices()
+            << " vertices, " << graph.num_edges() << " edges; index built in "
+            << build_timer.elapsed_s() << " s ("
+            << index.memory_bytes() / (1024 * 1024) << " MiB)\n";
+
+  // Spot-check before any load: a served answer must be bit-identical to a
+  // fresh single-threaded query.
+  {
+    serve::ServiceOptions check;
+    check.num_threads = threads;
+    check.cache_results = false;
+    serve::QueryService service(index, check);
+    for (const auto& params :
+         {ScanParams::make("0.2", 2), ScanParams::make("0.6", 5)}) {
+      const auto got = service.submit(params).get();
+      const auto want = index.query(params);
+      if (got.run->result.roles != want.result.roles ||
+          got.run->result.core_cluster_id != want.result.core_cluster_id ||
+          got.run->result.noncore_memberships !=
+              want.result.noncore_memberships) {
+        std::cerr << "ERROR: served answer diverged from GsIndex::query\n";
+        return 1;
+      }
+    }
+  }
+
+  serve::ServiceOptions base;
+  base.num_threads = threads;
+  base.numa = numa;
+  base.max_recorded_queries = 16;  // keep the committed queries[] small
+
+  std::vector<LoadRow> rows;
+  {
+    auto options = base;
+    options.cache_results = false;
+    rows.push_back(run_closed_loop(index, options, clients, duration,
+                                   /*prewarm=*/false, "closed/cold"));
+  }
+  {
+    auto options = base;
+    rows.push_back(run_closed_loop(index, options, clients, duration,
+                                   /*prewarm=*/true, "closed/hot"));
+  }
+  {
+    auto options = base;
+    options.queue_capacity = 256;
+    rows.push_back(run_open_loop(index, options, offered, duration));
+  }
+
+  Table table({"mode", "threads", "clients", "queries", "elapsed(s)",
+               "queries/s", "p50(ms)", "p99(ms)", "max(ms)", "hits",
+               "partial", "rejected"});
+  for (const auto& row : rows) {
+    table.add_row({row.mode, Table::fmt(std::uint64_t(threads)),
+                   Table::fmt(row.clients), Table::fmt(row.snap.completed),
+                   Table::fmt(row.elapsed), Table::fmt(row.qps(), 1),
+                   Table::fmt(row.snap.latency.quantile_ms(0.5)),
+                   Table::fmt(row.snap.latency.quantile_ms(0.99)),
+                   Table::fmt(row.snap.latency.max_ms),
+                   Table::fmt(row.snap.cache_hits),
+                   Table::fmt(row.snap.partial),
+                   Table::fmt(row.snap.rejected)});
+  }
+  table.print(std::cout, "QueryService load, " + dataset + ", " +
+                             std::to_string(threads) + " executor threads");
+
+  const auto metrics_path = flags.get_string("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::vector<obs::JsonValue> json_rows;
+    for (const auto& row : rows) {
+      auto report = serve::make_serving_report(
+          "bench_query_serving", dataset, "0.2,0.4,0.6,0.8", graph, row.snap,
+          row.elapsed);
+      auto json = obs::metrics_to_json(report);
+      json.set("mode", obs::JsonValue::string(row.mode));
+      json.set("clients", obs::JsonValue::number_u64(row.clients));
+      json.set("queries_per_second", obs::JsonValue::number(row.qps()));
+      if (row.offered_qps > 0) {
+        json.set("offered_per_second", obs::JsonValue::number(row.offered_qps));
+      }
+      json_rows.push_back(std::move(json));
+    }
+    const auto doc =
+        obs::metrics_file_envelope("serving", std::move(json_rows));
+    const auto violation = obs::validate_metrics_file_json(doc);
+    if (!violation.empty()) {
+      std::cerr << "metrics-json: rows fail their own schema: " << violation
+                << "\n";
+      return 1;
+    }
+    std::ofstream stream(metrics_path);
+    if (!stream) {
+      std::cerr << "metrics-json: cannot open " << metrics_path
+                << " for writing\n";
+      return 1;
+    }
+    stream << doc.dump(2) << "\n";
+    std::cout << "# metrics -> " << metrics_path << " (" << rows.size()
+              << " rows, schema v" << obs::kMetricsSchemaVersion << ")\n";
+  }
+  return 0;
+}

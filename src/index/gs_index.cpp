@@ -7,7 +7,6 @@
 #include "concurrent/task_scheduler.hpp"
 #include "concurrent/executor.hpp"
 #include "concurrent/run_governor.hpp"
-#include "concurrent/union_find.hpp"
 #include "obs/trace.hpp"
 #include "setops/intersect.hpp"
 #include "util/timer.hpp"
@@ -37,6 +36,21 @@ struct SigmaGreater {
   }
 };
 
+/// cn²·b² ≥ a²·P with the precomputed degree product — the same decision as
+/// similarity_holds() (setops/similarity.cpp), byte for byte: P fits u64
+/// because degrees are 32-bit, and the comparison is 128-bit either way.
+inline bool sim_from_key(const EpsRational& eps, std::uint32_t cn,
+                         std::uint64_t pk) {
+  const U128 lhs = U128(cn) * cn * eps.den * eps.den;
+  const U128 rhs = U128(eps.num) * eps.num * pk;
+  return lhs >= rhs;
+}
+
+/// How often the sequential query loops read the governor's clock: every
+/// vertex polls the token implicitly via the stride check, every 256th pays
+/// the deadline's clock read.
+constexpr VertexId kGovernPollStride = 256;
+
 }  // namespace
 
 GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
@@ -45,17 +59,26 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
   RunGovernor governor(options.limits, options.cancel);
   // Charge the index arrays against the memory budget before allocating —
   // the construction footprint is the cost the paper argues makes indexing
-  // prohibitive, so it is the natural thing to bound.
+  // prohibitive, so it is the natural thing to bound. The slot permutation
+  // is transient (only the sort needs arc ids) and is uncharged again below.
+  const auto arcs = static_cast<std::uint64_t>(graph.num_arcs());
   const std::uint64_t index_bytes =
-      static_cast<std::uint64_t>(graph.num_arcs()) *
-      (sizeof(std::uint32_t) + sizeof(EdgeId));
-  bool alloc_ok = governor.try_charge(index_bytes, "gs-index arrays");
+      arcs * (sizeof(std::uint32_t) + sizeof(VertexId) +
+              sizeof(std::uint32_t) + sizeof(std::uint64_t));
+  const std::uint64_t sort_bytes = arcs * sizeof(EdgeId);
+  std::vector<EdgeId> sort_slots;
+  bool alloc_ok = governor.try_charge(index_bytes + sort_bytes,
+                                      "gs-index arrays");
   if (alloc_ok) {
     try {
       overlap_.assign(graph.num_arcs(), 0);
-      ordered_arcs_.assign(graph.num_arcs(), 0);
+      ordered_dst_.assign(graph.num_arcs(), 0);
+      ordered_cn_.assign(graph.num_arcs(), 0);
+      ordered_pk_.assign(graph.num_arcs(), 0);
+      sort_slots.assign(graph.num_arcs(), 0);
     } catch (const std::bad_alloc&) {
-      governor.record_alloc_failure(index_bytes, "gs-index arrays");
+      governor.record_alloc_failure(index_bytes + sort_bytes,
+                                    "gs-index arrays");
       alloc_ok = false;
     }
   }
@@ -121,21 +144,36 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
           sched);
     });
 
-    // Neighbor order: per-vertex arc slots sorted by σ descending.
+    // Neighbor order: per-vertex arc slots sorted by σ descending, then
+    // flattened into the (dst, cn, P) query arrays so prefix walks never
+    // chase arc ids again. Each vertex owns its window — no races.
     phase("NeighborOrder", [&] {
       schedule_vertex_tasks(
           pool, graph_.num_vertices(), degree_of, all,
           [&](VertexId u) {
             const EdgeId begin = graph_.offset_begin(u);
             const EdgeId end = graph_.offset_end(u);
-            for (EdgeId e = begin; e < end; ++e) ordered_arcs_[e] = e;
+            for (EdgeId e = begin; e < end; ++e) sort_slots[e] = e;
             std::sort(
-                ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(begin),
-                ordered_arcs_.begin() + static_cast<std::ptrdiff_t>(end),
+                sort_slots.begin() + static_cast<std::ptrdiff_t>(begin),
+                sort_slots.begin() + static_cast<std::ptrdiff_t>(end),
                 SigmaGreater{graph_, overlap_, u});
+            const std::uint64_t du1 = std::uint64_t{graph_.degree(u)} + 1;
+            for (EdgeId e = begin; e < end; ++e) {
+              const EdgeId arc = sort_slots[e];
+              const VertexId v = graph_.dst()[arc];
+              ordered_dst_[e] = v;
+              ordered_cn_[e] = overlap_[arc];
+              ordered_pk_[e] = du1 * (std::uint64_t{graph_.degree(v)} + 1);
+            }
           },
           sched);
     });
+  }
+
+  if (!sort_slots.empty()) {
+    sort_slots = std::vector<EdgeId>();
+    governor.uncharge(sort_bytes);
   }
 
   complete_ = alloc_ok && !governor.should_stop();
@@ -146,14 +184,35 @@ GsIndex::GsIndex(const CsrGraph& graph, const BuildOptions& options)
   build_stats_.abort = governor.abort_info();
 }
 
-bool GsIndex::entry_similar(const EpsRational& eps, VertexId u,
-                            EdgeId slot) const {
-  const EdgeId arc = ordered_arcs_[slot];
-  return similarity_holds(eps, overlap_[arc], graph_.degree(u),
-                          graph_.degree(graph_.dst()[arc]));
+bool GsIndex::entry_similar(const EpsRational& eps, EdgeId slot) const {
+  return sim_from_key(eps, ordered_cn_[slot], ordered_pk_[slot]);
+}
+
+EdgeId GsIndex::prefix_boundary(const EpsRational& eps, VertexId u,
+                                std::uint32_t mu,
+                                obs::AlgoCounters& qc) const {
+  EdgeId lo = graph_.offset_begin(u) + mu;
+  EdgeId hi = graph_.offset_end(u);
+  while (lo < hi) {
+    const EdgeId mid = lo + (hi - lo) / 2;
+    qc.arcs_touched += 1;
+    qc.sims_reused += 1;
+    if (entry_similar(eps, mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 ScanRun GsIndex::query(const ScanParams& params) const {
+  QueryScratch scratch;
+  return query(params, scratch, nullptr);
+}
+
+ScanRun GsIndex::query(const ScanParams& params, QueryScratch& scratch,
+                       RunGovernor* governor) const {
   if (!complete_) {
     throw std::logic_error("GsIndex::query on aborted construction (" +
                            build_stats_.abort.describe() + ")");
@@ -161,65 +220,122 @@ ScanRun GsIndex::query(const ScanParams& params) const {
   WallTimer timer;
   const VertexId n = graph_.num_vertices();
   ScanRun run;
-  run.result.roles.assign(n, Role::NonCore);
+  obs::AlgoCounters& qc = run.stats.counters;
+  // Partial-result semantics (scan_common.hpp): roles start Unknown and the
+  // core-test phase finalizes each vertex, so a governed trip leaves the
+  // undecided suffix classified as Unknown rather than silently NonCore.
+  run.result.roles.assign(n, Role::Unknown);
   run.result.core_cluster_id.assign(n, kInvalidVertex);
+  scratch.uf.reset(n);
+  scratch.prefix_end.assign(n, 0);
+
+  // Sequential-phase plumbing mirroring the governed algorithms: enter,
+  // re-check (cancel_at_phase trips on entry), run, count the barrier only
+  // when the body was not tripped mid-loop.
+  const auto phase = [&](const char* name, auto&& body) {
+    if (governor == nullptr) {
+      body();
+      return;
+    }
+    if (governor->should_stop()) return;
+    governor->enter_phase(name);
+    if (governor->should_stop()) return;
+    body();
+    if (!governor->should_stop()) governor->finish_phase();
+  };
+  const auto tripped = [&](VertexId u) {
+    return governor != nullptr && (u % kGovernPollStride) == 0 &&
+           governor->poll_deadline();
+  };
 
   // Core test: the µ-th most similar neighbor decides (O(1) per vertex).
-  for (VertexId u = 0; u < n; ++u) {
-    if (graph_.degree(u) < params.mu) continue;
-    const EdgeId slot = graph_.offset_begin(u) + params.mu - 1;
-    if (entry_similar(params.eps, u, slot)) {
-      run.result.roles[u] = Role::Core;
+  // The consulted entry is one stored-similarity decision: touched+reused.
+  phase("QCoreTest", [&] {
+    for (VertexId u = 0; u < n; ++u) {
+      if (tripped(u)) return;
+      if (graph_.degree(u) < params.mu) {
+        run.result.roles[u] = Role::NonCore;
+        continue;
+      }
+      const EdgeId slot = graph_.offset_begin(u) + params.mu - 1;
+      qc.arcs_touched += 1;
+      qc.sims_reused += 1;
+      run.result.roles[u] =
+          entry_similar(params.eps, slot) ? Role::Core : Role::NonCore;
     }
-  }
+  });
 
-  // Core clustering: walk only the ε-similar prefix of each core's
-  // neighbor order — the index's whole point.
-  UnionFind uf(n);
-  for (VertexId u = 0; u < n; ++u) {
-    if (run.result.roles[u] != Role::Core) continue;
-    for (EdgeId slot = graph_.offset_begin(u); slot < graph_.offset_end(u);
-         ++slot) {
-      if (!entry_similar(params.eps, u, slot)) break;  // sorted: all done
-      const VertexId v = graph_.dst()[ordered_arcs_[slot]];
-      if (u < v && run.result.roles[v] == Role::Core) {
-        run.stats.counters.uf_unions += uf.unite(u, v) ? 1 : 0;
+  // Core clustering: binary-search each core's ε-prefix boundary (the order
+  // is σ-descending, so the boundary is the partition point), then union
+  // along core–core prefix entries. Each consumed prefix entry is a stored
+  // similarity the query relies on — counted as touched+reused, which is
+  // what makes the funnel invariant meaningful for index queries.
+  phase("QCoreCluster", [&] {
+    for (VertexId u = 0; u < n; ++u) {
+      if (tripped(u)) return;
+      if (run.result.roles[u] != Role::Core) continue;
+      const EdgeId begin = graph_.offset_begin(u);
+      const EdgeId pe = prefix_boundary(params.eps, u, params.mu, qc);
+      scratch.prefix_end[u] = pe;
+      qc.arcs_touched += pe - begin;
+      qc.sims_reused += pe - begin;
+      for (EdgeId slot = begin; slot < pe; ++slot) {
+        const VertexId v = ordered_dst_[slot];
+        if (u < v && run.result.roles[v] == Role::Core) {
+          qc.uf_unions += scratch.uf.unite(u, v) ? 1 : 0;
+        }
       }
     }
-  }
+  });
 
-  std::vector<VertexId> cluster_id(n, kInvalidVertex);
-  obs::AlgoCounters& qc = run.stats.counters;
-  for (VertexId u = 0; u < n; ++u) {
-    if (run.result.roles[u] != Role::Core) continue;
-    qc.uf_finds += 1;
-    const VertexId root = uf.find_counted(u, &qc.uf_find_steps);
-    cluster_id[root] = std::min(cluster_id[root], u);
-  }
-  for (VertexId u = 0; u < n; ++u) {
-    if (run.result.roles[u] != Role::Core) continue;
-    qc.uf_finds += 1;
-    run.result.core_cluster_id[u] =
-        cluster_id[uf.find_counted(u, &qc.uf_find_steps)];
-    for (EdgeId slot = graph_.offset_begin(u); slot < graph_.offset_end(u);
-         ++slot) {
-      if (!entry_similar(params.eps, u, slot)) break;
-      const VertexId v = graph_.dst()[ordered_arcs_[slot]];
-      if (run.result.roles[v] != Role::Core) {
-        run.result.noncore_memberships.emplace_back(
-            v, cluster_id[uf.find(u)]);
+  // Cluster ids: the smallest core id in each set, the convention every
+  // algorithm in the library shares.
+  phase("QLabelCores", [&] {
+    scratch.cluster_label.assign(n, kInvalidVertex);
+    for (VertexId u = 0; u < n; ++u) {
+      if (tripped(u)) return;
+      if (run.result.roles[u] != Role::Core) continue;
+      qc.uf_finds += 1;
+      const VertexId root = scratch.uf.find_counted(u, &qc.uf_find_steps);
+      scratch.cluster_label[root] =
+          std::min(scratch.cluster_label[root], u);
+    }
+  });
+
+  // Membership: label each core and attach its ε-similar non-core prefix
+  // neighbors. The cluster id is resolved once per core — the per-neighbor
+  // uf.find() this loop used to make was both redundant (same root as two
+  // lines above) and invisible to the uf_finds/uf_find_steps funnel.
+  phase("QMembership", [&] {
+    for (VertexId u = 0; u < n; ++u) {
+      if (tripped(u)) return;
+      if (run.result.roles[u] != Role::Core) continue;
+      qc.uf_finds += 1;
+      const VertexId cid =
+          scratch
+              .cluster_label[scratch.uf.find_counted(u, &qc.uf_find_steps)];
+      run.result.core_cluster_id[u] = cid;
+      for (EdgeId slot = graph_.offset_begin(u);
+           slot < scratch.prefix_end[u]; ++slot) {
+        const VertexId v = ordered_dst_[slot];
+        if (run.result.roles[v] != Role::Core) {
+          run.result.noncore_memberships.emplace_back(v, cid);
+        }
       }
     }
-  }
+  });
 
   run.result.normalize();
   run.stats.total_seconds = timer.elapsed_s();
+  if (governor != nullptr) record_governance(*governor, run.stats);
   return run;
 }
 
 std::uint64_t GsIndex::memory_bytes() const {
   return overlap_.size() * sizeof(std::uint32_t) +
-         ordered_arcs_.size() * sizeof(EdgeId);
+         ordered_dst_.size() * sizeof(VertexId) +
+         ordered_cn_.size() * sizeof(std::uint32_t) +
+         ordered_pk_.size() * sizeof(std::uint64_t);
 }
 
 }  // namespace ppscan

@@ -6,7 +6,7 @@
 // alternative to ppSCAN and argues its construction cost — an exhaustive
 // similarity computation over every edge — is prohibitive on massive
 // graphs. This module implements the index so that trade-off can be
-// measured rather than asserted (bench_index_vs_online):
+// measured rather than asserted (bench_index_vs_online, serve/):
 //
 //   * Construction intersects every edge once (parallel, SIMD exact count)
 //     and sorts each vertex's neighbors by similarity descending
@@ -14,17 +14,22 @@
 //   * A query decides coreness in O(1) per vertex — the µ-th most similar
 //     neighbor's σ against ε — and walks only ε-similar prefixes of the
 //     neighbor orders for the clustering, so query time scales with the
-//     result size rather than with |E|.
+//     result size rather than with |E|. Because the neighbor order is
+//     sorted by σ descending, the ε-prefix boundary of each core is found
+//     by binary search (O(log d) exact tests) instead of testing every
+//     prefix entry.
 //
-// Similarities are kept exact: per arc we store the closed-neighborhood
-// overlap cn = |Γ(u)∩Γ(v)|, and σ(u,v) ≥ a/b is evaluated as
-// cn²b² ≥ a²(d_u+1)(d_v+1) in 128-bit arithmetic — identical decisions to
-// every other algorithm in the library.
+// Similarities are kept exact: per neighbor-order slot we store the
+// closed-neighborhood overlap cn = |Γ(u)∩Γ(v)| and the product
+// P = (d_u+1)(d_v+1), and σ(u,v) ≥ a/b is evaluated as cn²b² ≥ a²P in
+// 128-bit arithmetic — identical decisions to every other algorithm in the
+// library.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "concurrent/union_find.hpp"
 #include "graph/csr_graph.hpp"
 #include "scan/scan_common.hpp"
 #include "setops/intersect.hpp"
@@ -58,6 +63,23 @@ class GsIndex {
     RunAborted abort;
   };
 
+  /// Reusable per-caller query state. A fresh query() call used to allocate
+  /// a full-graph union-find plus label/boundary arrays every time; a
+  /// long-lived caller (serve::QueryService keeps one per executor worker)
+  /// passes the same scratch to every query so the buffers are reset, not
+  /// reallocated. A default-constructed scratch is valid for any graph —
+  /// query() sizes it on entry.
+  struct QueryScratch {
+    UnionFind uf;
+    /// Per-vertex one-past-the-end neighbor-order slot of the ε-similar
+    /// prefix; written for cores during the clustering phase and reused by
+    /// the membership phase. Meaningless for non-cores.
+    std::vector<EdgeId> prefix_end;
+    /// Per-root minimum core id, the cluster-id convention shared with the
+    /// other algorithms.
+    std::vector<VertexId> cluster_label;
+  };
+
   /// Builds the index: one exact intersection per edge plus the per-vertex
   /// similarity sort. The referenced graph must outlive the index.
   GsIndex(const CsrGraph& graph, const BuildOptions& options);
@@ -69,14 +91,26 @@ class GsIndex {
   /// neighbor order would answer queries wrongly, not partially).
   [[nodiscard]] ScanRun query(const ScanParams& params) const;
 
+  /// Governed query: same answers, but scratch buffers are caller-pooled
+  /// and an optional per-query governor applies the library's partial-result
+  /// semantics (scan_common.hpp) to the query itself — a deadline or
+  /// cancel trip returns a labeled partial run whose decided portion is
+  /// final. Phases, in cancel_at_phase ordinal order: QCoreTest,
+  /// QCoreCluster, QLabelCores, QMembership. `governor` may be null.
+  [[nodiscard]] ScanRun query(const ScanParams& params, QueryScratch& scratch,
+                              RunGovernor* governor) const;
+
   /// False when a governed construction hit a limit; build_stats().abort
   /// says why. An incomplete index refuses queries.
   [[nodiscard]] bool complete() const { return complete_; }
 
   [[nodiscard]] const BuildStats& build_stats() const { return build_stats_; }
 
-  /// Index memory footprint (neighbor-order arrays), for the construction
-  /// cost discussion.
+  /// The graph this index answers queries for.
+  [[nodiscard]] const CsrGraph& graph() const { return graph_; }
+
+  /// Index memory footprint (overlap + neighbor-order arrays), for the
+  /// construction cost discussion.
   [[nodiscard]] std::uint64_t memory_bytes() const;
 
   /// Exact closed-neighborhood overlap |Γ(u)∩Γ(v)| of arc `e` (testing).
@@ -85,16 +119,29 @@ class GsIndex {
   }
 
  private:
-  /// σ(u, nbr_order entry) ≥ ε test via the stored overlap.
-  [[nodiscard]] bool entry_similar(const EpsRational& eps, VertexId u,
-                                   EdgeId slot) const;
+  /// σ(neighbor-order entry `slot`) ≥ ε via the stored (cn, P) key.
+  [[nodiscard]] bool entry_similar(const EpsRational& eps, EdgeId slot) const;
+
+  /// One-past-the-end slot of core `u`'s ε-similar prefix, by binary search
+  /// over the σ-descending neighbor order. Entries [begin, begin+µ) are
+  /// known similar for a core, so the search covers [begin+µ, end). Every
+  /// probe is an index-entry similarity decision and is counted as
+  /// arcs_touched + sims_reused.
+  [[nodiscard]] EdgeId prefix_boundary(const EpsRational& eps, VertexId u,
+                                       std::uint32_t mu,
+                                       obs::AlgoCounters& qc) const;
 
   const CsrGraph& graph_;
-  /// cn per directed arc, aligned with the CSR dst array.
+  /// cn per directed arc, aligned with the CSR dst array (arc_overlap()).
   std::vector<std::uint32_t> overlap_;
-  /// Neighbor order: per vertex, its arc slots re-ordered by σ descending;
-  /// ordered_arcs_[off] indexes into graph.dst()/overlap_.
-  std::vector<EdgeId> ordered_arcs_;
+  /// Neighbor order, one entry per arc slot, each vertex's window re-ordered
+  /// by σ descending. Three parallel arrays so a prefix walk is sequential
+  /// loads with no indirection back through the CSR: the neighbor itself,
+  /// its overlap cn, and the degree product P = (d_u+1)(d_v+1) that
+  /// entry_similar needs.
+  std::vector<VertexId> ordered_dst_;
+  std::vector<std::uint32_t> ordered_cn_;
+  std::vector<std::uint64_t> ordered_pk_;
   BuildStats build_stats_;
   bool complete_ = false;
 };

@@ -1,6 +1,7 @@
 #include "obs/metrics_json.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace ppscan::obs {
 namespace {
@@ -97,6 +98,57 @@ std::string validate_per_node(const JsonValue& arr) {
   return "";
 }
 
+// The optional serving block: `queries[]` row keys and their types, and
+// the `latency_histogram` scalar keys. Both are additive v2 extensions —
+// validated only when the key is present, so non-serving rows never carry
+// (or pay for) them.
+constexpr FieldSpec kQueryRowSpec[] = {
+    {"id", FieldType::U64},
+    {"eps", FieldType::String},
+    {"mu", FieldType::U64},
+    {"latency_ms", FieldType::Double},
+    {"num_clusters", FieldType::U64},
+    {"num_cores", FieldType::U64},
+    {"abort_reason", FieldType::String},
+};
+
+constexpr FieldSpec kHistogramSpec[] = {
+    {"count", FieldType::U64},       {"p50_ms", FieldType::Double},
+    {"p90_ms", FieldType::Double},   {"p99_ms", FieldType::Double},
+    {"max_ms", FieldType::Double},
+};
+
+JsonValue query_row_to_json(const QueryRowMetrics& q) {
+  JsonValue o = JsonValue::object();
+  o.set("id", JsonValue::number_u64(q.id));
+  o.set("eps", JsonValue::string(q.eps));
+  o.set("mu", JsonValue::number_u64(q.mu));
+  o.set("latency_ms", JsonValue::number(q.latency_ms));
+  o.set("num_clusters", JsonValue::number_u64(q.num_clusters));
+  o.set("num_cores", JsonValue::number_u64(q.num_cores));
+  o.set("abort_reason", JsonValue::string(q.abort_reason));
+  o.set("cache_hit", JsonValue::boolean(q.cache_hit));
+  return o;
+}
+
+JsonValue histogram_to_json(const LatencyHistogramMetrics& h) {
+  JsonValue o = JsonValue::object();
+  o.set("count", JsonValue::number_u64(h.count));
+  o.set("p50_ms", JsonValue::number(h.p50_ms));
+  o.set("p90_ms", JsonValue::number(h.p90_ms));
+  o.set("p99_ms", JsonValue::number(h.p99_ms));
+  o.set("max_ms", JsonValue::number(h.max_ms));
+  JsonValue buckets = JsonValue::array();
+  for (const LatencyBucketMetrics& b : h.buckets) {
+    JsonValue e = JsonValue::object();
+    e.set("le_us", JsonValue::number(b.le_us));
+    e.set("count", JsonValue::number_u64(b.count));
+    buckets.push(std::move(e));
+  }
+  o.set("buckets", std::move(buckets));
+  return o;
+}
+
 std::string type_name(FieldType t) {
   switch (t) {
     case FieldType::String:
@@ -120,6 +172,58 @@ bool type_matches(const JsonValue& v, FieldType t) {
       return v.is_number();
   }
   return false;
+}
+
+std::string validate_queries(const JsonValue& arr) {
+  if (!arr.is_array()) return "key 'queries' is not an array";
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const JsonValue& q = arr.at(i);
+    const std::string where = "queries[" + std::to_string(i) + "]";
+    if (!q.is_object()) return where + " is not an object";
+    for (const FieldSpec& f : kQueryRowSpec) {
+      if (!q.has(f.key) || !type_matches(q.at(f.key), f.type)) {
+        return where + " missing " + type_name(f.type) + " '" + f.key + "'";
+      }
+    }
+    if (!q.has("cache_hit") || !q.at("cache_hit").is_bool()) {
+      return where + " missing boolean 'cache_hit'";
+    }
+  }
+  return "";
+}
+
+std::string validate_latency_histogram(const JsonValue& h) {
+  if (!h.is_object()) return "key 'latency_histogram' is not an object";
+  for (const FieldSpec& f : kHistogramSpec) {
+    if (!h.has(f.key) || !type_matches(h.at(f.key), f.type)) {
+      return std::string("latency_histogram missing ") + type_name(f.type) +
+             " '" + f.key + "'";
+    }
+  }
+  if (!h.has("buckets") || !h.at("buckets").is_array()) {
+    return "latency_histogram missing array 'buckets'";
+  }
+  const JsonValue& buckets = h.at("buckets");
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const JsonValue& b = buckets.at(i);
+    const std::string where =
+        "latency_histogram.buckets[" + std::to_string(i) + "]";
+    if (!b.is_object()) return where + " is not an object";
+    if (!b.has("le_us") || !b.at("le_us").is_number()) {
+      return where + " missing number 'le_us'";
+    }
+    if (!b.has("count") || !b.at("count").is_number() ||
+        !b.at("count").is_integer()) {
+      return where + " missing unsigned 'count'";
+    }
+    sum += b.at("count").as_u64();
+  }
+  if (sum != h.at("count").as_u64()) {
+    return "latency_histogram bucket counts sum to " + std::to_string(sum) +
+           " but count=" + std::to_string(h.at("count").as_u64());
+  }
+  return "";
 }
 
 }  // namespace
@@ -176,6 +280,17 @@ JsonValue metrics_to_json(const MetricsReport& r) {
   o.set("uf_unions", JsonValue::number_u64(r.counters.uf_unions));
   o.set("uf_finds", JsonValue::number_u64(r.counters.uf_finds));
   o.set("uf_find_steps", JsonValue::number_u64(r.counters.uf_find_steps));
+  // Optional serving block: only serving rows carry it (see the header).
+  if (!r.queries.empty()) {
+    JsonValue queries = JsonValue::array();
+    for (const QueryRowMetrics& q : r.queries) {
+      queries.push(query_row_to_json(q));
+    }
+    o.set("queries", std::move(queries));
+  }
+  if (r.latency.count > 0) {
+    o.set("latency_histogram", histogram_to_json(r.latency));
+  }
   return o;
 }
 
@@ -186,6 +301,17 @@ JsonValue metrics_file_json(const std::string& figure,
   doc.set("figure", JsonValue::string(figure));
   JsonValue arr = JsonValue::array();
   for (const MetricsReport& r : rows) arr.push(metrics_to_json(r));
+  doc.set("rows", std::move(arr));
+  return doc;
+}
+
+JsonValue metrics_file_envelope(const std::string& figure,
+                                std::vector<JsonValue> rows) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", JsonValue::number_u64(kMetricsSchemaVersion));
+  doc.set("figure", JsonValue::string(figure));
+  JsonValue arr = JsonValue::array();
+  for (JsonValue& r : rows) arr.push(std::move(r));
   doc.set("rows", std::move(arr));
   return doc;
 }
@@ -221,6 +347,15 @@ std::string validate_metrics_json(const JsonValue& row) {
     return "funnel invariant violated: arcs_touched=" +
            std::to_string(touched) + " but pruned+computed+reused=" +
            std::to_string(decided);
+  }
+  if (row.has("queries")) {
+    const std::string queries_err = validate_queries(row.at("queries"));
+    if (!queries_err.empty()) return queries_err;
+  }
+  if (row.has("latency_histogram")) {
+    const std::string histogram_err =
+        validate_latency_histogram(row.at("latency_histogram"));
+    if (!histogram_err.empty()) return histogram_err;
   }
   return "";
 }
@@ -306,6 +441,37 @@ MetricsReport metrics_from_json(const JsonValue& row) {
   r.counters.uf_unions = row.at("uf_unions").as_u64();
   r.counters.uf_finds = row.at("uf_finds").as_u64();
   r.counters.uf_find_steps = row.at("uf_find_steps").as_u64();
+  if (row.has("queries")) {
+    const JsonValue& queries = row.at("queries");
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const JsonValue& q = queries.at(i);
+      QueryRowMetrics qr;
+      qr.id = q.at("id").as_u64();
+      qr.eps = q.at("eps").as_string();
+      qr.mu = q.at("mu").as_u64();
+      qr.latency_ms = q.at("latency_ms").as_double();
+      qr.num_clusters = q.at("num_clusters").as_u64();
+      qr.num_cores = q.at("num_cores").as_u64();
+      qr.abort_reason = q.at("abort_reason").as_string();
+      qr.cache_hit = q.at("cache_hit").as_bool();
+      r.queries.push_back(std::move(qr));
+    }
+  }
+  if (row.has("latency_histogram")) {
+    const JsonValue& h = row.at("latency_histogram");
+    r.latency.count = h.at("count").as_u64();
+    r.latency.p50_ms = h.at("p50_ms").as_double();
+    r.latency.p90_ms = h.at("p90_ms").as_double();
+    r.latency.p99_ms = h.at("p99_ms").as_double();
+    r.latency.max_ms = h.at("max_ms").as_double();
+    const JsonValue& buckets = h.at("buckets");
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      LatencyBucketMetrics b;
+      b.le_us = buckets.at(i).at("le_us").as_double();
+      b.count = buckets.at(i).at("count").as_u64();
+      r.latency.buckets.push_back(b);
+    }
+  }
   return r;
 }
 

@@ -23,6 +23,36 @@ namespace ppscan::obs {
 /// schema version table in docs/observability.md.
 inline constexpr std::uint64_t kMetricsSchemaVersion = 2;
 
+/// One `queries[]` entry of a serving row (serve/query_service.hpp's
+/// QueryRecord, rendered): the per-query latency/result/abort record the
+/// serving benchmarks commit.
+struct QueryRowMetrics {
+  std::uint64_t id = 0;
+  std::string eps;
+  std::uint64_t mu = 0;
+  double latency_ms = 0;
+  std::uint64_t num_clusters = 0;
+  std::uint64_t num_cores = 0;
+  std::string abort_reason = "none";
+  bool cache_hit = false;
+};
+
+/// The serving latency distribution: geometric buckets (upper bound in µs)
+/// plus the quantiles the benches report. Bucket list carries only
+/// non-empty buckets; their counts must sum to `count` (validated).
+struct LatencyBucketMetrics {
+  double le_us = 0;
+  std::uint64_t count = 0;
+};
+struct LatencyHistogramMetrics {
+  std::uint64_t count = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  std::vector<LatencyBucketMetrics> buckets;
+};
+
 /// Everything one metrics row carries. Deliberately plain data — the
 /// adapter from an algorithm's RunStats lives in
 /// src/bench_support/metrics.hpp so obs stays dependency-free.
@@ -79,6 +109,14 @@ struct MetricsReport {
 
   // Pruning funnel.
   AlgoCounters counters;
+
+  // Serving block (v2, additive + optional): present only on rows emitted
+  // by the serving layer (bench_query_serving, ppscan_cli serve). The
+  // serializer omits `queries` when empty and `latency_histogram` when
+  // latency.count == 0; the validator checks both only when present, so
+  // every pre-serving consumer and producer is untouched.
+  std::vector<QueryRowMetrics> queries;
+  LatencyHistogramMetrics latency;
 };
 
 /// Serializes one report as a schema-v2 object (includes
@@ -90,11 +128,19 @@ struct MetricsReport {
 [[nodiscard]] JsonValue metrics_file_json(const std::string& figure,
                                           const std::vector<MetricsReport>& rows);
 
+/// Same envelope around already-serialized row objects — for harnesses
+/// that decorate metrics_to_json() rows with extra (validator-ignored)
+/// keys such as queries_per_second before filing them.
+[[nodiscard]] JsonValue metrics_file_envelope(const std::string& figure,
+                                              std::vector<JsonValue> rows);
+
 /// Validates one row object against the documented v2 schema: every
 /// required key present with the right JSON type, schema_version == 2,
 /// the per_node array well-formed, the steal split consistent
-/// (same_node + remote == steals), and the funnel invariant
-/// pruned + computed + reused == touched.
+/// (same_node + remote == steals), the funnel invariant
+/// pruned + computed + reused == touched, and — when present — the
+/// optional serving block (`queries` rows well-typed, `latency_histogram`
+/// bucket counts summing to its count).
 /// Returns "" when valid, else the first violation (for test messages).
 [[nodiscard]] std::string validate_metrics_json(const JsonValue& row);
 

@@ -1,0 +1,388 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ppscan::serve {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::string eps_text(const EpsRational& eps) {
+  return std::to_string(eps.num) + "/" + std::to_string(eps.den);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double latency_ms) {
+  const double us = latency_ms * 1000.0;
+  std::size_t bucket = 0;
+  double bound = 1.0;
+  while (bucket + 1 < kBuckets && us > bound) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  counts[bucket] += 1;
+  total += 1;
+  max_ms = std::max(max_ms, latency_ms);
+}
+
+double LatencyHistogram::quantile_ms(double q) const {
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      const double bound_ms = bucket_le_us(i) / 1000.0;
+      // The unbounded-in-spirit tail reports the true maximum instead of
+      // its nominal bound.
+      return i + 1 == kBuckets ? std::max(bound_ms, max_ms)
+                               : std::min(bound_ms, max_ms);
+    }
+  }
+  return max_ms;
+}
+
+double LatencyHistogram::bucket_le_us(std::size_t i) {
+  return static_cast<double>(std::uint64_t{1} << i);
+}
+
+QueryService::QueryService(const GsIndex& index, ServiceOptions options)
+    : index_(index),
+      options_(options),
+      start_time_(std::chrono::steady_clock::now()),
+      queue_(options.queue_capacity) {
+  if (!index_.complete()) {
+    throw std::logic_error(
+        "QueryService: refusing an aborted index construction");
+  }
+  if (options_.numa == NumaMode::Auto) {
+    topo_ = options_.topology != nullptr ? *options_.topology
+                                         : detect_topology();
+    executor_ = std::make_unique<Executor>(options_.num_threads, topo_,
+                                           /*pin_workers=*/true);
+  } else {
+    executor_ = std::make_unique<Executor>(options_.num_threads);
+  }
+  // Worker slots 0..N-1 plus the master fallback (current_worker() == -1).
+  scratch_.resize(static_cast<std::size_t>(options_.num_threads) + 1);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+QueryService::~QueryService() {
+  stop();
+  // Requests that raced a concurrent submit() past the final drain are
+  // destroyed with their promise unfulfilled — the waiter sees
+  // broken_promise rather than a hang.
+  executor_.reset();
+}
+
+std::future<QueryResponse> QueryService::submit(const ScanParams& params) {
+  return submit(params, options_.default_limits);
+}
+
+std::future<QueryResponse> QueryService::submit(const ScanParams& params,
+                                                const RunLimits& limits) {
+  Request request;
+  request.params = params;
+  request.limits = limits;
+  request.submit_time = std::chrono::steady_clock::now();
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return enqueue(std::move(request));
+}
+
+bool QueryService::try_submit(const ScanParams& params,
+                              const RunLimits& limits,
+                              std::future<QueryResponse>* out) {
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("QueryService::try_submit after stop()");
+  }
+  Request request;
+  request.params = params;
+  request.limits = limits;
+  request.submit_time = std::chrono::steady_clock::now();
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ += 1;
+  }
+  // Admission-side cache probe: a memoized result answers without touching
+  // the queue at all (and cannot be refused — the whole point of caching).
+  if (options_.cache_results) {
+    const CacheKey key{params.eps.num, params.eps.den, params.mu};
+    if (auto hit = cache_lookup(key)) {
+      respond(request, std::move(hit->run), /*cache_hit=*/true, 0.0,
+              hit->num_clusters, hit->num_cores);
+      *out = std::move(future);
+      return true;
+    }
+  }
+  if (!queue_.try_enqueue(std::move(request))) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ -= 1;  // refused, not admitted
+    rejected_ += 1;
+    return false;
+  }
+  submitted_epoch_.fetch_add(1, std::memory_order_release);
+  submitted_epoch_.notify_one();
+  *out = std::move(future);
+  return true;
+}
+
+std::future<QueryResponse> QueryService::enqueue(Request request) {
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("QueryService::submit after stop()");
+  }
+  auto future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ += 1;
+  }
+  if (options_.cache_results) {
+    const CacheKey key{request.params.eps.num, request.params.eps.den,
+                       request.params.mu};
+    if (auto hit = cache_lookup(key)) {
+      respond(request, std::move(hit->run), /*cache_hit=*/true, 0.0,
+              hit->num_clusters, hit->num_cores);
+      return future;
+    }
+  }
+  for (;;) {
+    const std::uint64_t epoch =
+        drained_epoch_.load(std::memory_order_acquire);
+    if (queue_.try_enqueue(std::move(request))) break;
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      throw std::runtime_error("QueryService::submit after stop()");
+    }
+    // Backpressure: park until the dispatcher drains a batch. The epoch
+    // was read before the failed attempt, so a drain that lands in between
+    // changes the word and the wait returns immediately.
+    drained_epoch_.wait(epoch, std::memory_order_acquire);
+  }
+  submitted_epoch_.fetch_add(1, std::memory_order_release);
+  submitted_epoch_.notify_one();
+  return future;
+}
+
+void QueryService::dispatcher_loop() {
+  std::vector<Request> batch;
+  batch.reserve(options_.max_batch);
+  std::vector<TaskRange> tasks(options_.max_batch);
+
+  for (;;) {
+    batch.clear();
+    Request request;
+    while (batch.size() < options_.max_batch &&
+           queue_.try_dequeue(&request)) {
+      batch.push_back(std::move(request));
+    }
+    if (batch.empty()) {
+      // Read the park word first: an enqueue that lands after this load
+      // bumps the epoch and the wait falls through (no missed wakeup).
+      const std::uint64_t epoch =
+          submitted_epoch_.load(std::memory_order_acquire);
+      if (queue_.try_dequeue(&request)) {
+        batch.push_back(std::move(request));
+      } else if (stop_requested_.load(std::memory_order_acquire)) {
+        return;
+      } else {
+        submitted_epoch_.wait(epoch, std::memory_order_acquire);
+        continue;
+      }
+    }
+    // Space freed: release any producer parked on backpressure.
+    drained_epoch_.fetch_add(1, std::memory_order_release);
+    drained_epoch_.notify_all();
+
+    // One task per request; the work-stealing executor balances the batch
+    // across workers (this thread is the executor's master and parks in
+    // run()'s barrier).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto v = static_cast<VertexId>(i);
+      tasks[i] = TaskRange{v, static_cast<VertexId>(v + 1)};
+    }
+    auto body = [&](VertexId beg, VertexId end) {
+      for (VertexId i = beg; i < end; ++i) execute(batch[i]);
+    };
+    executor_->run(tasks.data(), batch.size(), body);
+  }
+}
+
+void QueryService::execute(Request& request) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  const CacheKey key{request.params.eps.num, request.params.eps.den,
+                     request.params.mu};
+  if (options_.cache_results) {
+    // Second probe: an earlier query in this or a previous batch may have
+    // populated the entry since admission.
+    if (auto hit = cache_lookup(key)) {
+      respond(request, std::move(hit->run), /*cache_hit=*/true, 0.0,
+              hit->num_clusters, hit->num_cores);
+      return;
+    }
+  }
+
+  RunLimits limits = request.limits;
+  bool admission_expired = false;
+  if (limits.deadline.count() > 0) {
+    // The deadline governs submission → delivery, so queue wait counts:
+    // hand the governor only what is left.
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            exec_start - request.submit_time);
+    if (waited >= limits.deadline) {
+      admission_expired = true;
+    } else {
+      limits.deadline -= waited;
+    }
+  }
+
+  if (admission_expired) {
+    auto run = std::make_shared<const ScanRun>(admission_aborted_run());
+    respond(request, std::move(run), /*cache_hit=*/false, 0.0, 0, 0);
+    return;
+  }
+
+  const int worker = executor_->current_worker();
+  GsIndex::QueryScratch& scratch =
+      scratch_[worker >= 0 ? static_cast<std::size_t>(worker)
+                           : scratch_.size() - 1];
+  RunGovernor governor(limits, nullptr);
+  ScanRun result = index_.query(request.params, scratch, &governor);
+  const double exec_seconds =
+      seconds_between(exec_start, std::chrono::steady_clock::now());
+  const bool complete = !result.partial();
+  const std::uint64_t clusters = result.result.num_clusters();
+  const std::uint64_t cores = result.result.num_cores();
+  auto run = std::make_shared<const ScanRun>(std::move(result));
+  // Only complete runs are memoizable — a partial is an artifact of this
+  // query's budget, not a property of (ε, µ).
+  if (complete && options_.cache_results) {
+    cache_store(key, {run, clusters, cores});
+  }
+  respond(request, std::move(run), /*cache_hit=*/false, exec_seconds,
+          clusters, cores);
+}
+
+void QueryService::respond(Request& request,
+                           std::shared_ptr<const ScanRun> run, bool cache_hit,
+                           double execute_seconds, std::uint64_t num_clusters,
+                           std::uint64_t num_cores) {
+  QueryResponse response;
+  response.latency_seconds = seconds_between(
+      request.submit_time, std::chrono::steady_clock::now());
+  response.execute_seconds = execute_seconds;
+  response.cache_hit = cache_hit;
+  response.id = request.id;
+  response.run = std::move(run);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    completed_ += 1;
+    if (cache_hit) cache_hits_ += 1;
+    if (response.run->partial()) partial_ += 1;
+    if (!cache_hit) counters_ += response.run->stats.counters;
+    const double ms = response.latency_seconds * 1e3;
+    latency_.record(ms);
+    if (options_.max_recorded_queries > 0) {
+      QueryRecord record;
+      record.id = request.id;
+      record.eps = eps_text(request.params.eps);
+      record.mu = request.params.mu;
+      record.latency_ms = ms;
+      record.num_clusters = num_clusters;
+      record.num_cores = num_cores;
+      record.abort_reason = response.run->stats.abort_reason;
+      record.cache_hit = cache_hit;
+      if (recent_.size() < options_.max_recorded_queries) {
+        recent_.push_back(std::move(record));
+      } else {
+        recent_[recent_head_] = std::move(record);
+        recent_head_ = (recent_head_ + 1) % recent_.size();
+      }
+    }
+  }
+  // Fulfill outside the lock: the waiting thread may run immediately.
+  request.promise.set_value(std::move(response));
+}
+
+std::optional<QueryService::CachedResult> QueryService::cache_lookup(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void QueryService::cache_store(const CacheKey& key, CachedResult value) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_.size() >= options_.cache_capacity &&
+      cache_.find(key) == cache_.end()) {
+    // Wholesale eviction: parameter spaces are tiny, an LRU chain would be
+    // bookkeeping for its own sake.
+    cache_.clear();
+  }
+  cache_[key] = std::move(value);
+}
+
+ScanRun QueryService::admission_aborted_run() const {
+  ScanRun run;
+  const VertexId n = index_.graph().num_vertices();
+  run.result.roles.assign(n, Role::Unknown);
+  run.result.core_cluster_id.assign(n, kInvalidVertex);
+  run.stats.abort_reason = AbortReason::DeadlineExpired;
+  run.stats.abort_phase = "QAdmission";
+  return run;
+}
+
+void QueryService::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  stop_requested_.store(true, std::memory_order_release);
+  submitted_epoch_.fetch_add(1, std::memory_order_release);
+  submitted_epoch_.notify_all();
+  dispatcher_.join();
+  // Unblock producers parked on backpressure; their retry observes the
+  // stop flag and throws.
+  drained_epoch_.fetch_add(1, std::memory_order_release);
+  drained_epoch_.notify_all();
+  // Lossless shutdown for everything that made it into the queue: requests
+  // the dispatcher never saw are answered here, on the stopping thread
+  // (current_worker() == -1 → master scratch slot, no concurrency left).
+  Request request;
+  while (queue_.try_dequeue(&request)) execute(request);
+}
+
+ServiceSnapshot QueryService::snapshot() const {
+  ServiceSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snap.submitted = submitted_;
+    snap.completed = completed_;
+    snap.cache_hits = cache_hits_;
+    snap.rejected = rejected_;
+    snap.partial = partial_;
+    snap.counters = counters_;
+    snap.latency = latency_;
+    snap.recent.reserve(recent_.size());
+    for (std::size_t i = 0; i < recent_.size(); ++i) {
+      snap.recent.push_back(recent_[(recent_head_ + i) % recent_.size()]);
+    }
+  }
+  snap.uptime_seconds =
+      seconds_between(start_time_, std::chrono::steady_clock::now());
+  snap.numa_mode = to_string(options_.numa);
+  snap.numa_nodes = static_cast<std::uint64_t>(executor_->num_nodes());
+  snap.num_threads = options_.num_threads;
+  return snap;
+}
+
+}  // namespace ppscan::serve

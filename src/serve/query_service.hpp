@@ -1,0 +1,266 @@
+// QueryService — long-lived concurrent (ε, µ) serving over one immutable
+// GS*-Index (ROADMAP item 1; after Tseng–Dhulipala–Shun's index-then-serve
+// design, PAPERS.md).
+//
+// The index's reason to exist is answering *many* queries against one
+// construction pass, but until this layer every caller built an index,
+// asked one question and exited. The service owns the missing machinery:
+//
+//   * Admission — submit() enqueues a request into a bounded MPMC queue
+//     (mpmc_queue.hpp) and returns a std::future. A full queue blocks the
+//     producer on a futex epoch (backpressure), or try_submit() refuses
+//     without blocking (load shedding, counted as rejected).
+//   * Batched execution — one dispatcher thread drains the queue in batches
+//     of up to max_batch and runs each batch through the work-stealing
+//     Executor, so concurrent queries use the same runtime (and the same
+//     NUMA-aware topology options) as the algorithms themselves.
+//   * Scratch pooling — one GsIndex::QueryScratch per executor worker,
+//     reused across every query that worker executes: steady-state serving
+//     does no full-graph allocations per query (the original motivation for
+//     the QueryScratch refactor in index/gs_index.hpp).
+//   * Per-query governance — each request may carry RunLimits; the deadline
+//     is measured from *submission*, so time spent queued counts against
+//     it. A query whose budget is exhausted before it starts is aborted at
+//     admission (phase "QAdmission"); one tripped mid-run returns the
+//     library's classified partial result (scan_common.hpp). Partial
+//     results are delivered to their caller, never cached.
+//   * Result caching — an index query is a pure function of the immutable
+//     index and (ε, µ), so completed runs are memoized behind shared_ptr
+//     under their exact rational parameters. Repeated-parameter workloads
+//     (the realistic serving mix: dashboards re-asking the same few
+//     settings) are answered without touching the index at all.
+//   * Observability — per-query latency lands in a geometric histogram and
+//     a bounded ring of per-query records; snapshot() returns the whole
+//     picture and serve/serving_metrics.hpp renders it as schema-v2 metrics
+//     JSON rows (queries[] + latency_histogram fields).
+//
+// Threading contract: submit()/try_submit() are safe from any thread.
+// snapshot() is safe from any thread. stop() drains queued requests, joins
+// the dispatcher, and is idempotent; submit() after stop() throws. Futures
+// obtained from requests that were still queued when the service was
+// *destroyed* (not stopped) report std::future_error(broken_promise).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrent/executor.hpp"
+#include "concurrent/run_governor.hpp"
+#include "concurrent/topology.hpp"
+#include "index/gs_index.hpp"
+#include "scan/scan_common.hpp"
+#include "serve/mpmc_queue.hpp"
+
+namespace ppscan::serve {
+
+struct ServiceOptions {
+  /// Executor workers answering queries (the dispatcher is separate).
+  int num_threads = 1;
+  /// Bounded admission queue capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 1024;
+  /// Max requests drained into one executor batch.
+  std::size_t max_batch = 32;
+  /// Memoize completed runs under their exact (ε num/den, µ) key.
+  bool cache_results = true;
+  /// Distinct parameter combinations kept before the cache is wholesale
+  /// cleared (parameter spaces are tiny; LRU would be ceremony).
+  std::size_t cache_capacity = 64;
+  /// Limits applied to requests submitted without their own (default:
+  /// ungoverned).
+  RunLimits default_limits;
+  /// Per-query records kept for snapshot() (a ring of the most recent).
+  std::size_t max_recorded_queries = 1024;
+  /// Executor topology policy, mirroring core/ppscan.hpp: Auto detects the
+  /// topology (or uses `topology` when non-null) and pins workers;
+  /// Off/Interleave run the uniform executor.
+  NumaMode numa = NumaMode::Off;
+  const NumaTopology* topology = nullptr;
+};
+
+/// What a fulfilled query future carries.
+struct QueryResponse {
+  /// The run; shared because cache hits alias one stored result. Never
+  /// null on a delivered response. partial() classifies governed trips.
+  std::shared_ptr<const ScanRun> run;
+  /// Submission → delivery, including queue wait (seconds).
+  double latency_seconds = 0;
+  /// Execution alone (0 on a cache hit).
+  double execute_seconds = 0;
+  bool cache_hit = false;
+  /// Service-assigned id, dense in submission order.
+  std::uint64_t id = 0;
+};
+
+/// One row of the snapshot's per-query ring (also the metrics `queries[]`
+/// row, serving_metrics.hpp).
+struct QueryRecord {
+  std::uint64_t id = 0;
+  std::string eps;  ///< "num/den" — exact, unlike a rounded double
+  std::uint32_t mu = 0;
+  double latency_ms = 0;
+  std::uint64_t num_clusters = 0;
+  std::uint64_t num_cores = 0;
+  AbortReason abort_reason = AbortReason::None;
+  bool cache_hit = false;
+};
+
+/// Fixed geometric latency histogram: bucket i counts latencies ≤ 2^i µs
+/// (last bucket is unbounded). Cheap enough to update under the stats
+/// mutex, coarse enough to answer p50/p99 without storing samples.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 28;  // 1 µs .. ~67 s, then +inf
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  double max_ms = 0;
+
+  void record(double latency_ms);
+  /// Upper bound (ms) of the bucket containing quantile q ∈ [0, 1]; exact
+  /// max for the unbounded tail. 0 when empty.
+  [[nodiscard]] double quantile_ms(double q) const;
+  /// Upper bound (µs) of bucket i, for serialization.
+  [[nodiscard]] static double bucket_le_us(std::size_t i);
+};
+
+struct ServiceSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< delivered, including partials and hits
+  std::uint64_t cache_hits = 0;
+  std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
+  std::uint64_t partial = 0;    ///< delivered with abort_reason != None
+  /// Funnel aggregated over executed (non-cache-hit) queries.
+  obs::AlgoCounters counters;
+  LatencyHistogram latency;
+  /// Most recent per-query records, oldest first.
+  std::vector<QueryRecord> recent;
+  double uptime_seconds = 0;
+  std::string numa_mode = "off";
+  std::uint64_t numa_nodes = 1;
+  int num_threads = 1;
+};
+
+class QueryService {
+ public:
+  /// The index (and the graph it references) must outlive the service.
+  QueryService(const GsIndex& index, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a query under the service default limits. Blocks only when
+  /// the admission queue is full; throws std::runtime_error after stop().
+  std::future<QueryResponse> submit(const ScanParams& params);
+  std::future<QueryResponse> submit(const ScanParams& params,
+                                    const RunLimits& limits);
+
+  /// Non-blocking admission: false (and one `rejected` count) when the
+  /// queue is full. On success *out is the response future.
+  bool try_submit(const ScanParams& params, const RunLimits& limits,
+                  std::future<QueryResponse>* out);
+
+  /// Drains every queued request, joins the dispatcher, idempotent.
+  void stop();
+
+  [[nodiscard]] ServiceSnapshot snapshot() const;
+  [[nodiscard]] int num_threads() const { return options_.num_threads; }
+  [[nodiscard]] const GsIndex& index() const { return index_; }
+
+ private:
+  struct Request {
+    ScanParams params;
+    RunLimits limits;
+    std::chrono::steady_clock::time_point submit_time;
+    std::uint64_t id = 0;
+    std::promise<QueryResponse> promise;
+  };
+
+  struct CacheKey {
+    std::uint64_t num, den;
+    std::uint32_t mu;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      std::uint64_t h = k.num * 0x9e3779b97f4a7c15ULL;
+      h ^= k.den + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= k.mu + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  /// Cached entry: the run plus its cluster/core counts, computed once at
+  /// execution so a cache hit never pays the O(n) num_clusters() scan.
+  struct CachedResult {
+    std::shared_ptr<const ScanRun> run;
+    std::uint64_t num_clusters = 0;
+    std::uint64_t num_cores = 0;
+  };
+
+  std::future<QueryResponse> enqueue(Request request);
+  void dispatcher_loop();
+  void execute(Request& request);
+  /// Delivers the response: records stats under the mutex, then fulfills
+  /// the promise (after the lock — the waiter may run immediately).
+  void respond(Request& request, std::shared_ptr<const ScanRun> run,
+               bool cache_hit, double execute_seconds,
+               std::uint64_t num_clusters, std::uint64_t num_cores);
+  std::optional<CachedResult> cache_lookup(const CacheKey& key);
+  void cache_store(const CacheKey& key, CachedResult value);
+  /// All-Unknown classified partial for a query whose deadline was already
+  /// spent in the queue (abort phase "QAdmission").
+  [[nodiscard]] ScanRun admission_aborted_run() const;
+
+  const GsIndex& index_;
+  const ServiceOptions options_;
+  const std::chrono::steady_clock::time_point start_time_;
+  NumaTopology topo_;
+
+  MpmcQueue<Request> queue_;
+  std::unique_ptr<Executor> executor_;
+  /// One scratch per executor worker plus the trailing master slot (the
+  /// dispatcher executes tasks too when the executor runs it inline).
+  std::vector<GsIndex::QueryScratch> scratch_;
+  std::thread dispatcher_;
+
+  // protocol: relaxed-counter — dense query ids, order has no consumers.
+  std::atomic<std::uint64_t> next_id_{0};
+  // protocol: futex-epoch — bumped per enqueue; the dispatcher's park word.
+  std::atomic<std::uint64_t> submitted_epoch_{0};
+  // protocol: futex-epoch — bumped per drained batch; blocked producers'
+  // park word (backpressure release).
+  std::atomic<std::uint64_t> drained_epoch_{0};
+  // protocol: release-acquire — set once by stop(); consumers are the
+  // dispatcher's drain loop and submit()'s admission check.
+  std::atomic<bool> stop_requested_{false};
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<CacheKey, CachedResult, CacheKeyHash> cache_;
+
+  // Everything below is guarded by stats_mutex_ (plain fields, no atomics:
+  // the stats path is off the per-entry hot loops and a snapshot wants a
+  // consistent cut anyway).
+  mutable std::mutex stats_mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t partial_ = 0;
+  obs::AlgoCounters counters_;
+  LatencyHistogram latency_;
+  std::vector<QueryRecord> recent_;  ///< ring buffer
+  std::size_t recent_head_ = 0;
+
+  std::mutex stop_mutex_;  ///< serializes stop() callers
+  bool stopped_ = false;   ///< guarded by stop_mutex_
+};
+
+}  // namespace ppscan::serve

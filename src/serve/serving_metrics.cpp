@@ -1,0 +1,62 @@
+#include "serve/serving_metrics.hpp"
+
+namespace ppscan::serve {
+
+obs::LatencyHistogramMetrics latency_metrics(
+    const LatencyHistogram& histogram) {
+  obs::LatencyHistogramMetrics out;
+  out.count = histogram.total;
+  out.p50_ms = histogram.quantile_ms(0.50);
+  out.p90_ms = histogram.quantile_ms(0.90);
+  out.p99_ms = histogram.quantile_ms(0.99);
+  out.max_ms = histogram.max_ms;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (histogram.counts[i] == 0) continue;
+    out.buckets.push_back({LatencyHistogram::bucket_le_us(i),
+                           histogram.counts[i]});
+  }
+  return out;
+}
+
+obs::MetricsReport make_serving_report(const std::string& tool,
+                                       const std::string& dataset,
+                                       const std::string& eps,
+                                       const CsrGraph& graph,
+                                       const ServiceSnapshot& snapshot,
+                                       double total_seconds) {
+  obs::MetricsReport report;
+  report.tool = tool;
+  report.algorithm = "GsIndex-serve";
+  report.dataset = dataset;
+  report.eps = eps;
+  report.mu = 0;  // mixed workload; per-query µ lives in queries[]
+  report.threads = static_cast<std::uint64_t>(snapshot.num_threads);
+  report.kernel = "index";  // queries reuse stored similarities, no kernel
+  report.runtime_kind = "worksteal";
+  report.num_vertices = graph.num_vertices();
+  report.num_edges = graph.num_edges();
+  report.total_seconds = total_seconds;
+  report.numa_mode = snapshot.numa_mode;
+  report.numa_nodes = snapshot.numa_nodes;
+  // Cluster/core counts are per-query quantities for a mixed workload; the
+  // row-level fields stay 0 and queries[] carries the real values.
+  report.abort_reason = "none";
+  report.counters = snapshot.counters;
+  report.queries.reserve(snapshot.recent.size());
+  for (const QueryRecord& q : snapshot.recent) {
+    obs::QueryRowMetrics row;
+    row.id = q.id;
+    row.eps = q.eps;
+    row.mu = q.mu;
+    row.latency_ms = q.latency_ms;
+    row.num_clusters = q.num_clusters;
+    row.num_cores = q.num_cores;
+    row.abort_reason = to_string(q.abort_reason);
+    row.cache_hit = q.cache_hit;
+    report.queries.push_back(std::move(row));
+  }
+  report.latency = latency_metrics(snapshot.latency);
+  return report;
+}
+
+}  // namespace ppscan::serve

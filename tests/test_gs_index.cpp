@@ -71,8 +71,96 @@ TEST(GsIndex, ConstructionDoesOneIntersectionPerEdge) {
 TEST(GsIndex, MemoryFootprintIsPerArc) {
   const auto g = erdos_renyi(100, 600, 31);
   const GsIndex index(g);
+  // overlap (u32) + neighbor-order dst (u32) + cn (u32) + degree product
+  // (u64) per arc slot; the sort-time slot permutation is transient.
   EXPECT_EQ(index.memory_bytes(),
-            g.num_arcs() * (sizeof(std::uint32_t) + sizeof(EdgeId)));
+            g.num_arcs() * (sizeof(std::uint32_t) + sizeof(VertexId) +
+                            sizeof(std::uint32_t) + sizeof(std::uint64_t)));
+}
+
+TEST(GsIndex, QueryCountsThePruningFunnel) {
+  // Index queries answer every similarity from the stored neighbor order,
+  // so the funnel must balance as pure reuse: nothing pruned, nothing
+  // computed, and the invariant pruned + computed + reused == touched must
+  // hold non-vacuously (it used to be all zeros).
+  const auto g = erdos_renyi(300, 2400, 37);
+  const GsIndex index(g);
+  for (const auto& params : testing::parameter_grid()) {
+    const auto run = index.query(params);
+    const auto& c = run.stats.counters;
+    EXPECT_EQ(c.arcs_predicate_pruned + c.sims_computed + c.sims_reused,
+              c.arcs_touched)
+        << "eps=" << params.eps.to_double() << " mu=" << params.mu;
+    EXPECT_EQ(c.sims_computed, 0u);
+    EXPECT_EQ(c.arcs_predicate_pruned, 0u);
+    // Every vertex with degree >= mu pays at least the core-test entry.
+    EXPECT_GT(c.arcs_touched, 0u);
+    if (run.result.num_cores() > 0) {
+      EXPECT_GT(c.uf_finds, 0u);
+      EXPECT_EQ(c.uf_finds, 2 * run.result.num_cores());
+    }
+  }
+}
+
+TEST(GsIndex, PooledScratchReturnsIdenticalAnswers) {
+  // serve::QueryService reuses one QueryScratch per worker across many
+  // queries; reuse must never leak state between (ε, µ) combinations.
+  const auto g = erdos_renyi(250, 1800, 41);
+  const GsIndex index(g);
+  GsIndex::QueryScratch scratch;
+  for (const auto& params : testing::parameter_grid()) {
+    const auto pooled = index.query(params, scratch, nullptr);
+    const auto fresh = index.query(params);
+    EXPECT_TRUE(results_equivalent(fresh.result, pooled.result))
+        << describe_result_difference(fresh.result, pooled.result);
+    EXPECT_EQ(fresh.stats.counters.arcs_touched,
+              pooled.stats.counters.arcs_touched);
+  }
+}
+
+TEST(GsIndex, GovernedQueryReturnsClassifiedPartial) {
+  const auto g = erdos_renyi(300, 2400, 43);
+  const GsIndex index(g);
+  const auto params = ScanParams::make("0.4", 3);
+  GsIndex::QueryScratch scratch;
+
+  // Trip on entry to phase 2 (QCoreCluster): every role is decided, no
+  // cluster ids were assigned yet.
+  {
+    RunLimits limits;
+    limits.cancel_at_phase = 2;
+    RunGovernor governor(limits, nullptr);
+    const auto run = index.query(params, scratch, &governor);
+    EXPECT_TRUE(run.partial());
+    EXPECT_EQ(run.stats.abort_reason, AbortReason::UserCancelled);
+    EXPECT_EQ(run.stats.abort_phase, "QCoreCluster");
+    EXPECT_EQ(run.stats.phases_completed, 1u);
+    for (const auto role : run.result.roles) {
+      EXPECT_NE(role, Role::Unknown);
+    }
+    for (const auto cid : run.result.core_cluster_id) {
+      EXPECT_EQ(cid, kInvalidVertex);
+    }
+    EXPECT_TRUE(run.result.noncore_memberships.empty());
+  }
+
+  // Trip on entry to phase 1: nothing was decided at all.
+  {
+    RunLimits limits;
+    limits.cancel_at_phase = 1;
+    RunGovernor governor(limits, nullptr);
+    const auto run = index.query(params, scratch, &governor);
+    EXPECT_TRUE(run.partial());
+    EXPECT_EQ(run.stats.abort_phase, "QCoreTest");
+    for (const auto role : run.result.roles) {
+      EXPECT_EQ(role, Role::Unknown);
+    }
+  }
+
+  // The scratch is still good for a full query afterwards.
+  const auto full = index.query(params, scratch, nullptr);
+  EXPECT_FALSE(full.partial());
+  EXPECT_TRUE(results_equivalent(full.result, index.query(params).result));
 }
 
 TEST(GsIndex, ManyQueriesAgainstPpScan) {

@@ -60,6 +60,40 @@ MetricsReport sample_report() {
   return r;
 }
 
+// A serving row on top of the base report: queries[] plus a consistent
+// latency histogram (bucket counts summing to count, as the validator
+// requires).
+MetricsReport serving_report() {
+  MetricsReport r = sample_report();
+  r.algorithm = "GsIndex-serve";
+  QueryRowMetrics q0;
+  q0.id = 0;
+  q0.eps = "3/5";
+  q0.mu = 5;
+  q0.latency_ms = 4.25;
+  q0.num_clusters = 12345;
+  q0.num_cores = 987654;
+  q0.abort_reason = "none";
+  q0.cache_hit = false;
+  QueryRowMetrics q1;
+  q1.id = 1;
+  q1.eps = "1/5";
+  q1.mu = 2;
+  q1.latency_ms = 0.031;
+  q1.num_clusters = 12345;
+  q1.num_cores = 987654;
+  q1.abort_reason = "deadline";
+  q1.cache_hit = true;
+  r.queries = {q0, q1};
+  r.latency.count = 2;
+  r.latency.p50_ms = 0.032;
+  r.latency.p90_ms = 4.25;
+  r.latency.p99_ms = 4.25;
+  r.latency.max_ms = 4.25;
+  r.latency.buckets = {{32.0, 1}, {8192.0, 1}};
+  return r;
+}
+
 TEST(MetricsJson, EmittedRowValidatesAgainstSchema) {
   const auto row = metrics_to_json(sample_report());
   EXPECT_EQ(validate_metrics_json(row), "");
@@ -188,6 +222,95 @@ TEST(MetricsJson, MalformedPerNodeEntryIsReported) {
   row.set("per_node", std::move(arr));
   const auto violation = validate_metrics_json(row);
   EXPECT_NE(violation.find("per_node"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, ServingBlockIsOmittedWhenEmpty) {
+  const auto row = metrics_to_json(sample_report());
+  EXPECT_FALSE(row.has("queries"));
+  EXPECT_FALSE(row.has("latency_histogram"));
+}
+
+TEST(MetricsJson, ServingRowValidatesAndRoundTrips) {
+  const MetricsReport original = serving_report();
+  const auto row = metrics_to_json(original);
+  ASSERT_TRUE(row.has("queries"));
+  ASSERT_TRUE(row.has("latency_histogram"));
+  EXPECT_EQ(validate_metrics_json(row), "");
+
+  const MetricsReport back =
+      metrics_from_json(JsonValue::parse(row.dump(2)));
+  ASSERT_EQ(back.queries.size(), original.queries.size());
+  for (std::size_t i = 0; i < back.queries.size(); ++i) {
+    EXPECT_EQ(back.queries[i].id, original.queries[i].id);
+    EXPECT_EQ(back.queries[i].eps, original.queries[i].eps);
+    EXPECT_EQ(back.queries[i].mu, original.queries[i].mu);
+    EXPECT_DOUBLE_EQ(back.queries[i].latency_ms,
+                     original.queries[i].latency_ms);
+    EXPECT_EQ(back.queries[i].num_clusters, original.queries[i].num_clusters);
+    EXPECT_EQ(back.queries[i].num_cores, original.queries[i].num_cores);
+    EXPECT_EQ(back.queries[i].abort_reason, original.queries[i].abort_reason);
+    EXPECT_EQ(back.queries[i].cache_hit, original.queries[i].cache_hit);
+  }
+  EXPECT_EQ(back.latency.count, original.latency.count);
+  EXPECT_DOUBLE_EQ(back.latency.p50_ms, original.latency.p50_ms);
+  EXPECT_DOUBLE_EQ(back.latency.p90_ms, original.latency.p90_ms);
+  EXPECT_DOUBLE_EQ(back.latency.p99_ms, original.latency.p99_ms);
+  EXPECT_DOUBLE_EQ(back.latency.max_ms, original.latency.max_ms);
+  ASSERT_EQ(back.latency.buckets.size(), original.latency.buckets.size());
+  for (std::size_t i = 0; i < back.latency.buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.latency.buckets[i].le_us,
+                     original.latency.buckets[i].le_us);
+    EXPECT_EQ(back.latency.buckets[i].count,
+              original.latency.buckets[i].count);
+  }
+}
+
+TEST(MetricsJson, MalformedQueryRowIsReported) {
+  auto row = metrics_to_json(serving_report());
+  auto queries = JsonValue::array();
+  auto entry = JsonValue::object();
+  entry.set("id", JsonValue::number_u64(0));  // every other key missing
+  queries.push(std::move(entry));
+  row.set("queries", std::move(queries));
+  const auto violation = validate_metrics_json(row);
+  EXPECT_NE(violation.find("queries[0]"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, QueryRowWithoutCacheHitIsReported) {
+  auto row = metrics_to_json(serving_report());
+  // Rebuild queries[] without the boolean field.
+  auto queries = JsonValue::array();
+  const auto& original = row.at("queries").at(0);
+  auto entry = JsonValue::object();
+  for (const auto& [key, value] : original.members()) {
+    if (key != "cache_hit") entry.set(key, value);
+  }
+  queries.push(std::move(entry));
+  row.set("queries", std::move(queries));
+  const auto violation = validate_metrics_json(row);
+  EXPECT_NE(violation.find("cache_hit"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, InconsistentHistogramBucketsAreReported) {
+  MetricsReport r = serving_report();
+  r.latency.buckets[0].count += 1;  // sum no longer equals count
+  const auto violation = validate_metrics_json(metrics_to_json(r));
+  EXPECT_NE(violation.find("bucket counts sum"), std::string::npos)
+      << violation;
+}
+
+TEST(MetricsJson, ExtraRowKeysAreIgnoredByValidator) {
+  // Harnesses decorate rows with derived figures (queries_per_second etc.)
+  // via metrics_file_envelope; the validator must not reject them.
+  auto row = metrics_to_json(serving_report());
+  row.set("queries_per_second", JsonValue::number(1234.5));
+  EXPECT_EQ(validate_metrics_json(row), "");
+  std::vector<JsonValue> rows;
+  rows.push_back(std::move(row));
+  const auto doc = metrics_file_envelope("serving", std::move(rows));
+  EXPECT_EQ(validate_metrics_file_json(doc), "");
+  EXPECT_EQ(doc.at("figure").as_string(), "serving");
+  EXPECT_TRUE(doc.at("rows").at(0).has("queries_per_second"));
 }
 
 TEST(MetricsJson, ParserRejectsGarbage) {

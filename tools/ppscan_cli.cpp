@@ -25,10 +25,12 @@
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_support/algorithms.hpp"
 #include "bench_support/metrics.hpp"
@@ -43,6 +45,8 @@
 #include "scan/classification.hpp"
 #include "scan/result_io.hpp"
 #include "scan/validate_result.hpp"
+#include "serve/query_service.hpp"
+#include "serve/serving_metrics.hpp"
 #include "util/env.hpp"
 #include "util/flags.hpp"
 #include "util/graph_io_error.hpp"
@@ -481,6 +485,116 @@ int cmd_query(const Flags& flags) {
   return 0;
 }
 
+/// `serve <graph>`: build the index once, start a QueryService and answer
+/// the queries read from stdin ("<eps> <mu>" per line, EOF ends the
+/// session). Every line is submitted before the first answer is collected,
+/// so the batch actually exercises the concurrent path; answers print in
+/// submission order. --metrics-json writes the serving row (queries[] +
+/// latency_histogram + queries_per_second).
+int cmd_serve(const Flags& flags) {
+  if (flags.positionals().size() < 2) {
+    std::cerr << "serve: missing graph file\n";
+    return 2;
+  }
+  const auto graph = load_graph(flags.positionals()[1]);
+  const auto threads =
+      static_cast<int>(flags.get_int("threads", default_threads()));
+  GsIndex::BuildOptions build;
+  build.num_threads = threads;
+  build.cancel = &g_signal_cancel;
+  const ScopedCancelSignals signals;
+  WallTimer build_timer;
+  const GsIndex index(graph, build);
+  if (!index.complete()) {
+    std::cout << "index construction aborted: "
+              << index.build_stats().abort.describe() << "\n";
+    return abort_exit_code(index.build_stats().abort.reason);
+  }
+  std::cout << "index built in " << build_timer.elapsed_s() << " s ("
+            << index.memory_bytes() / (1024 * 1024) << " MiB); serving on "
+            << threads << " threads, one \"<eps> <mu>\" query per line\n";
+
+  serve::ServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue", 1024));
+  options.max_batch = static_cast<std::size_t>(flags.get_int("batch", 32));
+  options.cache_results = !flags.get_bool("no-cache", false);
+  options.default_limits = parse_limits(flags);
+  options.numa = parse_numa_mode(flags.get_string("numa", "off"));
+  NumaTopology topology;
+  if (options.numa == NumaMode::Auto) {
+    topology = detect_topology();
+    options.topology = &topology;
+  }
+  serve::QueryService service(index, options);
+
+  // Submit the whole session up front, then collect in submission order —
+  // the point of the service is concurrent execution, not lockstep.
+  std::vector<ScanParams> params;
+  std::vector<std::future<serve::QueryResponse>> futures;
+  WallTimer serve_timer;
+  std::string eps_text, mu_text;
+  while (std::cin >> eps_text >> mu_text) {
+    const auto p = ScanParams::make(eps_text, parse_mu(mu_text));
+    params.push_back(p);
+    futures.push_back(service.submit(p));
+  }
+  Table table({"id", "eps", "mu", "clusters", "cores", "latency(ms)",
+               "cache", "abort"});
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::QueryResponse r = futures[i].get();
+    table.add_row({Table::fmt(r.id),
+                   std::to_string(params[i].eps.to_double()),
+                   Table::fmt(std::uint64_t{params[i].mu}),
+                   Table::fmt(std::uint64_t{r.run->result.num_clusters()}),
+                   Table::fmt(r.run->result.num_cores()),
+                   Table::fmt(r.latency_seconds * 1e3),
+                   r.cache_hit ? "hit" : "miss",
+                   to_string(r.run->stats.abort_reason)});
+  }
+  const double elapsed = serve_timer.elapsed_s();
+  service.stop();
+  table.print(std::cout, "QueryService session");
+
+  const auto snap = service.snapshot();
+  std::cout << "served " << snap.completed << " queries in " << elapsed
+            << " s (" << snap.cache_hits << " cache hits, " << snap.partial
+            << " partial); p50=" << snap.latency.quantile_ms(0.5)
+            << " ms p99=" << snap.latency.quantile_ms(0.99) << " ms\n";
+
+  const auto metrics_out = flags.get_string("metrics-json", "");
+  if (!metrics_out.empty()) {
+    const auto report = serve::make_serving_report(
+        "ppscan_cli", file_stem(flags.positionals()[1]),
+        flags.get_string("eps", "stdin"), graph, snap, elapsed);
+    auto row = obs::metrics_to_json(report);
+    if (elapsed > 0) {
+      row.set("queries_per_second",
+              obs::JsonValue::number(
+                  static_cast<double>(snap.completed) / elapsed));
+    }
+    const auto violation = obs::validate_metrics_json(row);
+    if (!violation.empty()) {
+      std::cerr << "serve: internal error: metrics row fails its own "
+                   "schema: " << violation << "\n";
+      return 1;
+    }
+    std::vector<obs::JsonValue> rows;
+    rows.push_back(std::move(row));
+    const auto doc = obs::metrics_file_envelope("serving", std::move(rows));
+    std::ofstream stream(metrics_out);
+    if (!stream) {
+      std::cerr << "serve: cannot open " << metrics_out << " for writing\n";
+      return 1;
+    }
+    stream << doc.dump(2) << "\n";
+    std::cout << "metrics -> " << metrics_out << " (schema v"
+              << obs::kMetricsSchemaVersion << ")\n";
+  }
+  return 0;
+}
+
 void usage() {
   std::cerr
       << "usage: ppscan_cli <command> [args]\n"
@@ -499,7 +613,11 @@ void usage() {
          "  classify <graph> <result>\n"
          "  validate <graph>                 (check CSR invariants)\n"
          "  validate <graph> <result> [--eps E] [--mu M] [--partial]\n"
-         "  query <graph> [--eps list] [--mu list] [--timeout-ms T]\n";
+         "  query <graph> [--eps list] [--mu list] [--timeout-ms T]\n"
+         "  serve <graph> [--threads N] [--queue C] [--batch B] [--no-cache]\n"
+         "        [--timeout-ms T] [--numa auto|off|interleave]\n"
+         "        [--metrics-json file]   (reads \"<eps> <mu>\" per stdin\n"
+         "        line; concurrent QueryService over one GS*-Index)\n";
 }
 
 }  // namespace
@@ -521,6 +639,7 @@ int main(int argc, char** argv) {
     if (command == "classify") return cmd_classify(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "query") return cmd_query(flags);
+    if (command == "serve") return cmd_serve(flags);
     usage();
     return 2;
   } catch (const ppscan::GraphIoError& e) {
