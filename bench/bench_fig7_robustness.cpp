@@ -17,12 +17,18 @@
 //     elapsed time — which must not overshoot the deadline by more than the
 //     cancellation drain allows.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "common.hpp"
 #include "core/ppscan.hpp"
+#include "index/gs_index.hpp"
 #include "scan/validate_result.hpp"
+#include "serve/query_service.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -144,5 +150,93 @@ int main(int argc, char** argv) {
   }
   gov_table.print(std::cout,
                   "Figure 7b: governed ppSCAN under deadline fractions");
+
+  // ---- Robustness experiment 3: serving under overload ------------------
+  // A QueryService per dataset, offered 2x its measured capacity through
+  // the gated try_submit_ex path with the CoDel-style shed (20 ms sojourn
+  // target), a 100 ms per-query deadline and the degradation ladder on.
+  // The claim under test (docs/resilience.md): the service sheds and
+  // degrades the excess while the p99 of *accepted* queries stays bounded
+  // near the deadline instead of growing with the backlog. Protocol notes
+  // live in EXPERIMENTS.md; BENCH_serving.json records the sibling row
+  // from bench_query_serving.
+  const double overload_s = flags.get_double("overload-duration-s", 1.0);
+  Table overload_table({"dataset", "offered/s", "accepted", "completed",
+                        "shed", "degraded", "p50(ms)", "p99(ms)"});
+  for (const auto& name : bench::dataset_flag(flags)) {
+    const auto graph = load_dataset(name);
+    GsIndex::BuildOptions build;
+    build.num_threads = options.num_threads;
+    const GsIndex index(graph, build);
+
+    // Capacity probe: the mean cost of a direct index query over a small
+    // (ε, µ) spread, scaled by the executor width.
+    WallTimer probe;
+    int probed = 0;
+    for (const std::uint64_t num : {1, 2, 3}) {
+      for (const std::uint32_t mu : {2u, 5u}) {
+        ScanParams p;
+        p.eps = EpsRational{num, 4};
+        p.mu = mu;
+        (void)index.query(p);
+        ++probed;
+      }
+    }
+    const double per_query_s = probe.elapsed_s() / probed;
+    const double capacity_qps =
+        static_cast<double>(options.num_threads) / std::max(per_query_s, 1e-6);
+    const double offered_qps = 2.0 * capacity_qps;
+
+    serve::ServiceOptions serve_options;
+    serve_options.num_threads = options.num_threads;
+    serve_options.queue_capacity = 256;
+    serve_options.shed_target_delay = std::chrono::milliseconds(20);
+    serve_options.degraded_serving = true;
+    serve_options.default_limits.deadline = std::chrono::milliseconds(100);
+    serve::QueryService service(index, serve_options);
+    // Seed the cache so the degradation ladder has complete runs to serve.
+    for (const std::uint64_t num : {1, 2, 3}) {
+      ScanParams p;
+      p.eps = EpsRational{num, 4};
+      p.mu = 5;
+      service.submit(p).get();
+    }
+
+    std::vector<std::future<serve::QueryResponse>> inflight;
+    const auto period = std::chrono::duration<double>(1.0 / offered_qps);
+    const auto start = std::chrono::steady_clock::now();
+    const auto stop_at =
+        start + std::chrono::duration<double>(overload_s);
+    std::size_t i = 0;
+    std::uint64_t accepted = 0;
+    for (auto next = start; next < stop_at;
+         next += std::chrono::duration_cast<
+             std::chrono::steady_clock::duration>(period)) {
+      std::this_thread::sleep_until(next);
+      ScanParams p;  // fresh (ε, µ) per arrival: the cache must not absorb
+      p.eps = EpsRational{1 + (i % 397), 400};
+      p.mu = 2 + static_cast<std::uint32_t>(i % 7);
+      std::future<serve::QueryResponse> f;
+      if (service.try_submit_ex(p, serve_options.default_limits, &f)
+              .admitted()) {
+        inflight.push_back(std::move(f));
+        ++accepted;
+      }
+      ++i;
+    }
+    for (auto& f : inflight) f.get();
+    service.stop();
+    const auto snap = service.snapshot();
+    overload_table.add_row(
+        {name, Table::fmt(offered_qps, 1), Table::fmt(accepted),
+         Table::fmt(snap.completed),
+         Table::fmt(snap.shed_queue_full + snap.shed_overload +
+                    snap.shed_breaker),
+         Table::fmt(snap.degraded_hits),
+         Table::fmt(snap.latency.quantile_ms(0.5)),
+         Table::fmt(snap.latency.quantile_ms(0.99))});
+  }
+  overload_table.print(
+      std::cout, "Figure 7c: QueryService shedding/degradation at 2x load");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "concurrent/run_governor.hpp"
+#include "util/fault_point.hpp"
 
 namespace ppscan {
 namespace {
@@ -328,6 +329,28 @@ void Executor::submit(TaskRange range) {
   wake_workers();
 }
 
+void Executor::record_task_failure(RunGovernor* gov) {
+  const std::exception_ptr failure = std::current_exception();
+  if (gov != nullptr) {
+    // Governed run: the exception becomes a classified abort, first trip
+    // wins exactly like a deadline or budget trip. Re-raise to recover the
+    // typed what() — this catch never escapes.
+    try {
+      std::rethrow_exception(failure);
+    } catch (const std::exception& e) {
+      gov->record_exception(e.what());
+    } catch (...) {
+      gov->record_exception("non-std exception");
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    if (!first_failure_) first_failure_ = failure;
+  }
+  task_failed_.store(true, std::memory_order_release);
+}
+
 void Executor::wait_idle() {
   // Plain futex park even under governance: deadline/watchdog supervision
   // lives on the dedicated supervisor thread, so the master adds no
@@ -337,6 +360,24 @@ void Executor::wait_idle() {
   while (outstanding != 0) {
     pending_.wait(outstanding, std::memory_order_acquire);
     outstanding = pending_.load(std::memory_order_acquire);
+  }
+  // Ungoverned firewall delivery: every task has finished (the check above
+  // drained), so siblings of the failing task ran to completion; now the
+  // first captured exception surfaces on the master. Cleared so the
+  // executor stays reusable for the next phase.
+  if (task_failed_.load(std::memory_order_acquire)) {
+    std::exception_ptr failure;
+    {
+      std::lock_guard<std::mutex> lock(failure_mutex_);
+      failure = first_failure_;
+      first_failure_ = nullptr;
+    }
+    // Release keeps the clear inside the protocol's store set; the next
+    // failing worker's acquire-free CAS-less publish path only needs the
+    // flag itself, so the ordering is free correctness margin, not cost —
+    // this runs once per failed phase, never per task.
+    task_failed_.store(false, std::memory_order_release);
+    if (failure) std::rethrow_exception(failure);
   }
 }
 
@@ -478,19 +519,40 @@ void Executor::execute(TaskRange range, Worker& self, int self_index) {
 #endif
   } else {
     const auto t0 = Clock::now();
-    fn_(ctx_, range.beg, range.end);
+    // Exception firewall: the task boundary is the containment line. A
+    // throwing body never unwinds the worker loop — it is caught here,
+    // classified (governed → AbortReason::Exception trip, which makes the
+    // rest of the phase skip-drain; ungoverned → captured for wait_idle's
+    // master-side rethrow), and the worker keeps claiming.
+    bool ok = true;
+    try {
+      PPSCAN_FAULT_POINT("executor.task");
+      fn_(ctx_, range.beg, range.end);
+    } catch (...) {
+      ok = false;
+      record_task_failure(gov);
+    }
     const auto t1 = Clock::now();
     self.busy_ns.fetch_add(elapsed_ns(t0, t1), std::memory_order_relaxed);
-    self.executed.fetch_add(1, std::memory_order_relaxed);
+    if (ok) {
+      self.executed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      self.failed.fetch_add(1, std::memory_order_relaxed);
+    }
 #if PPSCAN_TRACE_ENABLED
     // Reuses the busy-stopwatch clock reads, so tracing adds no extra
     // Clock::now() per task — only the record() when a collector is
     // installed and per-task events are on.
     if (obs::TraceCollector* tc = trace_.load(std::memory_order_acquire);
         tc != nullptr && tc->task_events()) {
-      tc->buffer(self_index)
-          .record(obs::TraceEventKind::TaskRun, tc->phase_name(),
-                  tc->since_epoch_ns(t0), elapsed_ns(t0, t1), range.beg);
+      if (ok) {
+        tc->buffer(self_index)
+            .record(obs::TraceEventKind::TaskRun, tc->phase_name(),
+                    tc->since_epoch_ns(t0), elapsed_ns(t0, t1), range.beg);
+      } else {
+        tc->emit(self_index, obs::TraceEventKind::Mark, "task-exception",
+                 range.beg);
+      }
     }
 #endif
   }
@@ -570,6 +632,7 @@ ExecutorStats Executor::stats() const {
   for (const auto& w : workers_) {
     s.tasks_executed += w->executed.load(std::memory_order_relaxed);
     s.tasks_skipped += w->skipped.load(std::memory_order_relaxed);
+    s.tasks_failed += w->failed.load(std::memory_order_relaxed);
     const std::uint64_t steals = w->steals.load(std::memory_order_relaxed);
     const std::uint64_t remote =
         w->steals_remote.load(std::memory_order_relaxed);

@@ -79,6 +79,11 @@ using RangeFn = void (*)(void* ctx, VertexId beg, VertexId end);
 struct ExecutorStats {
   std::uint64_t tasks_executed = 0;  ///< ranges claimed and run by workers
   std::uint64_t tasks_skipped = 0;   ///< ranges drained by a cancelled run
+  /// Ranges whose body threw: the exception firewall caught it at the task
+  /// boundary, classified it (governor → AbortReason::Exception; no
+  /// governor → rethrown from the master's wait_idle), and the worker
+  /// carried on. Disjoint from tasks_executed.
+  std::uint64_t tasks_failed = 0;
   std::uint64_t steals = 0;          ///< claims taken from another worker
   /// Steal locality split (steals == steals_same_node + steals_remote; all
   /// steals are same-node on a single-node topology).
@@ -310,6 +315,15 @@ class Executor {
   /// Blocks until every outstanding range has finished; futex park, no
   /// mutex. The executor remains usable afterwards — this is the
   /// inter-phase barrier.
+  ///
+  /// Exception firewall: a task body that throws never unwinds a worker —
+  /// the worker catches at the task boundary, counts the range as failed,
+  /// and keeps claiming. With a governor installed the exception becomes a
+  /// classified trip (AbortReason::Exception, detail = e.what()) and the
+  /// rest of the phase skip-drains like any other cancellation; without
+  /// one, the FIRST exception is captured and rethrown *here*, on the
+  /// master, after every other in-flight task has finished — so sibling
+  /// tasks always complete and the executor stays reusable either way.
   void wait_idle();
 
   /// Index of the calling thread if it is a worker of *this* executor,
@@ -366,6 +380,8 @@ class Executor {
     detail::RangeDeque deque;
     std::atomic<std::uint64_t> executed{0};  // protocol: relaxed-counter
     std::atomic<std::uint64_t> skipped{0};   // protocol: relaxed-counter
+    /// Task bodies that threw (caught by the exception firewall).
+    std::atomic<std::uint64_t> failed{0};    // protocol: relaxed-counter
     /// Bumped on task entry and exit (odd = inside a task body). The
     /// watchdog's progress signal: a stall is "no heartbeat moved while
     /// tasks were pending"; an odd, frozen heartbeat names the stuck
@@ -405,6 +421,10 @@ class Executor {
   /// CAS-claims one task index from `victim`'s segment for phase `tag`.
   bool claim_from_segment(int victim, std::uint32_t tag, std::uint32_t* out);
   void execute(TaskRange range, Worker& self, int self_index);
+  /// Firewall sink, called from execute()'s catch block (so
+  /// std::current_exception() is live). Governor installed → classified
+  /// trip; none → capture the first exception_ptr for wait_idle's rethrow.
+  void record_task_failure(RunGovernor* gov);
   /// Trace hook for a successful steal (compiled out with PPSCAN_TRACE=OFF;
   /// the relaxed steals counter is unconditional either way).
   void record_steal(int self, int victim) {
@@ -479,6 +499,18 @@ class Executor {
   // protocol: release-acquire — publisher=master in install_trace (release
   // store), consumers=workers/supervisor (acquire load per use).
   std::atomic<obs::TraceCollector*> trace_{nullptr};
+
+  // Ungoverned-run exception firewall: first_failure_ holds the first
+  // exception a task body threw (workers race for it under failure_mutex_;
+  // losers are dropped, matching "first trip wins" on the governed path)
+  // and wait_idle() rethrows it on the master. task_failed_ lets the
+  // master skip the mutex entirely on the clean path.
+  // protocol: release-acquire — publisher=failing worker (release store
+  // after filling first_failure_), consumer=master in wait_idle (acquire
+  // load after pending_ hit zero, which already orders the write).
+  std::atomic<bool> task_failed_{false};
+  std::mutex failure_mutex_;
+  std::exception_ptr first_failure_;  // guarded by failure_mutex_
 
   // Governance supervisor thread (lazily spawned by install_governor).
   // supervisor_busy_ is the grace-period handshake: the supervisor raises

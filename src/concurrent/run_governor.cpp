@@ -9,6 +9,7 @@ const char* to_string(AbortReason reason) {
     case AbortReason::DeadlineExpired: return "deadline-expired";
     case AbortReason::BudgetExceeded: return "budget-exceeded";
     case AbortReason::Stalled: return "stalled";
+    case AbortReason::Exception: return "exception";
   }
   return "?";
 }
@@ -22,6 +23,9 @@ std::string RunAborted::describe() const {
   }
   if (reason == AbortReason::Stalled && worker >= 0) {
     text += " (worker " + std::to_string(worker) + " made no progress)";
+  }
+  if (reason == AbortReason::Exception && !detail.empty()) {
+    text += " (" + detail + ")";
   }
   return text;
 }
@@ -81,6 +85,20 @@ void RunGovernor::record_alloc_failure(std::uint64_t bytes,
   }
 }
 
+void RunGovernor::record_exception(const char* what) {
+  if (token_->trip(AbortReason::Exception)) {
+    if (what != nullptr) {
+      std::size_t i = 0;
+      for (; i + 1 < kExceptionWhatCap && what[i] != '\0'; ++i) {
+        exception_what_[i] = what[i];
+      }
+      exception_what_[i] = '\0';
+    }
+    abort_phase_.store(phase_name_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+}
+
 void RunGovernor::enter_phase(const char* name) {
   const int ordinal =
       phase_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -117,6 +135,9 @@ RunAborted RunGovernor::abort_info() const {
   if (phase != nullptr) info.phase = phase;
   info.bytes = abort_bytes_.load(std::memory_order_relaxed);
   info.worker = stalled_worker_.load(std::memory_order_relaxed);
+  if (info.reason == AbortReason::Exception) {
+    info.detail = exception_what_;
+  }
   return info;
 }
 

@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -49,6 +50,7 @@ enum class AbortReason : std::uint8_t {
   DeadlineExpired = 2,  // RunLimits::deadline
   BudgetExceeded = 3,   // RunLimits::memory_budget_bytes (or bad_alloc)
   Stalled = 4,          // watchdog: no worker progress for stall_timeout
+  Exception = 5,        // a phase/task body threw; the firewall classified it
 };
 
 const char* to_string(AbortReason reason);
@@ -115,6 +117,7 @@ struct RunAborted {
   std::string phase;        // phase active when the trip happened
   std::uint64_t bytes = 0;  // attempted charge for BudgetExceeded
   int worker = -1;          // stuck worker index for Stalled
+  std::string detail;       // e.what() (truncated) for Exception
 
   [[nodiscard]] std::string describe() const;
 };
@@ -169,6 +172,12 @@ class RunGovernor {
   /// Converts a caught std::bad_alloc into a BudgetExceeded trip (the
   /// "would-be crash" path when no explicit budget is set).
   void record_alloc_failure(std::uint64_t bytes, const char* what);
+
+  /// Exception firewall: converts a caught exception escaping a phase or
+  /// task body into an Exception trip, recording a truncated copy of
+  /// `what` for abort_info().detail. First trip wins, like every other
+  /// reason — a deadline that already fired keeps its classification.
+  void record_exception(const char* what);
 
   /// Phase bookkeeping. `enter_phase` bumps the 1-based ordinal, publishes
   /// the name for the watchdog/abort report, and applies the
@@ -236,6 +245,14 @@ class RunGovernor {
   // protocol: relaxed-counter — stuck worker index, written once at the
   // stall trip, read after the drain.
   std::atomic<int> stalled_worker_{-1};
+
+  // Exception detail. Plain storage, not atomic: only the thread that WINS
+  // the Exception trip CAS writes it (record_exception), and abort_info()
+  // readers run strictly after the run has drained — the executor's
+  // completion barrier (or the delivered future) already orders the write
+  // before any read, the same argument RunStats itself relies on.
+  static constexpr std::size_t kExceptionWhatCap = 160;
+  char exception_what_[kExceptionWhatCap] = {};
 };
 
 }  // namespace ppscan

@@ -9,6 +9,7 @@
 #include "concurrent/run_governor.hpp"
 #include "obs/trace.hpp"
 #include "setops/intersect.hpp"
+#include "util/fault_point.hpp"
 #include "util/timer.hpp"
 
 namespace ppscan {
@@ -251,6 +252,7 @@ ScanRun GsIndex::query(const ScanParams& params, QueryScratch& scratch,
   // Core test: the µ-th most similar neighbor decides (O(1) per vertex).
   // The consulted entry is one stored-similarity decision: touched+reused.
   phase("QCoreTest", [&] {
+    PPSCAN_FAULT_POINT("index.qcoretest");
     for (VertexId u = 0; u < n; ++u) {
       if (tripped(u)) return;
       if (graph_.degree(u) < params.mu) {
@@ -271,6 +273,7 @@ ScanRun GsIndex::query(const ScanParams& params, QueryScratch& scratch,
   // similarity the query relies on — counted as touched+reused, which is
   // what makes the funnel invariant meaningful for index queries.
   phase("QCoreCluster", [&] {
+    PPSCAN_FAULT_POINT("index.qcorecluster");
     for (VertexId u = 0; u < n; ++u) {
       if (tripped(u)) return;
       if (run.result.roles[u] != Role::Core) continue;
@@ -291,6 +294,7 @@ ScanRun GsIndex::query(const ScanParams& params, QueryScratch& scratch,
   // Cluster ids: the smallest core id in each set, the convention every
   // algorithm in the library shares.
   phase("QLabelCores", [&] {
+    PPSCAN_FAULT_POINT("index.qlabelcores");
     scratch.cluster_label.assign(n, kInvalidVertex);
     for (VertexId u = 0; u < n; ++u) {
       if (tripped(u)) return;
@@ -307,6 +311,7 @@ ScanRun GsIndex::query(const ScanParams& params, QueryScratch& scratch,
   // uf.find() this loop used to make was both redundant (same root as two
   // lines above) and invisible to the uf_finds/uf_find_steps funnel.
   phase("QMembership", [&] {
+    PPSCAN_FAULT_POINT("index.qmembership");
     for (VertexId u = 0; u < n; ++u) {
       if (tripped(u)) return;
       if (run.result.roles[u] != Role::Core) continue;

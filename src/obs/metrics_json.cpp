@@ -118,6 +118,19 @@ constexpr FieldSpec kHistogramSpec[] = {
     {"max_ms", FieldType::Double},
 };
 
+// Optional `resilience` object on serving rows: validated field-by-field
+// when the key is present (same additive convention as `queries`).
+constexpr FieldSpec kResilienceSpec[] = {
+    {"exceptions", FieldType::U64},
+    {"shed_queue_full", FieldType::U64},
+    {"shed_overload", FieldType::U64},
+    {"shed_breaker", FieldType::U64},
+    {"retries_advised", FieldType::U64},
+    {"breaker_transitions", FieldType::U64},
+    {"breaker_state", FieldType::String},
+    {"degraded_hits", FieldType::U64},
+};
+
 JsonValue query_row_to_json(const QueryRowMetrics& q) {
   JsonValue o = JsonValue::object();
   o.set("id", JsonValue::number_u64(q.id));
@@ -128,6 +141,21 @@ JsonValue query_row_to_json(const QueryRowMetrics& q) {
   o.set("num_cores", JsonValue::number_u64(q.num_cores));
   o.set("abort_reason", JsonValue::string(q.abort_reason));
   o.set("cache_hit", JsonValue::boolean(q.cache_hit));
+  o.set("degraded", JsonValue::boolean(q.degraded));
+  return o;
+}
+
+JsonValue resilience_to_json(const ResilienceMetrics& r) {
+  JsonValue o = JsonValue::object();
+  o.set("exceptions", JsonValue::number_u64(r.exceptions));
+  o.set("shed_queue_full", JsonValue::number_u64(r.shed_queue_full));
+  o.set("shed_overload", JsonValue::number_u64(r.shed_overload));
+  o.set("shed_breaker", JsonValue::number_u64(r.shed_breaker));
+  o.set("retries_advised", JsonValue::number_u64(r.retries_advised));
+  o.set("breaker_transitions",
+        JsonValue::number_u64(r.breaker_transitions));
+  o.set("breaker_state", JsonValue::string(r.breaker_state));
+  o.set("degraded_hits", JsonValue::number_u64(r.degraded_hits));
   return o;
 }
 
@@ -187,6 +215,20 @@ std::string validate_queries(const JsonValue& arr) {
     }
     if (!q.has("cache_hit") || !q.at("cache_hit").is_bool()) {
       return where + " missing boolean 'cache_hit'";
+    }
+    if (!q.has("degraded") || !q.at("degraded").is_bool()) {
+      return where + " missing boolean 'degraded'";
+    }
+  }
+  return "";
+}
+
+std::string validate_resilience(const JsonValue& r) {
+  if (!r.is_object()) return "key 'resilience' is not an object";
+  for (const FieldSpec& f : kResilienceSpec) {
+    if (!r.has(f.key) || !type_matches(r.at(f.key), f.type)) {
+      return std::string("resilience missing ") + type_name(f.type) + " '" +
+             f.key + "'";
     }
   }
   return "";
@@ -291,6 +333,9 @@ JsonValue metrics_to_json(const MetricsReport& r) {
   if (r.latency.count > 0) {
     o.set("latency_histogram", histogram_to_json(r.latency));
   }
+  if (r.has_resilience) {
+    o.set("resilience", resilience_to_json(r.resilience));
+  }
   return o;
 }
 
@@ -356,6 +401,11 @@ std::string validate_metrics_json(const JsonValue& row) {
     const std::string histogram_err =
         validate_latency_histogram(row.at("latency_histogram"));
     if (!histogram_err.empty()) return histogram_err;
+  }
+  if (row.has("resilience")) {
+    const std::string resilience_err =
+        validate_resilience(row.at("resilience"));
+    if (!resilience_err.empty()) return resilience_err;
   }
   return "";
 }
@@ -454,6 +504,7 @@ MetricsReport metrics_from_json(const JsonValue& row) {
       qr.num_cores = q.at("num_cores").as_u64();
       qr.abort_reason = q.at("abort_reason").as_string();
       qr.cache_hit = q.at("cache_hit").as_bool();
+      qr.degraded = q.at("degraded").as_bool();
       r.queries.push_back(std::move(qr));
     }
   }
@@ -471,6 +522,19 @@ MetricsReport metrics_from_json(const JsonValue& row) {
       b.count = buckets.at(i).at("count").as_u64();
       r.latency.buckets.push_back(b);
     }
+  }
+  if (row.has("resilience")) {
+    const JsonValue& res = row.at("resilience");
+    r.has_resilience = true;
+    r.resilience.exceptions = res.at("exceptions").as_u64();
+    r.resilience.shed_queue_full = res.at("shed_queue_full").as_u64();
+    r.resilience.shed_overload = res.at("shed_overload").as_u64();
+    r.resilience.shed_breaker = res.at("shed_breaker").as_u64();
+    r.resilience.retries_advised = res.at("retries_advised").as_u64();
+    r.resilience.breaker_transitions =
+        res.at("breaker_transitions").as_u64();
+    r.resilience.breaker_state = res.at("breaker_state").as_string();
+    r.resilience.degraded_hits = res.at("degraded_hits").as_u64();
   }
   return r;
 }

@@ -129,6 +129,9 @@ struct RunStats {
   std::string abort_phase;
   std::uint64_t abort_bytes = 0;
   int abort_worker = -1;
+  /// e.what() (truncated) when abort_reason == Exception: the typed error
+  /// detail the exception firewall preserved for the caller.
+  std::string abort_detail;
   std::uint32_t phases_completed = 0;
   std::uint64_t peak_governed_bytes = 0;
   /// Which execution runtime produced the executor counters above:

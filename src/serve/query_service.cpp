@@ -1,8 +1,11 @@
 #include "serve/query_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
+
+#include "util/fault_point.hpp"
 
 namespace ppscan::serve {
 namespace {
@@ -16,7 +19,23 @@ std::string eps_text(const EpsRational& eps) {
   return std::to_string(eps.num) + "/" + std::to_string(eps.den);
 }
 
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
 }  // namespace
+
+const char* to_string(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::Admitted: return "admitted";
+    case AdmissionOutcome::QueueFull: return "queue-full";
+    case AdmissionOutcome::Overloaded: return "overloaded";
+    case AdmissionOutcome::BreakerOpen: return "breaker-open";
+  }
+  return "?";
+}
 
 void LatencyHistogram::record(double latency_ms) {
   const double us = latency_ms * 1000.0;
@@ -99,9 +118,69 @@ std::future<QueryResponse> QueryService::submit(const ScanParams& params,
 bool QueryService::try_submit(const ScanParams& params,
                               const RunLimits& limits,
                               std::future<QueryResponse>* out) {
-  if (stop_requested_.load(std::memory_order_acquire)) {
-    throw std::runtime_error("QueryService::try_submit after stop()");
+  return try_submit_ex(params, limits, out).admitted();
+}
+
+AdmissionResult QueryService::admission_gate(Request& request) {
+  // The shed decision reads only what an admission already pays for: the
+  // stats mutex (held by our caller) and one relaxed load of the
+  // dispatcher's last sojourn observation.
+  const auto now = request.submit_time;
+  if (options_.breaker_failure_threshold > 0) {
+    if (breaker_state_ == BreakerState::Open) {
+      const auto elapsed = now - breaker_opened_at_;
+      if (elapsed < options_.breaker_cooldown) {
+        const auto remaining =
+            std::chrono::ceil<std::chrono::milliseconds>(
+                options_.breaker_cooldown - elapsed);
+        return {AdmissionOutcome::BreakerOpen,
+                std::max(remaining, std::chrono::milliseconds(1))};
+      }
+      breaker_state_ = BreakerState::HalfOpen;
+      breaker_probe_in_flight_ = false;
+      breaker_transitions_ += 1;
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                "serve.breaker.half-open", request.id);
+    }
+    if (breaker_state_ == BreakerState::HalfOpen) {
+      if (breaker_probe_in_flight_) {
+        return {AdmissionOutcome::BreakerOpen, options_.breaker_cooldown};
+      }
+      // This admission IS the probe; its outcome settles the breaker.
+      breaker_probe_in_flight_ = true;
+      request.breaker_probe = true;
+    }
   }
+  if (options_.shed_target_delay.count() > 0) {
+    const std::uint64_t sojourn_ns =
+        queue_sojourn_ns_.load(std::memory_order_relaxed);
+    const auto target_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            options_.shed_target_delay)
+            .count());
+    if (sojourn_ns > target_ns) {
+      // Hint: come back once the current backlog has had a chance to
+      // drain — the observed sojourn itself, floored at 1ms.
+      const auto hint = std::chrono::milliseconds(
+          std::max<std::uint64_t>(1, sojourn_ns / 1'000'000));
+      if (request.breaker_probe) {
+        // Shed probes don't resolve the breaker; rearm for the next try.
+        breaker_probe_in_flight_ = false;
+        request.breaker_probe = false;
+      }
+      return {AdmissionOutcome::Overloaded, hint};
+    }
+  }
+  return {AdmissionOutcome::Admitted, std::chrono::milliseconds(0)};
+}
+
+AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
+                                            const RunLimits& limits,
+                                            std::future<QueryResponse>* out) {
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    throw ServiceStoppedError("QueryService::try_submit after stop()");
+  }
+  PPSCAN_FAULT_POINT("serve.admission");
   Request request;
   request.params = params;
   request.limits = limits;
@@ -109,37 +188,74 @@ bool QueryService::try_submit(const ScanParams& params,
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto future = request.promise.get_future();
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    submitted_ += 1;
-  }
   // Admission-side cache probe: a memoized result answers without touching
-  // the queue at all (and cannot be refused — the whole point of caching).
+  // the queue at all (and cannot be refused — the whole point of caching,
+  // so it also bypasses the shed/breaker gate).
   if (options_.cache_results) {
     const CacheKey key{params.eps.num, params.eps.den, params.mu};
     if (auto hit = cache_lookup(key)) {
-      respond(request, std::move(hit->run), /*cache_hit=*/true, 0.0,
-              hit->num_clusters, hit->num_cores);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        submitted_ += 1;
+      }
+      Delivery delivery;
+      delivery.run = std::move(hit->run);
+      delivery.cache_hit = true;
+      delivery.num_clusters = hit->num_clusters;
+      delivery.num_cores = hit->num_cores;
+      respond(request, std::move(delivery));
       *out = std::move(future);
-      return true;
+      return {AdmissionOutcome::Admitted, std::chrono::milliseconds(0)};
     }
   }
+  AdmissionResult gate;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    gate = admission_gate(request);
+    if (gate.admitted()) {
+      submitted_ += 1;
+    } else {
+      rejected_ += 1;
+      retries_advised_ += 1;
+      if (gate.outcome == AdmissionOutcome::Overloaded) {
+        shed_overload_ += 1;
+        PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                  "serve.shed.overload", request.id);
+      } else {
+        shed_breaker_ += 1;
+        PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                  "serve.shed.breaker", request.id);
+      }
+    }
+  }
+  if (!gate.admitted()) return gate;
+
   if (!queue_.try_enqueue(std::move(request))) {
+    const auto sojourn_ms = std::max<std::uint64_t>(
+        1, queue_sojourn_ns_.load(std::memory_order_relaxed) / 1'000'000);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     submitted_ -= 1;  // refused, not admitted
     rejected_ += 1;
-    return false;
+    shed_queue_full_ += 1;
+    retries_advised_ += 1;
+    PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                              "serve.shed.queue-full", request.id);
+    if (request.breaker_probe) breaker_probe_in_flight_ = false;
+    return {AdmissionOutcome::QueueFull,
+            std::chrono::milliseconds(sojourn_ms)};
   }
   submitted_epoch_.fetch_add(1, std::memory_order_release);
   submitted_epoch_.notify_one();
+  drain_if_stopped();
   *out = std::move(future);
-  return true;
+  return {AdmissionOutcome::Admitted, std::chrono::milliseconds(0)};
 }
 
 std::future<QueryResponse> QueryService::enqueue(Request request) {
   if (stop_requested_.load(std::memory_order_acquire)) {
-    throw std::runtime_error("QueryService::submit after stop()");
+    throw ServiceStoppedError("QueryService::submit after stop()");
   }
+  PPSCAN_FAULT_POINT("serve.admission");
   auto future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -149,8 +265,12 @@ std::future<QueryResponse> QueryService::enqueue(Request request) {
     const CacheKey key{request.params.eps.num, request.params.eps.den,
                        request.params.mu};
     if (auto hit = cache_lookup(key)) {
-      respond(request, std::move(hit->run), /*cache_hit=*/true, 0.0,
-              hit->num_clusters, hit->num_cores);
+      Delivery delivery;
+      delivery.run = std::move(hit->run);
+      delivery.cache_hit = true;
+      delivery.num_clusters = hit->num_clusters;
+      delivery.num_cores = hit->num_cores;
+      respond(request, std::move(delivery));
       return future;
     }
   }
@@ -159,7 +279,9 @@ std::future<QueryResponse> QueryService::enqueue(Request request) {
         drained_epoch_.load(std::memory_order_acquire);
     if (queue_.try_enqueue(std::move(request))) break;
     if (stop_requested_.load(std::memory_order_acquire)) {
-      throw std::runtime_error("QueryService::submit after stop()");
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      submitted_ -= 1;  // refused after all, not admitted
+      throw ServiceStoppedError("QueryService::submit after stop()");
     }
     // Backpressure: park until the dispatcher drains a batch. The epoch
     // was read before the failed attempt, so a drain that lands in between
@@ -168,7 +290,28 @@ std::future<QueryResponse> QueryService::enqueue(Request request) {
   }
   submitted_epoch_.fetch_add(1, std::memory_order_release);
   submitted_epoch_.notify_one();
+  // A producer woken from the backpressure park by stop() can win the
+  // enqueue into a queue stop() already drained (its try_enqueue succeeds
+  // against freed capacity). Without the repair below that request — and
+  // its future — would hang until destruction.
+  drain_if_stopped();
   return future;
+}
+
+void QueryService::drain_if_stopped() {
+  if (!stop_requested_.load(std::memory_order_acquire)) {
+    // If stop() had completed its final drain before our enqueue, this
+    // load would see true (the flag is set before the drain): reading
+    // false proves the enqueue landed before that drain, so the request
+    // is covered by stop() itself (or by the still-running dispatcher).
+    return;
+  }
+  // Serialize with stop(): once we hold stop_mutex_, stop()'s join+drain
+  // has finished and no dispatcher exists — whatever is still queued is
+  // ours to answer, on this thread, exactly like stop()'s own drain.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  Request request;
+  while (queue_.try_dequeue(&request)) execute(request);
 }
 
 void QueryService::dispatcher_loop() {
@@ -184,6 +327,9 @@ void QueryService::dispatcher_loop() {
       batch.push_back(std::move(request));
     }
     if (batch.empty()) {
+      // Queue observed empty: clear the congestion signal so the overload
+      // shed never acts on a sojourn from a backlog that already drained.
+      queue_sojourn_ns_.store(0, std::memory_order_relaxed);
       // Read the park word first: an enqueue that lands after this load
       // bumps the epoch and the wait falls through (no missed wakeup).
       const std::uint64_t epoch =
@@ -197,6 +343,13 @@ void QueryService::dispatcher_loop() {
         continue;
       }
     }
+    // CoDel signal: the wait of the oldest request just drained is what a
+    // newly admitted request should expect to sojourn (one observation per
+    // batch; admission compares it against shed_target_delay).
+    queue_sojourn_ns_.store(
+        ns_between(batch.front().submit_time,
+                   std::chrono::steady_clock::now()),
+        std::memory_order_relaxed);
     // Space freed: release any producer parked on backpressure.
     drained_epoch_.fetch_add(1, std::memory_order_release);
     drained_epoch_.notify_all();
@@ -211,7 +364,34 @@ void QueryService::dispatcher_loop() {
     auto body = [&](VertexId beg, VertexId end) {
       for (VertexId i = beg; i < end; ++i) execute(batch[i]);
     };
-    executor_->run(tasks.data(), batch.size(), body);
+    // Dispatcher firewall: execute() contains per-query exceptions itself,
+    // but the executor's ungoverned barrier rethrows anything that escapes
+    // a task body (a fault at the executor.task site, a scratch-resize
+    // bad_alloc outside execute's try). The dispatcher must outlive any
+    // single batch, so catch here, answer every request the aborted run
+    // left unfulfilled with a classified failure, and keep serving.
+    try {
+      PPSCAN_FAULT_POINT("serve.dispatcher");
+      executor_->run(tasks.data(), batch.size(), body);
+    } catch (const std::exception& e) {
+      for (Request& r : batch) {
+        if (r.responded) continue;
+        Delivery delivery;
+        delivery.run = std::make_shared<const ScanRun>(
+            exception_aborted_run("QDispatch", e.what()));
+        delivery.classified = AbortReason::Exception;
+        respond(r, std::move(delivery));
+      }
+    } catch (...) {
+      for (Request& r : batch) {
+        if (r.responded) continue;
+        Delivery delivery;
+        delivery.run = std::make_shared<const ScanRun>(
+            exception_aborted_run("QDispatch", "non-std exception"));
+        delivery.classified = AbortReason::Exception;
+        respond(r, std::move(delivery));
+      }
+    }
   }
 }
 
@@ -223,8 +403,12 @@ void QueryService::execute(Request& request) {
     // Second probe: an earlier query in this or a previous batch may have
     // populated the entry since admission.
     if (auto hit = cache_lookup(key)) {
-      respond(request, std::move(hit->run), /*cache_hit=*/true, 0.0,
-              hit->num_clusters, hit->num_cores);
+      Delivery delivery;
+      delivery.run = std::move(hit->run);
+      delivery.cache_hit = true;
+      delivery.num_clusters = hit->num_clusters;
+      delivery.num_cores = hit->num_cores;
+      respond(request, std::move(delivery));
       return;
     }
   }
@@ -245,8 +429,14 @@ void QueryService::execute(Request& request) {
   }
 
   if (admission_expired) {
-    auto run = std::make_shared<const ScanRun>(admission_aborted_run());
-    respond(request, std::move(run), /*cache_hit=*/false, 0.0, 0, 0);
+    if (auto degraded = degraded_delivery(key, AbortReason::DeadlineExpired)) {
+      respond(request, std::move(*degraded));
+      return;
+    }
+    Delivery delivery;
+    delivery.run = std::make_shared<const ScanRun>(admission_aborted_run());
+    delivery.classified = AbortReason::DeadlineExpired;
+    respond(request, std::move(delivery));
     return;
   }
 
@@ -255,10 +445,29 @@ void QueryService::execute(Request& request) {
       scratch_[worker >= 0 ? static_cast<std::size_t>(worker)
                            : scratch_.size() - 1];
   RunGovernor governor(limits, nullptr);
-  ScanRun result = index_.query(request.params, scratch, &governor);
+  // Query-boundary exception firewall: whatever the index walk throws is
+  // *this query's* failure, classified through the same governor machinery
+  // as a deadline or budget trip (AbortReason::Exception + e.what()), and
+  // delivered to this caller alone. Workers, the dispatcher, and every
+  // other query in the batch continue untouched — the containment test
+  // pins that concurrent results stay bit-identical.
+  ScanRun result;
+  try {
+    PPSCAN_FAULT_POINT("serve.execute");
+    result = index_.query(request.params, scratch, &governor);
+  } catch (const std::exception& e) {
+    governor.record_exception(e.what());
+    result = exception_aborted_run(nullptr, nullptr);
+    record_governance(governor, result.stats);
+  } catch (...) {
+    governor.record_exception("non-std exception");
+    result = exception_aborted_run(nullptr, nullptr);
+    record_governance(governor, result.stats);
+  }
   const double exec_seconds =
       seconds_between(exec_start, std::chrono::steady_clock::now());
   const bool complete = !result.partial();
+  const AbortReason classified = result.stats.abort_reason;
   const std::uint64_t clusters = result.result.num_clusters();
   const std::uint64_t cores = result.result.num_cores();
   auto run = std::make_shared<const ScanRun>(std::move(result));
@@ -267,28 +476,81 @@ void QueryService::execute(Request& request) {
   if (complete && options_.cache_results) {
     cache_store(key, {run, clusters, cores});
   }
-  respond(request, std::move(run), /*cache_hit=*/false, exec_seconds,
-          clusters, cores);
+  if (!complete) {
+    if (auto degraded = degraded_delivery(key, classified)) {
+      respond(request, std::move(*degraded));
+      return;
+    }
+  }
+  Delivery delivery;
+  delivery.run = std::move(run);
+  delivery.execute_seconds = exec_seconds;
+  delivery.num_clusters = clusters;
+  delivery.num_cores = cores;
+  delivery.classified = classified;
+  respond(request, std::move(delivery));
 }
 
-void QueryService::respond(Request& request,
-                           std::shared_ptr<const ScanRun> run, bool cache_hit,
-                           double execute_seconds, std::uint64_t num_clusters,
-                           std::uint64_t num_cores) {
+void QueryService::respond(Request& request, Delivery delivery) {
   QueryResponse response;
   response.latency_seconds = seconds_between(
       request.submit_time, std::chrono::steady_clock::now());
-  response.execute_seconds = execute_seconds;
-  response.cache_hit = cache_hit;
+  response.execute_seconds = delivery.execute_seconds;
+  response.cache_hit = delivery.cache_hit;
+  response.degraded = delivery.degraded;
+  response.classified_reason = delivery.classified;
   response.id = request.id;
-  response.run = std::move(run);
+  response.run = std::move(delivery.run);
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     completed_ += 1;
-    if (cache_hit) cache_hits_ += 1;
+    if (delivery.cache_hit) cache_hits_ += 1;
     if (response.run->partial()) partial_ += 1;
-    if (!cache_hit) counters_ += response.run->stats.counters;
+    if (delivery.degraded) {
+      degraded_hits_ += 1;
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                "serve.degraded", request.id);
+    }
+    if (delivery.classified == AbortReason::Exception) {
+      exceptions_ += 1;
+      PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                "serve.exception", request.id);
+    }
+    if (!delivery.cache_hit) counters_ += response.run->stats.counters;
+    // Circuit-breaker feedback: only executed (non-cache-hit) outcomes
+    // count — a memoized answer says nothing about execution health. The
+    // half-open probe's outcome settles the breaker; a streak of
+    // exception-classified failures opens it.
+    if (options_.breaker_failure_threshold > 0 && !delivery.cache_hit) {
+      const bool failed = delivery.classified == AbortReason::Exception;
+      if (request.breaker_probe) {
+        breaker_probe_in_flight_ = false;
+        if (breaker_state_ == BreakerState::HalfOpen) {
+          breaker_state_ = failed ? BreakerState::Open : BreakerState::Closed;
+          if (failed) breaker_opened_at_ = std::chrono::steady_clock::now();
+          breaker_consecutive_failures_ = 0;
+          breaker_transitions_ += 1;
+          PPSCAN_TRACE_MASTER_EVENT(
+              options_.trace, obs::TraceEventKind::Mark,
+              failed ? "serve.breaker.open" : "serve.breaker.closed",
+              request.id);
+        }
+      } else if (failed) {
+        breaker_consecutive_failures_ += 1;
+        if (breaker_state_ == BreakerState::Closed &&
+            breaker_consecutive_failures_ >=
+                options_.breaker_failure_threshold) {
+          breaker_state_ = BreakerState::Open;
+          breaker_opened_at_ = std::chrono::steady_clock::now();
+          breaker_transitions_ += 1;
+          PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
+                                    "serve.breaker.open", request.id);
+        }
+      } else {
+        breaker_consecutive_failures_ = 0;
+      }
+    }
     const double ms = response.latency_seconds * 1e3;
     latency_.record(ms);
     if (options_.max_recorded_queries > 0) {
@@ -297,10 +559,11 @@ void QueryService::respond(Request& request,
       record.eps = eps_text(request.params.eps);
       record.mu = request.params.mu;
       record.latency_ms = ms;
-      record.num_clusters = num_clusters;
-      record.num_cores = num_cores;
-      record.abort_reason = response.run->stats.abort_reason;
-      record.cache_hit = cache_hit;
+      record.num_clusters = delivery.num_clusters;
+      record.num_cores = delivery.num_cores;
+      record.abort_reason = delivery.classified;
+      record.cache_hit = delivery.cache_hit;
+      record.degraded = delivery.degraded;
       if (recent_.size() < options_.max_recorded_queries) {
         recent_.push_back(std::move(record));
       } else {
@@ -309,6 +572,7 @@ void QueryService::respond(Request& request,
       }
     }
   }
+  request.responded = true;
   // Fulfill outside the lock: the waiting thread may run immediately.
   request.promise.set_value(std::move(response));
 }
@@ -332,6 +596,46 @@ void QueryService::cache_store(const CacheKey& key, CachedResult value) {
   cache_[key] = std::move(value);
 }
 
+std::optional<QueryService::CachedResult> QueryService::cache_nearest(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_.empty()) return std::nullopt;
+  const double eps =
+      static_cast<double>(key.num) / static_cast<double>(key.den);
+  const CachedResult* best = nullptr;
+  double best_eps_dist = 0;
+  double best_mu_dist = 0;
+  for (const auto& [k, v] : cache_) {
+    const double eps_dist = std::fabs(
+        static_cast<double>(k.num) / static_cast<double>(k.den) - eps);
+    const double mu_dist = std::fabs(static_cast<double>(k.mu) -
+                                     static_cast<double>(key.mu));
+    if (best == nullptr || eps_dist < best_eps_dist ||
+        (eps_dist == best_eps_dist && mu_dist < best_mu_dist)) {
+      best = &v;
+      best_eps_dist = eps_dist;
+      best_mu_dist = mu_dist;
+    }
+  }
+  return *best;
+}
+
+std::optional<QueryService::Delivery> QueryService::degraded_delivery(
+    const CacheKey& key, AbortReason reason) {
+  if (!options_.degraded_serving || !options_.cache_results) {
+    return std::nullopt;
+  }
+  auto nearest = cache_nearest(key);
+  if (!nearest.has_value()) return std::nullopt;
+  Delivery delivery;
+  delivery.run = std::move(nearest->run);
+  delivery.degraded = true;
+  delivery.num_clusters = nearest->num_clusters;
+  delivery.num_cores = nearest->num_cores;
+  delivery.classified = reason;
+  return delivery;
+}
+
 ScanRun QueryService::admission_aborted_run() const {
   ScanRun run;
   const VertexId n = index_.graph().num_vertices();
@@ -339,6 +643,18 @@ ScanRun QueryService::admission_aborted_run() const {
   run.result.core_cluster_id.assign(n, kInvalidVertex);
   run.stats.abort_reason = AbortReason::DeadlineExpired;
   run.stats.abort_phase = "QAdmission";
+  return run;
+}
+
+ScanRun QueryService::exception_aborted_run(const char* phase,
+                                            const char* what) const {
+  ScanRun run;
+  const VertexId n = index_.graph().num_vertices();
+  run.result.roles.assign(n, Role::Unknown);
+  run.result.core_cluster_id.assign(n, kInvalidVertex);
+  run.stats.abort_reason = AbortReason::Exception;
+  if (phase != nullptr) run.stats.abort_phase = phase;
+  if (what != nullptr) run.stats.abort_detail = what;
   return run;
 }
 
@@ -370,6 +686,18 @@ ServiceSnapshot QueryService::snapshot() const {
     snap.cache_hits = cache_hits_;
     snap.rejected = rejected_;
     snap.partial = partial_;
+    snap.exceptions = exceptions_;
+    snap.shed_queue_full = shed_queue_full_;
+    snap.shed_overload = shed_overload_;
+    snap.shed_breaker = shed_breaker_;
+    snap.retries_advised = retries_advised_;
+    snap.breaker_transitions = breaker_transitions_;
+    switch (breaker_state_) {
+      case BreakerState::Closed: snap.breaker_state = "closed"; break;
+      case BreakerState::Open: snap.breaker_state = "open"; break;
+      case BreakerState::HalfOpen: snap.breaker_state = "half-open"; break;
+    }
+    snap.degraded_hits = degraded_hits_;
     snap.counters = counters_;
     snap.latency = latency_;
     snap.recent.reserve(recent_.size());

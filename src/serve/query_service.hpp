@@ -33,12 +33,28 @@
 //     a bounded ring of per-query records; snapshot() returns the whole
 //     picture and serve/serving_metrics.hpp renders it as schema-v2 metrics
 //     JSON rows (queries[] + latency_histogram fields).
+//   * Fault containment & overload resilience (docs/resilience.md) —
+//     a query whose execution throws becomes a *classified per-query
+//     failure* (AbortReason::Exception, detail = e.what()) delivered to its
+//     own caller; the dispatcher, the workers, and every other in-flight
+//     query are untouched. Under sustained overload the non-blocking
+//     admission path sheds CoDel-style — when the observed queue sojourn
+//     exceeds shed_target_delay, not only when the queue is full — with a
+//     retry-after hint; a consecutive-exception circuit breaker
+//     (closed → open → half-open probe → closed) fails fast when execution
+//     itself is broken; and, when enabled, a degradation ladder answers a
+//     doomed query with the nearest-(ε, µ) cached result flagged
+//     `degraded` before falling back to the classified partial.
 //
 // Threading contract: submit()/try_submit() are safe from any thread.
 // snapshot() is safe from any thread. stop() drains queued requests, joins
-// the dispatcher, and is idempotent; submit() after stop() throws. Futures
-// obtained from requests that were still queued when the service was
-// *destroyed* (not stopped) report std::future_error(broken_promise).
+// the dispatcher, and is idempotent; submit()/try_submit() after stop()
+// throw ServiceStoppedError — including producers that were *parked on
+// backpressure* when stop() landed (they are woken, and any request a
+// racing producer slips past the final drain is executed by that producer
+// itself, so no admitted future is ever left hanging). Futures obtained
+// from requests that were still queued when the service was *destroyed*
+// (not stopped) report std::future_error(broken_promise).
 #pragma once
 
 #include <array>
@@ -58,10 +74,21 @@
 #include "concurrent/run_governor.hpp"
 #include "concurrent/topology.hpp"
 #include "index/gs_index.hpp"
+#include "obs/trace.hpp"
 #include "scan/scan_common.hpp"
 #include "serve/mpmc_queue.hpp"
 
 namespace ppscan::serve {
+
+/// Thrown by submit()/try_submit() once stop() has been requested — a
+/// *refusal*, distinct from any per-query failure: no request was admitted
+/// and no future exists. Derives from std::runtime_error so pre-existing
+/// catch sites keep working.
+class ServiceStoppedError : public std::runtime_error {
+ public:
+  explicit ServiceStoppedError(const char* what_arg)
+      : std::runtime_error(what_arg) {}
+};
 
 struct ServiceOptions {
   /// Executor workers answering queries (the dispatcher is separate).
@@ -85,6 +112,34 @@ struct ServiceOptions {
   /// Off/Interleave run the uniform executor.
   NumaMode numa = NumaMode::Off;
   const NumaTopology* topology = nullptr;
+  /// CoDel-style adaptive shedding (0 = off): when the queue sojourn the
+  /// dispatcher last observed (wait of the oldest request it drained)
+  /// exceeds this target, try_submit()/try_submit_ex() refuse with
+  /// Overloaded + a retry-after hint *before* the queue is full — bounding
+  /// the queueing delay of accepted requests instead of letting a standing
+  /// queue push every latency to the deadline. Blocking submit() is never
+  /// shed: its contract is backpressure.
+  std::chrono::milliseconds shed_target_delay{0};
+  /// Consecutive exception-classified failures that trip the circuit
+  /// breaker (0 = breaker off). While open, non-blocking admission refuses
+  /// with BreakerOpen; after breaker_cooldown one half-open probe query is
+  /// admitted — success closes the breaker, failure re-opens it.
+  std::uint32_t breaker_failure_threshold = 0;
+  std::chrono::milliseconds breaker_cooldown{100};
+  /// Degradation ladder: answer a query that would return a classified
+  /// partial (admission-expired, governed trip, exception) with the
+  /// nearest-(ε, µ) *complete* cached result instead, flagged `degraded`.
+  /// Stale-but-whole beats fresh-but-empty for dashboard-style consumers;
+  /// default off because it trades exactness for availability.
+  bool degraded_serving = false;
+  /// Optional resilience trace hook (docs/resilience.md): shed, breaker
+  /// transition, exception, and degraded-serve events are emitted as
+  /// instant Mark events into the collector's master slot, arg = request
+  /// id (0 where no request is at hand). Every emission happens with the
+  /// service's stats mutex held, so writers are serialized — the
+  /// buffer's single-writer rule is met by mutual exclusion, and any
+  /// worker count fits. The collector must outlive the service.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// What a fulfilled query future carries.
@@ -97,8 +152,39 @@ struct QueryResponse {
   /// Execution alone (0 on a cache hit).
   double execute_seconds = 0;
   bool cache_hit = false;
+  /// True when the degradation ladder answered with a *different* (nearest
+  /// ε, µ) cached run because this query's own execution was doomed; the
+  /// served run is complete, and the reason the real answer was unavailable
+  /// is in `classified_reason`.
+  bool degraded = false;
+  /// The query's own outcome classification: equals run->stats.abort_reason
+  /// on a normal delivery, but preserves the original abort (deadline,
+  /// exception, …) when `degraded` substituted a complete cached run.
+  AbortReason classified_reason = AbortReason::None;
   /// Service-assigned id, dense in submission order.
   std::uint64_t id = 0;
+};
+
+/// Why non-blocking admission refused (or didn't). The ladder is checked
+/// in this order: breaker, overload shed, queue capacity.
+enum class AdmissionOutcome : std::uint8_t {
+  Admitted = 0,    ///< enqueued (or answered from cache); *out is valid
+  QueueFull = 1,   ///< bounded queue at capacity
+  Overloaded = 2,  ///< queue sojourn above shed_target_delay (CoDel shed)
+  BreakerOpen = 3, ///< circuit breaker open (or half-open probe in flight)
+};
+
+const char* to_string(AdmissionOutcome outcome);
+
+/// Result of try_submit_ex(): the refusal cause plus a backoff hint sized
+/// from the observed congestion (RetryPolicy::next_delay honors it).
+/// retry_after is zero on admission.
+struct AdmissionResult {
+  AdmissionOutcome outcome = AdmissionOutcome::Admitted;
+  std::chrono::milliseconds retry_after{0};
+  [[nodiscard]] bool admitted() const {
+    return outcome == AdmissionOutcome::Admitted;
+  }
 };
 
 /// One row of the snapshot's per-query ring (also the metrics `queries[]`
@@ -112,6 +198,7 @@ struct QueryRecord {
   std::uint64_t num_cores = 0;
   AbortReason abort_reason = AbortReason::None;
   bool cache_hit = false;
+  bool degraded = false;  ///< degradation ladder substituted a cached run
 };
 
 /// Fixed geometric latency histogram: bucket i counts latencies ≤ 2^i µs
@@ -135,8 +222,18 @@ struct ServiceSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;  ///< delivered, including partials and hits
   std::uint64_t cache_hits = 0;
-  std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
+  std::uint64_t rejected = 0;   ///< all non-blocking refusals (any cause)
   std::uint64_t partial = 0;    ///< delivered with abort_reason != None
+  /// Resilience funnel (docs/resilience.md). rejected above stays the
+  /// total for back-compat; the shed_* fields split it by cause.
+  std::uint64_t exceptions = 0;        ///< firewall-classified failures
+  std::uint64_t shed_queue_full = 0;   ///< refusals: queue at capacity
+  std::uint64_t shed_overload = 0;     ///< refusals: sojourn over target
+  std::uint64_t shed_breaker = 0;      ///< refusals: breaker open
+  std::uint64_t retries_advised = 0;   ///< refusals carrying a retry hint
+  std::uint64_t breaker_transitions = 0;  ///< state changes since start
+  std::string breaker_state = "closed";   ///< closed | open | half-open
+  std::uint64_t degraded_hits = 0;     ///< ladder substitutions served
   /// Funnel aggregated over executed (non-cache-hit) queries.
   obs::AlgoCounters counters;
   LatencyHistogram latency;
@@ -158,15 +255,27 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues a query under the service default limits. Blocks only when
-  /// the admission queue is full; throws std::runtime_error after stop().
+  /// the admission queue is full; throws ServiceStoppedError after stop()
+  /// (a parked producer is woken by stop() and gets the same classified
+  /// refusal — never a hang). Blocking submission is exempt from the
+  /// overload shed and the breaker: its contract is backpressure.
   std::future<QueryResponse> submit(const ScanParams& params);
   std::future<QueryResponse> submit(const ScanParams& params,
                                     const RunLimits& limits);
 
-  /// Non-blocking admission: false (and one `rejected` count) when the
-  /// queue is full. On success *out is the response future.
+  /// Non-blocking admission: false (and one `rejected` count) on any
+  /// refusal — queue full, overload shed, or breaker open. On success *out
+  /// is the response future. Throws ServiceStoppedError after stop().
   bool try_submit(const ScanParams& params, const RunLimits& limits,
                   std::future<QueryResponse>* out);
+
+  /// Non-blocking admission with the full refusal taxonomy and a
+  /// retry-after hint (see AdmissionResult / RetryPolicy). Cache hits are
+  /// always admitted — a memoized answer costs nothing to serve, so
+  /// shedding it would only manufacture failures.
+  AdmissionResult try_submit_ex(const ScanParams& params,
+                                const RunLimits& limits,
+                                std::future<QueryResponse>* out);
 
   /// Drains every queued request, joins the dispatcher, idempotent.
   void stop();
@@ -182,6 +291,14 @@ class QueryService {
     std::chrono::steady_clock::time_point submit_time;
     std::uint64_t id = 0;
     std::promise<QueryResponse> promise;
+    /// Set by respond(). Plain bool: a request is touched by one thread at
+    /// a time (executing worker, then — strictly after the run() barrier —
+    /// the dispatcher's firewall sweep, which uses it to find batch
+    /// entries a thrown executor run left unanswered).
+    bool responded = false;
+    /// This request is the circuit breaker's half-open probe; its outcome
+    /// decides closed vs re-open.
+    bool breaker_probe = false;
   };
 
   struct CacheKey {
@@ -205,19 +322,52 @@ class QueryService {
     std::uint64_t num_cores = 0;
   };
 
+  /// Everything respond() needs to deliver one response. classified is the
+  /// query's own outcome (run->stats.abort_reason on a normal delivery; the
+  /// original abort when `degraded` substituted a complete cached run) —
+  /// it feeds the record ring, the exception counter, and the breaker.
+  struct Delivery {
+    std::shared_ptr<const ScanRun> run;
+    bool cache_hit = false;
+    bool degraded = false;
+    double execute_seconds = 0;
+    std::uint64_t num_clusters = 0;
+    std::uint64_t num_cores = 0;
+    AbortReason classified = AbortReason::None;
+  };
+
   std::future<QueryResponse> enqueue(Request request);
   void dispatcher_loop();
   void execute(Request& request);
-  /// Delivers the response: records stats under the mutex, then fulfills
-  /// the promise (after the lock — the waiter may run immediately).
-  void respond(Request& request, std::shared_ptr<const ScanRun> run,
-               bool cache_hit, double execute_seconds,
-               std::uint64_t num_clusters, std::uint64_t num_cores);
+  /// Delivers the response: records stats + breaker feedback under the
+  /// mutex, then fulfills the promise (after the lock — the waiter may run
+  /// immediately).
+  void respond(Request& request, Delivery delivery);
   std::optional<CachedResult> cache_lookup(const CacheKey& key);
   void cache_store(const CacheKey& key, CachedResult value);
+  /// Nearest cached entry to `key` by |ε| distance (then |µ|) — the
+  /// degradation ladder's source. nullopt when the cache is empty.
+  std::optional<CachedResult> cache_nearest(const CacheKey& key);
+  /// Degradation ladder: when enabled and the cache has anything, builds a
+  /// degraded Delivery for a query classified as `reason`; nullopt → fall
+  /// back to the classified partial.
+  std::optional<Delivery> degraded_delivery(const CacheKey& key,
+                                            AbortReason reason);
+  /// Breaker + overload gate for non-blocking admission, under
+  /// stats_mutex_. On refusal fills the cause counters and the hint; on
+  /// admission may mark the request as the half-open probe.
+  AdmissionResult admission_gate(Request& request);
+  /// Post-enqueue stop-race repair (see stop()): if stop() finished its
+  /// final drain before our enqueue landed, nobody will ever dequeue it —
+  /// the producer drains and executes leftovers itself.
+  void drain_if_stopped();
   /// All-Unknown classified partial for a query whose deadline was already
   /// spent in the queue (abort phase "QAdmission").
   [[nodiscard]] ScanRun admission_aborted_run() const;
+  /// All-Unknown classified failure for a query whose execution threw —
+  /// the firewall's per-query result (abort_reason Exception).
+  [[nodiscard]] ScanRun exception_aborted_run(const char* phase,
+                                              const char* what) const;
 
   const GsIndex& index_;
   const ServiceOptions options_;
@@ -241,6 +391,14 @@ class QueryService {
   // protocol: release-acquire — set once by stop(); consumers are the
   // dispatcher's drain loop and submit()'s admission check.
   std::atomic<bool> stop_requested_{false};
+  // Queue sojourn the dispatcher last observed (ns): the wait of the
+  // oldest request in the batch it just drained, 0 whenever it finds the
+  // queue empty. Admission compares it against shed_target_delay — the
+  // CoDel-style congestion signal.
+  // protocol: relaxed-guarded — single writer (dispatcher), advisory
+  // readers (admission); a stale read merely sheds or admits one request
+  // on old congestion data, which the next batch corrects.
+  std::atomic<std::uint64_t> queue_sojourn_ns_{0};
 
   mutable std::mutex cache_mutex_;
   std::unordered_map<CacheKey, CachedResult, CacheKeyHash> cache_;
@@ -254,6 +412,21 @@ class QueryService {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t partial_ = 0;
+  std::uint64_t exceptions_ = 0;
+  std::uint64_t shed_queue_full_ = 0;
+  std::uint64_t shed_overload_ = 0;
+  std::uint64_t shed_breaker_ = 0;
+  std::uint64_t retries_advised_ = 0;
+  std::uint64_t degraded_hits_ = 0;
+  /// Circuit breaker state machine (all guarded by stats_mutex_): the
+  /// consecutive-exception count, the state, when it opened, whether the
+  /// half-open probe is outstanding, and the transition counter.
+  enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+  BreakerState breaker_state_ = BreakerState::Closed;
+  std::uint32_t breaker_consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+  bool breaker_probe_in_flight_ = false;
+  std::uint64_t breaker_transitions_ = 0;
   obs::AlgoCounters counters_;
   LatencyHistogram latency_;
   std::vector<QueryRecord> recent_;  ///< ring buffer

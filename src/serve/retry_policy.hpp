@@ -1,0 +1,98 @@
+// RetryPolicy — client-side exponential backoff with jitter for refused
+// admissions (docs/resilience.md).
+//
+// try_submit_ex() tells a refused client *why* it was turned away and when
+// to come back (AdmissionResult::retry_after). What it cannot do is stop a
+// thousand refused clients from all coming back at that exact instant —
+// the retry stampede that turns one overload episode into a standing wave.
+// The classic fix is client-side: exponential backoff (each refusal doubles
+// the wait) with jitter (a random fraction spreads the herd), capped, and
+// never earlier than the service's own hint.
+//
+// Deterministic on purpose: the jitter draws from the library's xoshiro Rng
+// (util/rng.hpp — std::rand is lint-banned), so a seeded policy produces
+// the same delay sequence on every platform and the bench/test harnesses
+// stay reproducible.
+//
+// Usage (bench_query_serving's open-loop client is the canonical caller):
+//
+//   RetryPolicy retry({}, /*seed=*/client_id);
+//   for (;;) {
+//     auto result = service.try_submit_ex(params, limits, &future);
+//     if (result.admitted()) { retry.reset(); break; }
+//     if (!retry.should_retry()) break;               // give up
+//     std::this_thread::sleep_for(retry.next_delay(result.retry_after));
+//   }
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ppscan::serve {
+
+struct RetryOptions {
+  /// First backoff step; doubles (times `multiplier`) per refusal.
+  std::chrono::milliseconds base_delay{5};
+  double multiplier = 2.0;
+  /// Cap on the computed backoff (the service hint is also clamped here).
+  std::chrono::milliseconds max_delay{1000};
+  /// Jitter fraction j ∈ [0, 1]: the delay is drawn uniformly from
+  /// [d·(1−j), d·(1+j)] — full decorrelation at 1, none at 0.
+  double jitter = 0.5;
+  /// Refusals tolerated before should_retry() says give up (0 = never).
+  std::uint32_t max_attempts = 8;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options = {},
+                       std::uint64_t seed = 0x5ca1ab1eULL)
+      : options_(options), rng_(seed) {}
+
+  /// Delay before the next attempt: max(exponential backoff, service
+  /// hint), capped at max_delay, then jittered. Each call counts one
+  /// refused attempt and advances the backoff.
+  std::chrono::milliseconds next_delay(
+      std::chrono::milliseconds hint = std::chrono::milliseconds(0)) {
+    attempts_ += 1;
+    double backoff =
+        static_cast<double>(options_.base_delay.count()) * scale_;
+    scale_ *= options_.multiplier;
+    backoff = std::max(backoff, static_cast<double>(hint.count()));
+    backoff =
+        std::min(backoff, static_cast<double>(options_.max_delay.count()));
+    if (options_.jitter > 0) {
+      // Uniform in [1−j, 1+j]; floor at 1ms so a retry never busy-spins.
+      const double factor =
+          1.0 + options_.jitter * (2.0 * rng_.next_double() - 1.0);
+      backoff *= factor;
+    }
+    const auto ms = static_cast<std::int64_t>(backoff);
+    return std::chrono::milliseconds(std::max<std::int64_t>(1, ms));
+  }
+
+  /// False once max_attempts refusals have been counted.
+  [[nodiscard]] bool should_retry() const {
+    return options_.max_attempts == 0 || attempts_ < options_.max_attempts;
+  }
+
+  [[nodiscard]] std::uint32_t attempts() const { return attempts_; }
+
+  /// Call after a successful admission: the next refusal starts the
+  /// backoff ladder from base_delay again.
+  void reset() {
+    attempts_ = 0;
+    scale_ = 1.0;
+  }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  std::uint32_t attempts_ = 0;
+  double scale_ = 1.0;
+};
+
+}  // namespace ppscan::serve

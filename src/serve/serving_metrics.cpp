@@ -53,9 +53,19 @@ obs::MetricsReport make_serving_report(const std::string& tool,
     row.num_cores = q.num_cores;
     row.abort_reason = to_string(q.abort_reason);
     row.cache_hit = q.cache_hit;
+    row.degraded = q.degraded;
     report.queries.push_back(std::move(row));
   }
   report.latency = latency_metrics(snapshot.latency);
+  report.has_resilience = true;
+  report.resilience.exceptions = snapshot.exceptions;
+  report.resilience.shed_queue_full = snapshot.shed_queue_full;
+  report.resilience.shed_overload = snapshot.shed_overload;
+  report.resilience.shed_breaker = snapshot.shed_breaker;
+  report.resilience.retries_advised = snapshot.retries_advised;
+  report.resilience.breaker_transitions = snapshot.breaker_transitions;
+  report.resilience.breaker_state = snapshot.breaker_state;
+  report.resilience.degraded_hits = snapshot.degraded_hits;
   return report;
 }
 

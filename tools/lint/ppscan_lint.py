@@ -34,10 +34,11 @@ bug in another. This linter encodes those invariants:
   order-assert        functions listed in the config (the similarity-reuse
                       core-checking paths, Algorithm 3) must contain their
                       declared `u < v` order-constraint assertion.
-  trace-hotpath       PPSCAN_TRACE_* macros in the configured hot paths
-                      (the setops kernels): even compiled-out trace hooks
-                      are forbidden where a null-check or function call
-                      would sit inside the per-element intersection loops.
+  trace-hotpath       PPSCAN_TRACE_* / PPSCAN_FAULT_* macros in the
+                      configured hot paths (the setops kernels): even
+                      compiled-out trace hooks and fault points are
+                      forbidden where a null-check or function call would
+                      sit inside the per-element intersection loops.
 
 Engine: a comment/string-aware tokenizer (no dependencies beyond the
 standard library). When the optional libclang python bindings are installed,
@@ -521,13 +522,14 @@ def check_narrowing(src: SourceFile, cfg: Config) -> list[Finding]:
     return findings
 
 
-TRACE_MACRO = re.compile(r"\bPPSCAN_TRACE_[A-Z0-9_]+\s*\(")
+TRACE_MACRO = re.compile(r"\bPPSCAN_(?:TRACE|FAULT)_[A-Z0-9_]+\s*\(")
 
 
 def check_trace_hotpath(src: SourceFile, cfg: Config) -> list[Finding]:
-    """Trace hooks are banned from the configured hot paths. Even with
-    PPSCAN_TRACE=OFF the macro still evaluates to a statement, and with it
-    ON the null-check + clock read lands inside per-element kernel loops
+    """Trace hooks and fault points are banned from the configured hot
+    paths. Even with PPSCAN_TRACE=OFF / PPSCAN_FAULTS=OFF the macros still
+    evaluate to a statement, and with them ON the null-check + clock read
+    (or the fault-registry lookup) lands inside per-element kernel loops
     whose cost model the paper's figures depend on. Instrument the *caller*
     (phase body / task wrapper), never the kernel."""
     if not path_in(src.path, cfg.trace_hotpath_paths):
@@ -543,8 +545,9 @@ def check_trace_hotpath(src: SourceFile, cfg: Config) -> list[Finding]:
             continue
         findings.append(Finding(
             src.path, line, "trace-hotpath",
-            "PPSCAN_TRACE_* macro in a trace-free hot path; record the event "
-            "from the calling phase body instead (see docs/observability.md)"))
+            "PPSCAN_TRACE_*/PPSCAN_FAULT_* macro in a trace-free hot path; "
+            "record the event (or place the fault site) in the calling "
+            "phase body instead (see docs/observability.md)"))
     return findings
 
 

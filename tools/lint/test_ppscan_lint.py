@@ -105,8 +105,14 @@ class KnownBadTest(unittest.TestCase):
                       rules_in(self.findings, "narrowing.cpp"))
 
     def test_trace_hotpath_fires(self):
-        self.assertIn("trace-hotpath",
-                      rules_in(self.findings, "trace_hotpath.cpp"))
+        # The fixture plants one PPSCAN_TRACE_* use and one
+        # PPSCAN_FAULT_POINT use; both must fire (macro *definitions* in
+        # the same file must not).
+        hits = [f for f in self.findings
+                if f.path.endswith("trace_hotpath.cpp")
+                and f.rule == "trace-hotpath"]
+        self.assertEqual(len(hits), 2,
+                         "\n".join(str(f) for f in hits))
 
     def test_order_assert_fires_when_missing(self):
         findings = lint([BAD], required_asserts=[{

@@ -1,5 +1,6 @@
-// trace-hotpath: a PPSCAN_TRACE_* macro inside a trace-free hot path
-// (the real scopes are configured under [trace].hotpath_paths).
+// trace-hotpath: a PPSCAN_TRACE_* (or PPSCAN_FAULT_*) macro inside a
+// trace-free hot path (the real scopes are configured under
+// [trace].hotpath_paths).
 #include <cstdint>
 
 namespace ppscan {
@@ -7,6 +8,7 @@ namespace ppscan {
 struct Collector;
 #define PPSCAN_TRACE_MASTER_EVENT(tc, kind, name, arg) \
   do { (void)sizeof(tc); } while (0)
+#define PPSCAN_FAULT_POINT(site) ((void)0)
 
 std::uint32_t intersect_count(const std::uint32_t* a, std::uint32_t na,
                               const std::uint32_t* b, std::uint32_t nb,
@@ -15,6 +17,7 @@ std::uint32_t intersect_count(const std::uint32_t* a, std::uint32_t na,
   std::uint32_t i = 0, j = 0;
   while (i < na && j < nb) {
     PPSCAN_TRACE_MASTER_EVENT(tc, KernelDispatch, "merge", 0);  // BAD
+    PPSCAN_FAULT_POINT("setops.merge");  // BAD
     const std::uint32_t x = a[i], y = b[j];
     count += (x == y);
     i += (x <= y);

@@ -30,6 +30,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_support/algorithms.hpp"
@@ -46,6 +47,7 @@
 #include "scan/result_io.hpp"
 #include "scan/validate_result.hpp"
 #include "serve/query_service.hpp"
+#include "serve/retry_policy.hpp"
 #include "serve/serving_metrics.hpp"
 #include "util/env.hpp"
 #include "util/flags.hpp"
@@ -83,7 +85,8 @@ class ScopedCancelSignals {
 
 /// Shell exit code of an aborted run: 124 mirrors timeout(1), 130 is the
 /// shell's 128+SIGINT convention, 125/126 label the library-specific
-/// budget and watchdog aborts.
+/// budget and watchdog aborts, 70 is sysexits.h EX_SOFTWARE for a
+/// firewall-contained internal exception.
 int abort_exit_code(AbortReason reason) {
   switch (reason) {
     case AbortReason::None: return 0;
@@ -91,6 +94,7 @@ int abort_exit_code(AbortReason reason) {
     case AbortReason::BudgetExceeded: return 125;
     case AbortReason::Stalled: return 126;
     case AbortReason::UserCancelled: return 130;
+    case AbortReason::Exception: return 70;
   }
   return 1;
 }
@@ -318,7 +322,8 @@ int cmd_cluster(const Flags& flags) {
             << run.stats.compsim_invocations << " intersections)\n";
   if (run.partial()) {
     const RunAborted info{run.stats.abort_reason, run.stats.abort_phase,
-                          run.stats.abort_bytes, run.stats.abort_worker};
+                          run.stats.abort_bytes, run.stats.abort_worker,
+                          run.stats.abort_detail};
     std::cout << "PARTIAL: " << info.describe() << "; "
               << run.stats.phases_completed
               << " phases completed, undecided vertices left Unknown\n";
@@ -521,6 +526,13 @@ int cmd_serve(const Flags& flags) {
   options.max_batch = static_cast<std::size_t>(flags.get_int("batch", 32));
   options.cache_results = !flags.get_bool("no-cache", false);
   options.default_limits = parse_limits(flags);
+  options.shed_target_delay =
+      std::chrono::milliseconds(flags.get_int("shed-target-ms", 0));
+  options.breaker_failure_threshold =
+      static_cast<std::uint32_t>(flags.get_int("breaker-threshold", 0));
+  options.breaker_cooldown =
+      std::chrono::milliseconds(flags.get_int("breaker-cooldown-ms", 100));
+  options.degraded_serving = flags.get_bool("degraded", false);
   options.numa = parse_numa_mode(flags.get_string("numa", "off"));
   NumaTopology topology;
   if (options.numa == NumaMode::Auto) {
@@ -531,18 +543,46 @@ int cmd_serve(const Flags& flags) {
 
   // Submit the whole session up front, then collect in submission order —
   // the point of the service is concurrent execution, not lockstep.
+  // With a shed target or breaker configured the session goes through the
+  // gated non-blocking path (try_submit_ex + RetryPolicy), so the CLI
+  // exercises the same admission machinery the open-loop clients use;
+  // otherwise blocking submit() provides plain backpressure.
+  const bool gated = options.shed_target_delay.count() > 0 ||
+                     options.breaker_failure_threshold > 0;
   std::vector<ScanParams> params;
   std::vector<std::future<serve::QueryResponse>> futures;
+  std::vector<serve::AdmissionOutcome> outcomes;
   WallTimer serve_timer;
   std::string eps_text, mu_text;
   while (std::cin >> eps_text >> mu_text) {
     const auto p = ScanParams::make(eps_text, parse_mu(mu_text));
     params.push_back(p);
-    futures.push_back(service.submit(p));
+    if (!gated) {
+      futures.push_back(service.submit(p));
+      outcomes.push_back(serve::AdmissionOutcome::Admitted);
+      continue;
+    }
+    serve::RetryPolicy retry;
+    std::future<serve::QueryResponse> future;
+    serve::AdmissionResult admission;
+    for (;;) {
+      admission =
+          service.try_submit_ex(p, options.default_limits, &future);
+      if (admission.admitted() || !retry.should_retry()) break;
+      std::this_thread::sleep_for(retry.next_delay(admission.retry_after));
+    }
+    futures.push_back(std::move(future));
+    outcomes.push_back(admission.outcome);
   }
   Table table({"id", "eps", "mu", "clusters", "cores", "latency(ms)",
                "cache", "abort"});
   for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (outcomes[i] != serve::AdmissionOutcome::Admitted) {
+      table.add_row({"-", std::to_string(params[i].eps.to_double()),
+                     Table::fmt(std::uint64_t{params[i].mu}), "-", "-", "-",
+                     "-", to_string(outcomes[i])});
+      continue;
+    }
     const serve::QueryResponse r = futures[i].get();
     table.add_row({Table::fmt(r.id),
                    std::to_string(params[i].eps.to_double()),
@@ -550,8 +590,12 @@ int cmd_serve(const Flags& flags) {
                    Table::fmt(std::uint64_t{r.run->result.num_clusters()}),
                    Table::fmt(r.run->result.num_cores()),
                    Table::fmt(r.latency_seconds * 1e3),
-                   r.cache_hit ? "hit" : "miss",
-                   to_string(r.run->stats.abort_reason)});
+                   r.degraded    ? "degraded"
+                   : r.cache_hit ? "hit"
+                                 : "miss",
+                   // The query's own outcome — preserved by the ladder
+                   // even when the served (substituted) run is complete.
+                   to_string(r.classified_reason)});
   }
   const double elapsed = serve_timer.elapsed_s();
   service.stop();
@@ -562,6 +606,13 @@ int cmd_serve(const Flags& flags) {
             << " s (" << snap.cache_hits << " cache hits, " << snap.partial
             << " partial); p50=" << snap.latency.quantile_ms(0.5)
             << " ms p99=" << snap.latency.quantile_ms(0.99) << " ms\n";
+  std::cout << "resilience: " << snap.exceptions << " exceptions, "
+            << snap.shed_queue_full + snap.shed_overload + snap.shed_breaker
+            << " shed (" << snap.shed_queue_full << " queue-full, "
+            << snap.shed_overload << " overload, " << snap.shed_breaker
+            << " breaker), " << snap.degraded_hits
+            << " degraded; breaker " << snap.breaker_state << " ("
+            << snap.breaker_transitions << " transitions)\n";
 
   const auto metrics_out = flags.get_string("metrics-json", "");
   if (!metrics_out.empty()) {
@@ -617,7 +668,14 @@ void usage() {
          "  serve <graph> [--threads N] [--queue C] [--batch B] [--no-cache]\n"
          "        [--timeout-ms T] [--numa auto|off|interleave]\n"
          "        [--metrics-json file]   (reads \"<eps> <mu>\" per stdin\n"
-         "        line; concurrent QueryService over one GS*-Index)\n";
+         "        line; concurrent QueryService over one GS*-Index)\n"
+         "        [--shed-target-ms D]    CoDel-style overload shedding\n"
+         "        [--breaker-threshold N] circuit breaker after N failures\n"
+         "        [--breaker-cooldown-ms C] open -> half-open probe delay\n"
+         "        [--degraded]            nearest cached answer when doomed\n"
+         "        (shed/breaker flags switch submission to the gated\n"
+         "         try_submit_ex path with client-side retry/backoff;\n"
+         "         see docs/resilience.md)\n";
 }
 
 }  // namespace
