@@ -99,7 +99,7 @@ Executor::~Executor() {
   if (supervisor_.joinable()) {
     supervisor_stop_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(supervisor_mutex_);
+      CheckedLock lock(supervisor_mutex_);
       ++supervisor_epoch_;
     }
     supervisor_cv_.notify_all();
@@ -123,7 +123,7 @@ void Executor::install_governor(RunGovernor* governor) {
       // Wake a sleeping supervisor: its idle tick may be far longer than
       // this run's deadline, and the first poll must use the new governor.
       {
-        std::lock_guard<std::mutex> lock(supervisor_mutex_);
+        CheckedLock lock(supervisor_mutex_);
         ++supervisor_epoch_;
       }
       supervisor_cv_.notify_all();
@@ -164,11 +164,18 @@ void Executor::supervisor_loop() {
   const RunGovernor* announced_for = nullptr;
   while (!supervisor_stop_.load(std::memory_order_acquire)) {
     {
-      std::unique_lock<std::mutex> lock(supervisor_mutex_);
-      supervisor_cv_.wait_for(lock, tick, [&] {
-        return supervisor_stop_.load(std::memory_order_acquire) ||
-               supervisor_epoch_ != seen_epoch;
-      });
+      CheckedLock lock(supervisor_mutex_);
+      // Explicit wait loop, not wait_for(lock, tick, pred): a predicate
+      // lambda reading supervisor_epoch_ would not inherit this scope's
+      // capability under -Wthread-safety (thread_safety.hpp, rule 3).
+      const auto wake_at = Clock::now() + tick;
+      while (!supervisor_stop_.load(std::memory_order_acquire) &&
+             supervisor_epoch_ == seen_epoch) {
+        if (supervisor_cv_.wait_until(lock.native(), wake_at) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       seen_epoch = supervisor_epoch_;
     }
     tick = kTickMax;
@@ -345,7 +352,7 @@ void Executor::record_task_failure(RunGovernor* gov) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(failure_mutex_);
+    CheckedLock lock(failure_mutex_);
     if (!first_failure_) first_failure_ = failure;
   }
   task_failed_.store(true, std::memory_order_release);
@@ -368,7 +375,7 @@ void Executor::wait_idle() {
   if (task_failed_.load(std::memory_order_acquire)) {
     std::exception_ptr failure;
     {
-      std::lock_guard<std::mutex> lock(failure_mutex_);
+      CheckedLock lock(failure_mutex_);
       failure = first_failure_;
       first_failure_ = nullptr;
     }

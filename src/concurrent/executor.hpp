@@ -58,6 +58,7 @@
 #include "concurrent/topology.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_safety.hpp"
 #include "util/types.hpp"
 
 namespace ppscan {
@@ -509,8 +510,9 @@ class Executor {
   // after filling first_failure_), consumer=master in wait_idle (acquire
   // load after pending_ hit zero, which already orders the write).
   std::atomic<bool> task_failed_{false};
-  std::mutex failure_mutex_;
-  std::exception_ptr first_failure_;  // guarded by failure_mutex_
+  // guards: first_failure_ — workers race to fill it, master swaps it out.
+  CheckedMutex failure_mutex_;
+  std::exception_ptr first_failure_ PPSCAN_GUARDED_BY(failure_mutex_);
 
   // Governance supervisor thread (lazily spawned by install_governor).
   // supervisor_busy_ is the grace-period handshake: the supervisor raises
@@ -528,9 +530,11 @@ class Executor {
   // protocol: seqcst-handshake — store-then-load vs governor_ so either the
   // installer sees busy and waits, or the tick sees the new pointer.
   std::atomic<int> supervisor_busy_{0};
-  std::mutex supervisor_mutex_;
+  // guards: supervisor_epoch_ — the notify-vs-wait race word for the
+  // supervisor's condvar tick.
+  CheckedMutex supervisor_mutex_;
   std::condition_variable supervisor_cv_;
-  std::uint64_t supervisor_epoch_ = 0;  // guarded by supervisor_mutex_
+  std::uint64_t supervisor_epoch_ PPSCAN_GUARDED_BY(supervisor_mutex_) = 0;
 };
 
 }  // namespace ppscan

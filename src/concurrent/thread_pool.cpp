@@ -26,7 +26,7 @@ int ThreadPool::current_worker() const {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    CheckedLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -35,7 +35,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    CheckedLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++unfinished_;
   }
@@ -43,8 +43,11 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_idle_.wait(lock, [this] { return unfinished_ == 0; });
+  // Explicit wait loops here and in worker_loop, not predicate lambdas: a
+  // lambda reading the guarded fields would not inherit this scope's
+  // capability under -Wthread-safety (thread_safety.hpp, rule 3).
+  CheckedLock lock(mutex_);
+  while (unfinished_ != 0) all_idle_.wait(lock.native());
 }
 
 void ThreadPool::worker_loop(int index) {
@@ -53,16 +56,15 @@ void ThreadPool::worker_loop(int index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      CheckedLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      CheckedLock lock(mutex_);
       if (--unfinished_ == 0) all_idle_.notify_all();
     }
   }

@@ -10,9 +10,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace ppscan {
 
@@ -25,11 +26,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) PPSCAN_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished. The pool remains usable
   /// afterwards — this is the inter-phase barrier.
-  void wait_idle();
+  void wait_idle() PPSCAN_EXCLUDES(mutex_);
 
   [[nodiscard]] int num_threads() const {
     return static_cast<int>(workers_.size());
@@ -44,12 +45,14 @@ class ThreadPool {
   void worker_loop(int index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  // guards: queue_, unfinished_, stopping_ — the whole submit/drain state.
+  CheckedMutex mutex_;
+  std::deque<std::function<void()>> queue_ PPSCAN_GUARDED_BY(mutex_);
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::size_t unfinished_ = 0;  // queued + currently executing
-  bool stopping_ = false;
+  /// Queued + currently executing.
+  std::size_t unfinished_ PPSCAN_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PPSCAN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ppscan

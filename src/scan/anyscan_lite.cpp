@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 #include "concurrent/task_scheduler.hpp"
 #include "concurrent/executor.hpp"
@@ -11,6 +10,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "setops/intersect.hpp"
+#include "util/thread_safety.hpp"
 #include "util/timer.hpp"
 
 namespace ppscan {
@@ -160,7 +160,8 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
 
     // Clustering: cores complete their arc evaluations (a second source of
     // redundancy — edges cut short by the role phase are recomputed).
-    std::mutex merge_mutex;
+    // guards: core_noncore_sim_edges — workers merge their local batches.
+    CheckedMutex merge_mutex;
     std::vector<std::pair<VertexId, VertexId>> core_noncore_sim_edges;
     phase("ClusterCore", [&] {
       schedule_vertex_tasks(
@@ -196,7 +197,7 @@ ScanRun anyscan_lite(const CsrGraph& graph, const ScanParams& params,
             invocations.fetch_add(local_invocations,
                                   std::memory_order_relaxed);
             if (!local.empty()) {
-              std::lock_guard lock(merge_mutex);
+              CheckedLock lock(merge_mutex);
               core_noncore_sim_edges.insert(core_noncore_sim_edges.end(),
                                             local.begin(), local.end());
             }

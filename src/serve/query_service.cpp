@@ -195,7 +195,7 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
     const CacheKey key{params.eps.num, params.eps.den, params.mu};
     if (auto hit = cache_lookup(key)) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        CheckedLock lock(stats_mutex_);
         submitted_ += 1;
       }
       Delivery delivery;
@@ -210,7 +210,7 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
   }
   AdmissionResult gate;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CheckedLock lock(stats_mutex_);
     gate = admission_gate(request);
     if (gate.admitted()) {
       submitted_ += 1;
@@ -233,7 +233,7 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
   if (!queue_.try_enqueue(std::move(request))) {
     const auto sojourn_ms = std::max<std::uint64_t>(
         1, queue_sojourn_ns_.load(std::memory_order_relaxed) / 1'000'000);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CheckedLock lock(stats_mutex_);
     submitted_ -= 1;  // refused, not admitted
     rejected_ += 1;
     shed_queue_full_ += 1;
@@ -258,7 +258,7 @@ std::future<QueryResponse> QueryService::enqueue(Request request) {
   PPSCAN_FAULT_POINT("serve.admission");
   auto future = request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CheckedLock lock(stats_mutex_);
     submitted_ += 1;
   }
   if (options_.cache_results) {
@@ -279,7 +279,7 @@ std::future<QueryResponse> QueryService::enqueue(Request request) {
         drained_epoch_.load(std::memory_order_acquire);
     if (queue_.try_enqueue(std::move(request))) break;
     if (stop_requested_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      CheckedLock lock(stats_mutex_);
       submitted_ -= 1;  // refused after all, not admitted
       throw ServiceStoppedError("QueryService::submit after stop()");
     }
@@ -309,7 +309,7 @@ void QueryService::drain_if_stopped() {
   // Serialize with stop(): once we hold stop_mutex_, stop()'s join+drain
   // has finished and no dispatcher exists — whatever is still queued is
   // ours to answer, on this thread, exactly like stop()'s own drain.
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  CheckedLock stop_lock(stop_mutex_);
   Request request;
   while (queue_.try_dequeue(&request)) execute(request);
 }
@@ -503,7 +503,7 @@ void QueryService::respond(Request& request, Delivery delivery) {
   response.run = std::move(delivery.run);
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CheckedLock lock(stats_mutex_);
     completed_ += 1;
     if (delivery.cache_hit) cache_hits_ += 1;
     if (response.run->partial()) partial_ += 1;
@@ -522,6 +522,16 @@ void QueryService::respond(Request& request, Delivery delivery) {
     // count — a memoized answer says nothing about execution health. The
     // half-open probe's outcome settles the breaker; a streak of
     // exception-classified failures opens it.
+    if (options_.breaker_failure_threshold > 0 && delivery.cache_hit) {
+      // A half-open probe can be answered by execute()'s second cache
+      // probe (another query populated the entry between admission and
+      // execution). That outcome says nothing about execution health, but
+      // the probe slot MUST be released: leaving breaker_probe_in_flight_
+      // set wedges the breaker half-open forever — every later non-cached
+      // admission refused BreakerOpen with no probe left to settle it.
+      // Stay HalfOpen so the next admission becomes a fresh probe.
+      if (request.breaker_probe) breaker_probe_in_flight_ = false;
+    }
     if (options_.breaker_failure_threshold > 0 && !delivery.cache_hit) {
       const bool failed = delivery.classified == AbortReason::Exception;
       if (request.breaker_probe) {
@@ -579,14 +589,14 @@ void QueryService::respond(Request& request, Delivery delivery) {
 
 std::optional<QueryService::CachedResult> QueryService::cache_lookup(
     const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CheckedLock lock(cache_mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) return std::nullopt;
   return it->second;
 }
 
 void QueryService::cache_store(const CacheKey& key, CachedResult value) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CheckedLock lock(cache_mutex_);
   if (cache_.size() >= options_.cache_capacity &&
       cache_.find(key) == cache_.end()) {
     // Wholesale eviction: parameter spaces are tiny, an LRU chain would be
@@ -598,7 +608,7 @@ void QueryService::cache_store(const CacheKey& key, CachedResult value) {
 
 std::optional<QueryService::CachedResult> QueryService::cache_nearest(
     const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CheckedLock lock(cache_mutex_);
   if (cache_.empty()) return std::nullopt;
   const double eps =
       static_cast<double>(key.num) / static_cast<double>(key.den);
@@ -659,7 +669,7 @@ ScanRun QueryService::exception_aborted_run(const char* phase,
 }
 
 void QueryService::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  CheckedLock stop_lock(stop_mutex_);
   if (stopped_) return;
   stopped_ = true;
   stop_requested_.store(true, std::memory_order_release);
@@ -680,7 +690,7 @@ void QueryService::stop() {
 ServiceSnapshot QueryService::snapshot() const {
   ServiceSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CheckedLock lock(stats_mutex_);
     snap.submitted = submitted_;
     snap.completed = completed_;
     snap.cache_hits = cache_hits_;

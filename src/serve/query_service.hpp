@@ -63,7 +63,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -77,6 +76,7 @@
 #include "obs/trace.hpp"
 #include "scan/scan_common.hpp"
 #include "serve/mpmc_queue.hpp"
+#include "util/thread_safety.hpp"
 
 namespace ppscan::serve {
 
@@ -278,9 +278,10 @@ class QueryService {
                                 std::future<QueryResponse>* out);
 
   /// Drains every queued request, joins the dispatcher, idempotent.
-  void stop();
+  void stop() PPSCAN_EXCLUDES(stop_mutex_);
 
-  [[nodiscard]] ServiceSnapshot snapshot() const;
+  [[nodiscard]] ServiceSnapshot snapshot() const
+      PPSCAN_EXCLUDES(stats_mutex_);
   [[nodiscard]] int num_threads() const { return options_.num_threads; }
   [[nodiscard]] const GsIndex& index() const { return index_; }
 
@@ -342,25 +343,31 @@ class QueryService {
   /// Delivers the response: records stats + breaker feedback under the
   /// mutex, then fulfills the promise (after the lock — the waiter may run
   /// immediately).
-  void respond(Request& request, Delivery delivery);
-  std::optional<CachedResult> cache_lookup(const CacheKey& key);
-  void cache_store(const CacheKey& key, CachedResult value);
+  void respond(Request& request, Delivery delivery)
+      PPSCAN_EXCLUDES(stats_mutex_);
+  std::optional<CachedResult> cache_lookup(const CacheKey& key)
+      PPSCAN_EXCLUDES(cache_mutex_);
+  void cache_store(const CacheKey& key, CachedResult value)
+      PPSCAN_EXCLUDES(cache_mutex_);
   /// Nearest cached entry to `key` by |ε| distance (then |µ|) — the
   /// degradation ladder's source. nullopt when the cache is empty.
-  std::optional<CachedResult> cache_nearest(const CacheKey& key);
+  std::optional<CachedResult> cache_nearest(const CacheKey& key)
+      PPSCAN_EXCLUDES(cache_mutex_);
   /// Degradation ladder: when enabled and the cache has anything, builds a
   /// degraded Delivery for a query classified as `reason`; nullopt → fall
   /// back to the classified partial.
   std::optional<Delivery> degraded_delivery(const CacheKey& key,
-                                            AbortReason reason);
+                                            AbortReason reason)
+      PPSCAN_EXCLUDES(cache_mutex_);
   /// Breaker + overload gate for non-blocking admission, under
   /// stats_mutex_. On refusal fills the cause counters and the hint; on
   /// admission may mark the request as the half-open probe.
-  AdmissionResult admission_gate(Request& request);
+  AdmissionResult admission_gate(Request& request)
+      PPSCAN_REQUIRES(stats_mutex_);
   /// Post-enqueue stop-race repair (see stop()): if stop() finished its
   /// final drain before our enqueue landed, nobody will ever dequeue it —
   /// the producer drains and executes leftovers itself.
-  void drain_if_stopped();
+  void drain_if_stopped() PPSCAN_EXCLUDES(stop_mutex_);
   /// All-Unknown classified partial for a query whose deadline was already
   /// spent in the queue (abort phase "QAdmission").
   [[nodiscard]] ScanRun admission_aborted_run() const;
@@ -400,40 +407,50 @@ class QueryService {
   // on old congestion data, which the next batch corrects.
   std::atomic<std::uint64_t> queue_sojourn_ns_{0};
 
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<CacheKey, CachedResult, CacheKeyHash> cache_;
+  // guards: cache_ — the memoized-results map.
+  mutable CheckedMutex cache_mutex_;
+  std::unordered_map<CacheKey, CachedResult, CacheKeyHash> cache_
+      PPSCAN_GUARDED_BY(cache_mutex_);
 
   // Everything below is guarded by stats_mutex_ (plain fields, no atomics:
   // the stats path is off the per-entry hot loops and a snapshot wants a
   // consistent cut anyway).
-  mutable std::mutex stats_mutex_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t partial_ = 0;
-  std::uint64_t exceptions_ = 0;
-  std::uint64_t shed_queue_full_ = 0;
-  std::uint64_t shed_overload_ = 0;
-  std::uint64_t shed_breaker_ = 0;
-  std::uint64_t retries_advised_ = 0;
-  std::uint64_t degraded_hits_ = 0;
+  // guards: the serving counters, the latency histogram, the per-query
+  // record ring, and the whole circuit-breaker state machine.
+  mutable CheckedMutex stats_mutex_;
+  std::uint64_t submitted_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t completed_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t cache_hits_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t rejected_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t partial_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t exceptions_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t shed_queue_full_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t shed_overload_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t shed_breaker_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t retries_advised_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t degraded_hits_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
   /// Circuit breaker state machine (all guarded by stats_mutex_): the
   /// consecutive-exception count, the state, when it opened, whether the
   /// half-open probe is outstanding, and the transition counter.
   enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
-  BreakerState breaker_state_ = BreakerState::Closed;
-  std::uint32_t breaker_consecutive_failures_ = 0;
-  std::chrono::steady_clock::time_point breaker_opened_at_{};
-  bool breaker_probe_in_flight_ = false;
-  std::uint64_t breaker_transitions_ = 0;
-  obs::AlgoCounters counters_;
-  LatencyHistogram latency_;
-  std::vector<QueryRecord> recent_;  ///< ring buffer
-  std::size_t recent_head_ = 0;
+  BreakerState breaker_state_ PPSCAN_GUARDED_BY(stats_mutex_) =
+      BreakerState::Closed;
+  std::uint32_t breaker_consecutive_failures_
+      PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_
+      PPSCAN_GUARDED_BY(stats_mutex_) = {};
+  bool breaker_probe_in_flight_ PPSCAN_GUARDED_BY(stats_mutex_) = false;
+  std::uint64_t breaker_transitions_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  obs::AlgoCounters counters_ PPSCAN_GUARDED_BY(stats_mutex_);
+  LatencyHistogram latency_ PPSCAN_GUARDED_BY(stats_mutex_);
+  /// Ring buffer of the most recent per-query records.
+  std::vector<QueryRecord> recent_ PPSCAN_GUARDED_BY(stats_mutex_);
+  std::size_t recent_head_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
 
-  std::mutex stop_mutex_;  ///< serializes stop() callers
-  bool stopped_ = false;   ///< guarded by stop_mutex_
+  // guards: stopped_ — serializes stop() callers against each other and
+  // against drain_if_stopped()'s leftover-execution repair.
+  CheckedMutex stop_mutex_;
+  bool stopped_ PPSCAN_GUARDED_BY(stop_mutex_) = false;
 };
 
 }  // namespace ppscan::serve

@@ -5,21 +5,27 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <thread>
 
+#include "util/thread_safety.hpp"
+
 namespace ppscan {
 namespace {
+
+// Namespace scope rather than function-local statics: -Wthread-safety
+// cannot attach guarded_by to a local static, and the one-time-init cost
+// is identical for a mutex and a set.
+// guards: env_warned — the set of knob names already warned about.
+CheckedMutex env_warn_mu;
+std::set<std::string> env_warned PPSCAN_GUARDED_BY(env_warn_mu);
 
 // Warn once per (variable, value-class) so a bench loop re-reading a bad
 // knob doesn't flood stderr, but the first read of every bad knob is loud.
 void warn_once(const char* name, const std::string& value,
                const char* expected, const std::string& fallback) {
-  static std::mutex mu;
-  static std::set<std::string> warned;
-  const std::lock_guard<std::mutex> lock(mu);
-  if (!warned.insert(name).second) return;
+  const CheckedLock lock(env_warn_mu);
+  if (!env_warned.insert(name).second) return;
   std::fprintf(stderr,
                "ppscan: ignoring %s=\"%s\" (expected %s); using %s\n", name,
                value.c_str(), expected, fallback.c_str());

@@ -13,6 +13,7 @@
 
 #include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_safety.hpp"
 
 namespace ppscan::fault {
 namespace {
@@ -22,20 +23,23 @@ namespace {
 // the per-site mutex (a fault path is never hot, so a mutex is fine — the
 // cold path only exists in PPSCAN_FAULTS=ON builds to begin with).
 struct Site {
-  std::mutex mu;
-  Spec spec;
-  Rng rng{0};
+  // guards: spec, rng — re-arming races against concurrent dice rolls.
+  CheckedMutex site_mu;
+  Spec spec PPSCAN_GUARDED_BY(site_mu);
+  Rng rng PPSCAN_GUARDED_BY(site_mu) = Rng(0);
   std::atomic<std::uint64_t> hits{0};   // protocol: relaxed-counter
   std::atomic<std::uint64_t> fires{0};  // protocol: relaxed-counter
 };
 
 struct Registry {
-  std::mutex mu;
+  // guards: sites, env_loaded — the site map and the lazy env-arm flag.
+  CheckedMutex registry_mu;
   // unique_ptr so Site addresses are stable across map rehashes; maybe_fire
   // holds only the registry lock while *finding* the site, then the site's
   // own lock while rolling the dice.
-  std::map<std::string, std::unique_ptr<Site>> sites;
-  bool env_loaded = false;
+  std::map<std::string, std::unique_ptr<Site>> sites
+      PPSCAN_GUARDED_BY(registry_mu);
+  bool env_loaded PPSCAN_GUARDED_BY(registry_mu) = false;
 };
 
 Registry& registry() {
@@ -103,10 +107,11 @@ std::string parse_one(const std::string& entry, std::string& site_out,
 }
 
 // Arms `site` inside `reg` (registry lock must be held).
-void arm_locked(Registry& reg, const std::string& site, const Spec& spec) {
+void arm_locked(Registry& reg, const std::string& site, const Spec& spec)
+    PPSCAN_REQUIRES(reg.registry_mu) {
   auto& slot = reg.sites[site];
   if (!slot) slot = std::make_unique<Site>();
-  std::lock_guard<std::mutex> site_lock(slot->mu);
+  CheckedLock site_lock(slot->site_mu);
   slot->spec = spec;
   slot->rng = Rng(spec.seed);
   slot->hits.store(0, std::memory_order_relaxed);
@@ -116,7 +121,7 @@ void arm_locked(Registry& reg, const std::string& site, const Spec& spec) {
 // Loads PPSCAN_FAULT once per process (and again after reset()). A parse
 // error is fatal by design: a chaos lane with a typo'd spec must fail
 // loudly, not run a clean build and report green.
-void load_env_locked(Registry& reg) {
+void load_env_locked(Registry& reg) PPSCAN_REQUIRES(reg.registry_mu) {
   if (reg.env_loaded) return;
   reg.env_loaded = true;
   const auto text = env_string("PPSCAN_FAULT");
@@ -142,14 +147,14 @@ void load_env_locked(Registry& reg) {
 
 void arm(const std::string& site, const Spec& spec) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  CheckedLock lock(reg.registry_mu);
   load_env_locked(reg);
   arm_locked(reg, site, spec);
 }
 
 std::string arm_from_string(const std::string& text) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  CheckedLock lock(reg.registry_mu);
   load_env_locked(reg);
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -169,7 +174,7 @@ std::string arm_from_string(const std::string& text) {
 
 void reset() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  CheckedLock lock(reg.registry_mu);
   reg.sites.clear();
   // Mark the env as already consumed: after an explicit reset() the test
   // owns the arming, and a lane-wide PPSCAN_FAULT must not re-poison it.
@@ -178,7 +183,7 @@ void reset() {
 
 std::uint64_t fire_count(const std::string& site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  CheckedLock lock(reg.registry_mu);
   const auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return 0;
   return it->second->fires.load(std::memory_order_relaxed);
@@ -186,7 +191,7 @@ std::uint64_t fire_count(const std::string& site) {
 
 std::vector<std::string> fired_sites() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  CheckedLock lock(reg.registry_mu);
   std::vector<std::string> out;
   for (const auto& [name, site] : reg.sites) {
     if (site->fires.load(std::memory_order_relaxed) > 0) out.push_back(name);
@@ -198,7 +203,7 @@ void maybe_fire(const char* site) {
   Registry& reg = registry();
   Site* found = nullptr;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    CheckedLock lock(reg.registry_mu);
     load_env_locked(reg);
     const auto it = reg.sites.find(site);
     if (it == reg.sites.end()) return;
@@ -207,7 +212,7 @@ void maybe_fire(const char* site) {
   Action action = Action::Throw;
   std::uint32_t sleep_ms = 0;
   {
-    std::lock_guard<std::mutex> site_lock(found->mu);
+    CheckedLock site_lock(found->site_mu);
     const std::uint64_t hit =
         found->hits.fetch_add(1, std::memory_order_relaxed);
     if (hit < found->spec.skip_first) return;

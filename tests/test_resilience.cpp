@@ -553,6 +553,73 @@ TEST_F(FaultArmed, BreakerOpensOnConsecutiveFailuresAndProbesClosed) {
   ASSERT_NE(f.get().run, nullptr);
 }
 
+// Regression: a half-open probe can be answered by execute()'s *second*
+// cache probe (another query cached the same (ε, µ) between the probe's
+// admission and its execution). The cache-hit delivery used to skip
+// breaker bookkeeping entirely, leaving breaker_probe_in_flight_ set — the
+// breaker wedged half-open forever and every later non-cached admission
+// was refused BreakerOpen with no probe left to settle it.
+TEST_F(FaultArmed, BreakerProbeAnsweredFromCacheDoesNotWedgeHalfOpen) {
+  const auto g = erdos_renyi(400, 3200, 67);
+  const GsIndex index(g);
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1;  // the dispatcher serializes: warm, then probe
+  options.cache_results = true;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown = std::chrono::milliseconds(25);
+  QueryService service(index, options);
+
+  // One classified failure opens the breaker.
+  {
+    fault::Spec spec;
+    spec.max_fires = 1;
+    fault::arm("serve.execute", spec);
+    std::future<QueryResponse> f;
+    ASSERT_TRUE(
+        service.try_submit_ex(ScanParams::make("0.5", 2), RunLimits{}, &f)
+            .admitted());
+    EXPECT_EQ(f.get().classified_reason, AbortReason::Exception);
+    EXPECT_EQ(service.snapshot().breaker_state, "open");
+  }
+  fault::reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Occupy the dispatcher with a slow *blocking* query (submit() bypasses
+  // the breaker by contract) for a fresh (ε, µ)...
+  {
+    fault::Spec slow;
+    slow.action = fault::Action::Sleep;
+    slow.sleep_ms = 500;
+    slow.max_fires = 1;
+    fault::arm("serve.execute", slow);
+  }
+  auto warm = service.submit(ScanParams::make("0.5", 3));
+  // ...and admit the same parameters non-blocking while it runs. This
+  // admission misses the cache (the warm run has not finished yet), so it
+  // passes the gate and becomes the half-open probe — but by the time the
+  // dispatcher executes it the warm run has been cached, so the probe
+  // resolves as a cache hit.
+  std::future<QueryResponse> probe;
+  ASSERT_TRUE(
+      service.try_submit_ex(ScanParams::make("0.5", 3), RunLimits{}, &probe)
+          .admitted());
+  EXPECT_EQ(warm.get().classified_reason, AbortReason::None);
+  const QueryResponse probe_r = probe.get();
+  ASSERT_NE(probe_r.run, nullptr);
+  EXPECT_TRUE(probe_r.cache_hit);  // the scenario under test actually ran
+
+  // The probe slot must have been released: a fresh, uncached non-blocking
+  // admission is the *new* probe (still half-open), not a BreakerOpen
+  // refusal; its success closes the breaker.
+  std::future<QueryResponse> next;
+  const auto result =
+      service.try_submit_ex(ScanParams::make("0.5", 4), RunLimits{}, &next);
+  EXPECT_TRUE(result.admitted()) << to_string(result.outcome);
+  EXPECT_EQ(next.get().classified_reason, AbortReason::None);
+  EXPECT_EQ(service.snapshot().breaker_state, "closed");
+}
+
 // Probabilistic soak: several sites armed at low probability (from
 // PPSCAN_FAULT when the chaos lane sets it, else a built-in mix), many
 // clients, every future must resolve and the service must stay coherent.

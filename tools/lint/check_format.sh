@@ -28,6 +28,20 @@ if ! command -v "$FMT" >/dev/null 2>&1; then
   exit 77
 fi
 
+# A shallow CI checkout (fetch-depth 1) may not contain the base ref at
+# all, and `git diff` against a missing commit exits non-zero — which the
+# mapfile would silently swallow as "no files changed", passing the gate
+# without checking anything. Detect that up front and fall back to the
+# full-tree check instead.
+if [ "$MODE" = "base" ]; then
+  if ! git rev-parse --quiet --verify "$BASE^{commit}" >/dev/null 2>&1; then
+    SHALLOW="$(git rev-parse --is-shallow-repository 2>/dev/null || echo unknown)"
+    echo "check_format: base ref '$BASE' not present in this checkout" \
+         "(shallow: $SHALLOW); falling back to the full-tree check" >&2
+    MODE="all"
+  fi
+fi
+
 if [ "$MODE" = "base" ]; then
   mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
                          '*.cpp' '*.hpp' | grep -E '^(src|tools|bench|tests)/')

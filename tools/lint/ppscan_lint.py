@@ -40,6 +40,34 @@ bug in another. This linter encodes those invariants:
                       forbidden where a null-check or function call would
                       sit inside the per-element intersection loops.
 
+A second pass (config: lock_protocol.toml) enforces the blocking-side lock
+discipline that complements clang's -Wthread-safety (which checks
+guard/capability use but has no reliable whole-program lock ordering):
+
+  lock-raw            std::mutex / lock_guard / unique_lock / ... in the
+                      configured paths; raw primitives are invisible to
+                      -Wthread-safety — use CheckedMutex/CheckedLock from
+                      util/thread_safety.hpp.
+  lock-unannotated    a CheckedMutex member without a `// guards:` comment
+                      naming the state it protects.
+  lock-undeclared     a CheckedMutex not registered in lock_protocol.toml
+                      ([[locks]]) — every mutex needs a lock-order level —
+                      or a registered lock with no declaration left in the
+                      tree.
+  lock-ambiguous      two CheckedMutex declarations share a name; the order
+                      checker resolves locks by name, so this is an error.
+  lock-order          an acquisition edge (lexical nesting, a call made
+                      while a lock is held — via a transitive may-acquire
+                      closure — or a PPSCAN_REQUIRES-derived hold) that
+                      violates the strictly-increasing level hierarchy,
+                      including self-deadlocks on the non-recursive
+                      CheckedMutex.
+  lock-hotpath        any mutex use in lock-free hot-path directories, or a
+                      direct acquisition inside the functions listed in
+                      [[hotpath_functions]] (the executor claim path).
+  lock-docs           a mutex missing from the "Mutexes and guards" table
+                      in docs/memory_model.md.
+
 Engine: a comment/string-aware tokenizer (no dependencies beyond the
 standard library). When the optional libclang python bindings are installed,
 `--verify-with-libclang` cross-validates the declaration scan against a real
@@ -621,6 +649,500 @@ def check_docs(decls: list[AtomicDecl], cfg: Config,
 
 
 # --------------------------------------------------------------------------
+# Lock-discipline pass (lock_protocol.toml)
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LockSpec:
+    name: str
+    level: int  # lower = acquired first (outermost); edges must go up
+    summary: str
+
+
+@dataclasses.dataclass
+class LockConfig:
+    paths: list[str]
+    exclude_paths: list[str]
+    docs_file: str | None
+    locks: dict[str, LockSpec]
+    hotpath_paths: list[str]
+    hotpath_functions: list[dict]
+    call_aliases: dict[str, str]  # macro name -> function it expands to
+
+
+def load_lock_config(path: pathlib.Path) -> LockConfig:
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise SystemExit(f"ppscan_lint: cannot read lock config {path}: {exc}")
+    locks: dict[str, LockSpec] = {}
+    for spec in data.get("locks", []):
+        name = spec["name"]
+        if name in locks:
+            raise SystemExit(f"ppscan_lint: lock config lists '{name}' twice")
+        locks[name] = LockSpec(name=name, level=int(spec["level"]),
+                               summary=spec.get("summary", ""))
+    lock = data.get("lock", {})
+    hotpath = data.get("hotpath", {})
+    return LockConfig(
+        paths=lock.get("paths", ["src/"]),
+        exclude_paths=data.get("exclude_paths", []),
+        docs_file=lock.get("docs_file"),
+        locks=locks,
+        hotpath_paths=hotpath.get("paths", []),
+        hotpath_functions=data.get("hotpath_functions", []),
+        call_aliases=data.get("call_aliases", {}),
+    )
+
+
+@dataclasses.dataclass
+class LockDecl:
+    path: str
+    line: int
+    name: str
+    guarded: bool  # has a `// guards:` comment
+
+
+@dataclasses.dataclass
+class LockSite:
+    """One acquisition: a CheckedLock declaration or an explicit .lock().
+    The lock is treated as held from `offset` to the close of the innermost
+    enclosing brace block (`scope_end`) — RAII lifetime, and a safe
+    over-approximation for manual lock()/unlock() pairs."""
+
+    path: str
+    line: int
+    offset: int
+    scope_end: int
+    name: str
+
+
+@dataclasses.dataclass
+class FuncDef:
+    name: str
+    line: int
+    body_start: int  # offset of the opening '{'
+    body_end: int  # one past the closing '}'
+    requires: list[str]  # identifiers from PPSCAN_REQUIRES(...)
+
+
+LOCK_DECL = re.compile(
+    r"\b(?:ppscan\s*::\s*)?CheckedMutex\s+([A-Za-z_]\w*)\s*[;={]")
+RAW_LOCK = re.compile(
+    r"\bstd\s*::\s*(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+LOCK_GUARD_DECL = re.compile(r"\bCheckedLock\s+[A-Za-z_]\w*\s*\(")
+LOCK_METHOD_CALL = re.compile(r"(?:\.|->)\s*lock\s*\(")
+HOTPATH_LOCK = re.compile(
+    r"\bCheckedMutex\b|\bCheckedLock\b|"
+    r"\bstd\s*::\s*(?:recursive_|timed_|shared_)*mutex\b|"
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"(?:\.|->)\s*lock\s*\(")
+# A call not reached through `.`/`->`/`::` — the receiver-less calls the
+# intra-repo call graph is built from. Template-qualified calls (f<T>())
+# are rare enough here to ignore; missing one only loses a may-acquire
+# edge, never invents one.
+CALL_SITE = re.compile(r"(?<![\w~.:>])([A-Za-z_]\w*)\s*\(")
+# Unlike CALL_SITE this must accept `Class::name(` — qualified method
+# definitions — so only a preceding word char or '~' blocks the match.
+FUNC_ANCHOR = re.compile(r"(?<![\w~])(~?[A-Za-z_]\w*)\s*\(")
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "alignas", "throw", "new", "delete",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "assert", "defined", "do", "else", "case", "goto", "co_await",
+    "co_return", "co_yield", "requires", "noexcept", "operator",
+}
+FUNC_SPECIFIERS = {"const", "noexcept", "override", "final", "mutable",
+                   "volatile", "try", "constexpr", "inline"}
+
+
+def find_guards_annotation(src: SourceFile, decl_line: int) -> bool:
+    """`guards: <what>` trailing on the declaration line or in the
+    contiguous comment block directly above it (mirrors `protocol:`)."""
+    candidates = [decl_line]
+    ln = decl_line - 1
+    while ln > 0 and src.comments.get(ln):
+        candidates.append(ln)
+        ln -= 1
+    return any(re.search(r"guards:\s*\S", src.comments.get(ln, ""))
+               for ln in candidates)
+
+
+def enclosing_scope_end(code: str, offset: int) -> int:
+    """Offset of the '}' closing the innermost block containing `offset`
+    (end of text if at namespace/file scope)."""
+    depth = 0
+    for i in range(offset, len(code)):
+        c = code[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth < 0:
+                return i
+    return len(code)
+
+
+def _skip_ctor_init_list(code: str, k: int) -> int:
+    """From just after the ':' introducing a constructor initializer list,
+    returns the offset of the body '{', or -1 if this isn't one."""
+    n = len(code)
+    while True:
+        while k < n and code[k] in " \t\n":
+            k += 1
+        m = IDENT.match(code, k)
+        if not m:
+            return -1
+        k = m.end()
+        while True:  # qualified-id and template-argument tail
+            while k < n and code[k] in " \t\n":
+                k += 1
+            if code.startswith("::", k):
+                m = IDENT.match(code, k + 2)
+                if not m:
+                    return -1
+                k = m.end()
+                continue
+            if k < n and code[k] == "<":
+                k = balance(code, k, "<", ">")
+                if k < 0:
+                    return -1
+                continue
+            break
+        if k >= n or code[k] not in "({":
+            return -1
+        k = balance(code, k, code[k], ")" if code[k] == "(" else "}")
+        if k < 0:
+            return -1
+        while k < n and code[k] in " \t\n":
+            k += 1
+        if k < n and code[k] == ",":
+            k += 1
+            continue
+        return k if k < n and code[k] == "{" else -1
+
+
+def extract_functions(src: SourceFile) -> list[FuncDef]:
+    """Function definitions (free functions, methods, constructors,
+    destructors) by bare name: `name(params) specifiers... { body }`.
+    Tolerates cv/ref/noexcept specifiers, PPSCAN_* attribute macros
+    (capturing PPSCAN_REQUIRES arguments), and constructor initializer
+    lists. Lambdas are not extracted — their acquisitions attribute to the
+    enclosing named function, which is what the order checker wants."""
+    code = src.code
+    n = len(code)
+    out: list[FuncDef] = []
+    for m in FUNC_ANCHOR.finditer(code):
+        name = m.group(1)
+        if name in CPP_KEYWORDS:
+            continue
+        close = balance(code, m.end() - 1, "(", ")")
+        if close < 0:
+            continue
+        k = close
+        requires: list[str] = []
+        body_start = -1
+        while 0 <= k < n:
+            while k < n and code[k] in " \t\n":
+                k += 1
+            if k >= n:
+                break
+            c = code[k]
+            if c == "{":
+                body_start = k
+                break
+            if c == ":":
+                body_start = _skip_ctor_init_list(code, k + 1)
+                break
+            if c in "-&*>":  # ref-qualifiers, trailing-return arrows
+                k += 1
+                continue
+            w = IDENT.match(code, k)
+            if not w:
+                break
+            word = w.group(0)
+            k2 = w.end()
+            while k2 < n and code[k2] in " \t\n":
+                k2 += 1
+            if k2 < n and code[k2] == "(":
+                pe = balance(code, k2, "(", ")")
+                if pe < 0:
+                    break
+                if word == "PPSCAN_REQUIRES":
+                    requires.extend(
+                        re.findall(r"[A-Za-z_]\w*", code[k2 + 1:pe - 1]))
+                k = pe
+                continue
+            if word in FUNC_SPECIFIERS or word.startswith("PPSCAN_"):
+                k = w.end()
+                continue
+            break
+        if body_start < 0:
+            continue
+        body_end = balance(code, body_start, "{", "}")
+        if body_end < 0:
+            continue
+        out.append(FuncDef(name, src.line_of(m.start()), body_start,
+                           body_end, requires))
+    return out
+
+
+def find_lock_sites(src: SourceFile, known: set[str]) -> list[LockSite]:
+    sites: list[LockSite] = []
+    code = src.code
+    for m in LOCK_GUARD_DECL.finditer(code):
+        close = balance(code, m.end() - 1, "(", ")")
+        if close < 0:
+            continue
+        # Last identifier of the argument: `reg.registry_mu` -> registry_mu.
+        idents = re.findall(r"[A-Za-z_]\w*", code[m.end():close - 1])
+        if not idents:
+            continue
+        sites.append(LockSite(src.path, src.line_of(m.start()), m.start(),
+                              enclosing_scope_end(code, m.start()),
+                              idents[-1]))
+    for m in LOCK_METHOD_CALL.finditer(code):
+        recv = receiver_before(code, m.start())
+        if recv and recv in known:
+            sites.append(LockSite(src.path, src.line_of(m.start()), m.start(),
+                                  enclosing_scope_end(code, m.start()), recv))
+    sites.sort(key=lambda s: s.offset)
+    return sites
+
+
+def calls_in(code: str, begin: int, end: int, table: set[str],
+             aliases: dict[str, str]) -> list[tuple[str, int]]:
+    out: list[tuple[str, int]] = []
+    for m in CALL_SITE.finditer(code, begin, end):
+        name = aliases.get(m.group(1), m.group(1))
+        if name in table:
+            out.append((name, m.start(1)))
+    return out
+
+
+def run_lock_lint(cfg: LockConfig, sources: dict[str, SourceFile],
+                  root: pathlib.Path, check_docs_table: bool) -> list[Finding]:
+    findings: list[Finding] = []
+    lock_sources = [s for s in sources.values()
+                    if path_in(s.path, cfg.paths)
+                    and not path_in(s.path, cfg.exclude_paths)]
+
+    # -- declarations, raw primitives ------------------------------------
+    decls: list[LockDecl] = []
+    for src in lock_sources:
+        for m in LOCK_DECL.finditer(src.code):
+            line = src.line_of(m.start())
+            decls.append(LockDecl(src.path, line, m.group(1),
+                                  find_guards_annotation(src, line)))
+        for m in RAW_LOCK.finditer(src.code):
+            line = src.line_of(m.start())
+            if waived(src, line, "lock-raw"):
+                continue
+            findings.append(Finding(
+                src.path, line, "lock-raw",
+                f"raw std::{m.group(1)} is invisible to -Wthread-safety; "
+                "use CheckedMutex/CheckedLock (util/thread_safety.hpp)"))
+
+    by_name: dict[str, LockDecl] = {}
+    for d in decls:
+        src = sources[d.path]
+        prior = by_name.get(d.name)
+        if prior is not None:
+            if not waived(src, d.line, "lock-ambiguous"):
+                findings.append(Finding(
+                    d.path, d.line, "lock-ambiguous",
+                    f"mutex '{d.name}' is also declared at "
+                    f"{prior.path}:{prior.line}; the lock-order checker "
+                    "resolves locks by name — rename one of them"))
+            continue
+        by_name[d.name] = d
+        if not d.guarded and not waived(src, d.line, "lock-unannotated"):
+            findings.append(Finding(
+                d.path, d.line, "lock-unannotated",
+                f"CheckedMutex '{d.name}' has no `// guards:` comment "
+                "naming the state it protects"))
+        if d.name not in cfg.locks and not waived(src, d.line,
+                                                  "lock-undeclared"):
+            findings.append(Finding(
+                d.path, d.line, "lock-undeclared",
+                f"CheckedMutex '{d.name}' is not registered in "
+                "tools/lint/lock_protocol.toml ([[locks]]); every mutex "
+                "needs a lock-order level"))
+    for name in sorted(set(cfg.locks) - set(by_name)):
+        findings.append(Finding(
+            "tools/lint/lock_protocol.toml", 1, "lock-undeclared",
+            f"config registers lock '{name}' but no CheckedMutex with that "
+            "name exists in the scanned tree (renamed or deleted?)"))
+
+    # -- functions, acquisitions, may-acquire closure --------------------
+    known = set(by_name) | set(cfg.locks)
+    funcs_by_file = {s.path: extract_functions(s) for s in lock_sources}
+    sites_by_file = {s.path: find_lock_sites(s, known) for s in lock_sources}
+
+    table: dict[str, dict] = {}
+    for src in lock_sources:
+        for fn in funcs_by_file[src.path]:
+            table.setdefault(fn.name, {"direct": set(), "callees": set()})
+    site_owner: dict[tuple[str, int], str] = {}
+    for src in lock_sources:
+        funcs = funcs_by_file[src.path]
+        for site in sites_by_file[src.path]:
+            inner = None
+            for fn in funcs:
+                if fn.body_start <= site.offset < fn.body_end and (
+                        inner is None or fn.body_start > inner.body_start):
+                    inner = fn
+            if inner is not None:
+                table[inner.name]["direct"].add(site.name)
+                site_owner[(src.path, site.offset)] = inner.name
+    names = set(table)
+    for src in lock_sources:
+        for fn in funcs_by_file[src.path]:
+            for callee, _ in calls_in(src.code, fn.body_start, fn.body_end,
+                                      names, cfg.call_aliases):
+                if callee != fn.name:
+                    table[fn.name]["callees"].add(callee)
+    # Functions are merged by bare name across the tree (no overload or
+    # class resolution) — a conservative over-approximation: it can invent
+    # may-acquire edges, never lose them.
+    may: dict[str, set[str]] = {f: set(e["direct"]) for f, e in table.items()}
+    changed = True
+    while changed:
+        changed = False
+        for f, e in table.items():
+            before = len(may[f])
+            for c in e["callees"]:
+                may[f] |= may[c]
+            changed = changed or len(may[f]) != before
+
+    # -- ordered-acquisition edges ---------------------------------------
+    # (outer, inner, path, line, how)
+    edges: list[tuple[str, str, str, int, str]] = []
+    for src in lock_sources:
+        sites = sites_by_file[src.path]
+        for i, a in enumerate(sites):
+            for b in sites[i + 1:]:
+                if b.offset >= a.scope_end:
+                    break
+                edges.append((a.name, b.name, src.path, b.line,
+                              "nested acquisition"))
+            for callee, off in calls_in(src.code, a.offset, a.scope_end,
+                                        set(may), cfg.call_aliases):
+                for inner_lock in may[callee]:
+                    edges.append((a.name, inner_lock, src.path,
+                                  src.line_of(off),
+                                  f"call to {callee}() while held"))
+        for fn in funcs_by_file[src.path]:
+            reqs = sorted({t for t in fn.requires if t in known})
+            if not reqs:
+                continue
+            for site in sites_by_file[src.path]:
+                if fn.body_start <= site.offset < fn.body_end:
+                    for r in reqs:
+                        edges.append((r, site.name, src.path, site.line,
+                                      f"inside {fn.name}() "
+                                      f"[PPSCAN_REQUIRES({r})]"))
+            for callee, off in calls_in(src.code, fn.body_start, fn.body_end,
+                                        set(may), cfg.call_aliases):
+                for inner_lock in may[callee]:
+                    for r in reqs:
+                        edges.append((r, inner_lock, src.path,
+                                      src.line_of(off),
+                                      f"call to {callee}() inside "
+                                      f"{fn.name}() [PPSCAN_REQUIRES({r})]"))
+
+    seen_edges: set[tuple[str, str, str, int]] = set()
+    for outer, inner, path, line, how in edges:
+        key = (outer, inner, path, line)
+        if key in seen_edges:
+            continue
+        seen_edges.add(key)
+        src = sources.get(path)
+        if src is not None and waived(src, line, "lock-order"):
+            continue
+        lo = cfg.locks.get(outer)
+        li = cfg.locks.get(inner)
+        if lo is None or li is None:
+            continue  # lock-undeclared already reported the missing level
+        if outer == inner:
+            findings.append(Finding(
+                path, line, "lock-order",
+                f"'{inner}' acquired while already held ({how}); "
+                "CheckedMutex is not recursive — this self-deadlocks"))
+        elif lo.level >= li.level:
+            findings.append(Finding(
+                path, line, "lock-order",
+                f"lock-order inversion: '{inner}' (level {li.level}) "
+                f"acquired while '{outer}' (level {lo.level}) is held "
+                f"({how}); tools/lint/lock_protocol.toml requires strictly "
+                "increasing levels"))
+
+    # -- hot paths --------------------------------------------------------
+    for src in lock_sources:
+        if not path_in(src.path, cfg.hotpath_paths):
+            continue
+        for m in HOTPATH_LOCK.finditer(src.code):
+            line = src.line_of(m.start())
+            if waived(src, line, "lock-hotpath"):
+                continue
+            findings.append(Finding(
+                src.path, line, "lock-hotpath",
+                "mutex use in a lock-free hot path; the setops kernels and "
+                "the executor claim path must stay blocking-free — move "
+                "the lock to the calling phase body"))
+    for spec in cfg.hotpath_functions:
+        src = sources.get(spec["file"])
+        if src is None:
+            findings.append(Finding(
+                spec["file"], 1, "lock-hotpath",
+                "file listed in [[hotpath_functions]] was not scanned "
+                "(moved or deleted?)"))
+            continue
+        banned = set(spec.get("functions", []))
+        present = {f.name for f in funcs_by_file.get(spec["file"], [])}
+        for want in sorted(banned - present):
+            findings.append(Finding(
+                spec["file"], 1, "lock-hotpath",
+                f"function '{want}' listed in [[hotpath_functions]] not "
+                "found; update tools/lint/lock_protocol.toml if it moved"))
+        for site in sites_by_file.get(spec["file"], []):
+            owner = site_owner.get((site.path, site.offset))
+            if owner in banned and not waived(src, site.line, "lock-hotpath"):
+                findings.append(Finding(
+                    site.path, site.line, "lock-hotpath",
+                    f"'{site.name}' acquired inside {owner}(), which is on "
+                    "the lock-free executor claim path "
+                    "([[hotpath_functions]]); hand the work to the phase "
+                    "body instead"))
+
+    # -- docs table -------------------------------------------------------
+    if check_docs_table and cfg.docs_file:
+        docs_path = root / cfg.docs_file
+        if not docs_path.is_file():
+            findings.append(Finding(cfg.docs_file, 1, "lock-docs",
+                                    "lock docs file missing"))
+        else:
+            docs = docs_path.read_text(encoding="utf-8")
+            if not re.search(r"(?im)^#+\s+mutexes and guards\b", docs):
+                findings.append(Finding(
+                    cfg.docs_file, 1, "lock-docs",
+                    'missing the "Mutexes and guards" section the lock '
+                    "table lives in"))
+            for name in sorted(set(by_name) | set(cfg.locks)):
+                if f"`{name}`" not in docs:
+                    d = by_name.get(name)
+                    findings.append(Finding(
+                        d.path if d else cfg.docs_file,
+                        d.line if d else 1, "lock-docs",
+                        f"mutex `{name}` is missing from the Mutexes-and-"
+                        f"guards table in {cfg.docs_file}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -635,11 +1157,14 @@ def path_in(path: str, prefixes: list[str]) -> bool:
     return False
 
 
-def collect_files(root: pathlib.Path, cfg: Config) -> list[pathlib.Path]:
+def collect_files(root: pathlib.Path, cfg: Config,
+                  lock_cfg: LockConfig | None = None) -> list[pathlib.Path]:
     scopes = set(cfg.protocol_paths) | set(cfg.narrowing_paths) | \
         set(cfg.trace_hotpath_paths)
     for rule in cfg.banned:
         scopes |= set(rule.get("paths", ["src/"]))
+    if lock_cfg is not None:
+        scopes |= set(lock_cfg.paths) | set(lock_cfg.hotpath_paths)
     files: list[pathlib.Path] = []
     seen: set[pathlib.Path] = set()
     for scope in sorted(scopes):
@@ -659,9 +1184,10 @@ def collect_files(root: pathlib.Path, cfg: Config) -> list[pathlib.Path]:
 
 
 def run_lint(cfg: Config, root: pathlib.Path,
-             check_docs_table: bool = True) -> list[Finding]:
+             check_docs_table: bool = True,
+             lock_cfg: LockConfig | None = None) -> list[Finding]:
     sources: dict[str, SourceFile] = {}
-    for path in collect_files(root, cfg):
+    for path in collect_files(root, cfg, lock_cfg):
         src = load_source(path, root)
         sources[src.path] = src
 
@@ -706,6 +1232,9 @@ def run_lint(cfg: Config, root: pathlib.Path,
     findings.extend(check_required_asserts(sources, cfg))
     if check_docs_table:
         findings.extend(check_docs(decls, cfg, root))
+    if lock_cfg is not None:
+        findings.extend(run_lock_lint(lock_cfg, sources, root,
+                                      check_docs_table))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -753,8 +1282,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--config", default=None,
                         help="config TOML (default: tools/lint/"
                              "atomics_protocol.toml under --root)")
+    parser.add_argument("--lock-config", default=None,
+                        help="lock-discipline config TOML (default: tools/"
+                             "lint/lock_protocol.toml under --root)")
     parser.add_argument("--no-docs-check", action="store_true",
-                        help="skip the protocol-docs completeness rule")
+                        help="skip the protocol-docs and lock-docs "
+                             "completeness rules")
     parser.add_argument("--verify-with-libclang", action="store_true",
                         help="cross-validate the declaration scan with the "
                              "optional clang python bindings")
@@ -767,8 +1300,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"ppscan_lint: config not found: {config_path}", file=sys.stderr)
         return 2
     cfg = load_config(config_path)
+    lock_config_path = pathlib.Path(args.lock_config) if args.lock_config \
+        else root / "tools" / "lint" / "lock_protocol.toml"
+    if not lock_config_path.is_file():
+        print(f"ppscan_lint: lock config not found: {lock_config_path}",
+              file=sys.stderr)
+        return 2
+    lock_cfg = load_lock_config(lock_config_path)
 
-    findings = run_lint(cfg, root, check_docs_table=not args.no_docs_check)
+    findings = run_lint(cfg, root, check_docs_table=not args.no_docs_check,
+                        lock_cfg=lock_cfg)
     for f in findings:
         print(f)
     if args.verify_with_libclang:

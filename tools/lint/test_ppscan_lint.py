@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import importlib.util
 import pathlib
+import re
 import sys
 import unittest
 
@@ -146,10 +147,132 @@ class WaiverTest(unittest.TestCase):
             waived.unlink()
 
 
+def lock_sources_for(paths):
+    sources = {}
+    for rel in paths:
+        base = REPO_ROOT / rel
+        files = [base] if base.is_file() else sorted(base.rglob("*"))
+        for p in files:
+            if p.suffix in ppscan_lint.SOURCE_SUFFIXES:
+                src = ppscan_lint.load_source(p, REPO_ROOT)
+                sources[src.path] = src
+    return sources
+
+
+def lock_lint(paths, locks, *, docs_file=None, hotpath_paths=(),
+              hotpath_functions=()):
+    """Run only the lock pass, with a synthetic lock table."""
+    cfg = ppscan_lint.LockConfig(
+        paths=list(paths), exclude_paths=[], docs_file=docs_file,
+        locks={name: ppscan_lint.LockSpec(name, level, "")
+               for name, level in locks.items()},
+        hotpath_paths=list(hotpath_paths),
+        hotpath_functions=list(hotpath_functions),
+        call_aliases={})
+    return ppscan_lint.run_lock_lint(cfg, lock_sources_for(paths), REPO_ROOT,
+                                     check_docs_table=docs_file is not None)
+
+
+BAD_LOCKS = {"bad_outer_mu": 10, "bad_inner_mu": 20, "dup_mu_": 30,
+             "unannotated_mu_": 30, "hot_mu_": 40}
+
+
+class LockKnownGoodTest(unittest.TestCase):
+    def test_good_locks_are_silent(self):
+        findings = lock_lint([f"{GOOD}/locks.hpp"],
+                             {"good_outer_mu": 10, "good_inner_mu": 20},
+                             docs_file=f"{GOOD}/lock_docs.md")
+        self.assertEqual([], [str(f) for f in findings])
+
+
+class LockKnownBadTest(unittest.TestCase):
+    def setUp(self):
+        self.findings = lock_lint([BAD], BAD_LOCKS)
+
+    def test_lock_raw_fires(self):
+        hits = [f for f in self.findings
+                if f.path.endswith("raw_mutex.hpp") and f.rule == "lock-raw"]
+        # The std::mutex member plus the lock_guard line (which names both
+        # std::lock_guard and std::mutex).
+        self.assertGreaterEqual(len(hits), 3,
+                                "\n".join(str(f) for f in hits))
+
+    def test_lock_unannotated_fires(self):
+        hits = [f for f in self.findings if f.rule == "lock-unannotated"]
+        self.assertEqual(["unannotated_mu_"],
+                         sorted(re.search(r"'(\w+)'", f.message).group(1)
+                                for f in hits))
+
+    def test_lock_undeclared_fires(self):
+        self.assertIn("lock-undeclared",
+                      rules_in(self.findings, "raw_mutex.hpp"))
+
+    def test_lock_undeclared_fires_for_vanished_decl(self):
+        findings = lock_lint([BAD], dict(BAD_LOCKS, ghost_mu=60))
+        hits = [f for f in findings if f.rule == "lock-undeclared"
+                and "ghost_mu" in f.message]
+        self.assertEqual(1, len(hits))
+
+    def test_lock_ambiguous_fires(self):
+        self.assertIn("lock-ambiguous",
+                      rules_in(self.findings, "lock_ambiguous.hpp"))
+
+    def test_lock_order_fires_per_shape(self):
+        hits = [f for f in self.findings
+                if f.path.endswith("lock_order.hpp")
+                and f.rule == "lock-order"]
+        messages = "\n".join(f.message for f in hits)
+        self.assertGreaterEqual(len(hits), 3, messages)
+        self.assertIn("nested acquisition", messages)  # lexical inversion
+        self.assertIn("call to helper_locks_outer()", messages)  # via closure
+        self.assertIn("self-deadlocks", messages)  # non-recursive reacquire
+
+    def test_lock_hotpath_fires_for_path_and_function(self):
+        findings = lock_lint(
+            [BAD], BAD_LOCKS,
+            hotpath_paths=[f"{BAD}/hotpath_mutex.cpp"],
+            hotpath_functions=[{"file": f"{BAD}/hotpath_mutex.cpp",
+                                "functions": ["claim_fast"]}])
+        hits = [f for f in findings if f.rule == "lock-hotpath"]
+        messages = "\n".join(f.message for f in hits)
+        self.assertIn("lock-free hot path", messages)  # path-scoped tokens
+        self.assertIn("claim_fast", messages)  # function-scoped acquisition
+
+    def test_lock_docs_fires_when_mutex_undocumented(self):
+        findings = lock_lint([BAD], BAD_LOCKS,
+                             docs_file=f"{GOOD}/lock_docs.md")
+        self.assertIn("lock-docs", {f.rule for f in findings})
+
+
+class LockWaiverTest(unittest.TestCase):
+    def test_lint_ok_waives_a_single_site(self):
+        waived = REPO_ROOT / GOOD / "_waived_lock_tmp.hpp"
+        waived.write_text(
+            "#pragma once\n#include <mutex>\n"
+            "namespace ppscan_lint_testdata {\nstruct W {\n"
+            "  std::mutex special_mu_;  // lint-ok: lock-raw\n"
+            "};\n}  // namespace ppscan_lint_testdata\n",
+            encoding="utf-8")
+        try:
+            findings = lock_lint([GOOD], {"good_outer_mu": 10,
+                                          "good_inner_mu": 20})
+            self.assertEqual([], rules_in(findings, "_waived_lock_tmp.hpp"))
+        finally:
+            waived.unlink()
+
+
 class RepoTreeTest(unittest.TestCase):
     def test_shipped_tree_is_clean(self):
         cfg = ppscan_lint.load_config(LINT_DIR / "atomics_protocol.toml")
         findings = ppscan_lint.run_lint(cfg, REPO_ROOT, check_docs_table=True)
+        self.assertEqual([], [str(f) for f in findings])
+
+    def test_shipped_tree_is_clean_with_lock_pass(self):
+        cfg = ppscan_lint.load_config(LINT_DIR / "atomics_protocol.toml")
+        lock_cfg = ppscan_lint.load_lock_config(
+            LINT_DIR / "lock_protocol.toml")
+        findings = ppscan_lint.run_lint(cfg, REPO_ROOT, check_docs_table=True,
+                                        lock_cfg=lock_cfg)
         self.assertEqual([], [str(f) for f in findings])
 
 

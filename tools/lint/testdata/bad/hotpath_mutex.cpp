@@ -1,0 +1,18 @@
+// Known-bad hot-path locking. The test lists this file as a hotpath
+// directory (every mutex token fires) AND lists claim_fast in
+// [[hotpath_functions]] (its direct acquisition fires separately).
+
+#include "util/thread_safety.hpp"
+
+namespace ppscan_lint_testdata {
+
+// guards: hot_state_ — must not exist in a hot path at all.
+CheckedMutex hot_mu_;
+int hot_state_ PPSCAN_GUARDED_BY(hot_mu_) = 0;
+
+int claim_fast() {
+  CheckedLock lock(hot_mu_);
+  return ++hot_state_;
+}
+
+}  // namespace ppscan_lint_testdata

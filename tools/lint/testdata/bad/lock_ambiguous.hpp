@@ -1,0 +1,22 @@
+#pragma once
+// Known-bad duplicate lock name: the order checker resolves locks by name
+// repo-wide, so two CheckedMutex members called dup_mu_ must raise
+// lock-ambiguous at the second declaration.
+
+#include "util/thread_safety.hpp"
+
+namespace ppscan_lint_testdata {
+
+struct FirstOwner {
+  // guards: a_ — the first claimant of the name.
+  CheckedMutex dup_mu_;
+  int a_ PPSCAN_GUARDED_BY(dup_mu_) = 0;
+};
+
+struct SecondOwner {
+  // guards: b_ — same name, different lock: ambiguous.
+  CheckedMutex dup_mu_;
+  int b_ PPSCAN_GUARDED_BY(dup_mu_) = 0;
+};
+
+}  // namespace ppscan_lint_testdata

@@ -1,0 +1,35 @@
+#pragma once
+// Known-bad lock ordering. The test registers bad_outer_mu at level 10 and
+// bad_inner_mu at level 20; the lock-order rule must fire on all three
+// shapes below — lexical inversion, inversion through the may-acquire call
+// closure, and a self-deadlock on the non-recursive CheckedMutex.
+
+#include "util/thread_safety.hpp"
+
+namespace ppscan_lint_testdata {
+
+// guards: ordered_count_ — the outer (level 10) half of the pair.
+inline CheckedMutex bad_outer_mu;
+// guards: inverted_count_ — the inner (level 20) half of the pair.
+inline CheckedMutex bad_inner_mu;
+
+inline void helper_locks_outer() {
+  CheckedLock lock(bad_outer_mu);
+}
+
+inline void inverted_lexically() {
+  CheckedLock inner(bad_inner_mu);
+  CheckedLock outer(bad_outer_mu);  // level 10 taken under level 20
+}
+
+inline void inverted_through_call() {
+  CheckedLock inner(bad_inner_mu);
+  helper_locks_outer();  // callee takes level 10 under level 20
+}
+
+inline void self_deadlock() {
+  CheckedLock first(bad_outer_mu);
+  CheckedLock again(bad_outer_mu);  // CheckedMutex is not recursive
+}
+
+}  // namespace ppscan_lint_testdata

@@ -1,0 +1,28 @@
+#pragma once
+// Known-bad blocking primitives: a raw std::mutex and std::lock_guard
+// (invisible to -Wthread-safety -> lock-raw), a CheckedMutex with no
+// `// guards:` comment (lock-unannotated), and one that is annotated but
+// not registered in the lock table (lock-undeclared).
+
+#include <mutex>
+
+#include "util/thread_safety.hpp"
+
+namespace ppscan_lint_testdata {
+
+struct RawUser {
+  void touch() {
+    std::lock_guard<std::mutex> hold(raw_mu_);
+    ++touched_;
+  }
+
+  std::mutex raw_mu_;
+  int touched_ = 0;
+
+  CheckedMutex unannotated_mu_;
+
+  // guards: nothing yet — deliberately absent from the lock table.
+  CheckedMutex unregistered_mu_;
+};
+
+}  // namespace ppscan_lint_testdata

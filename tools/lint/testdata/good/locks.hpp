@@ -1,0 +1,41 @@
+#pragma once
+// Known-good lock discipline: every CheckedMutex carries a `// guards:`
+// comment, is registered in the test's lock table, and every acquisition
+// edge runs strictly downhill (outer level 10 -> inner level 20),
+// including one derived through PPSCAN_REQUIRES. The lock self-test pins
+// this file to zero findings.
+
+#include "util/thread_safety.hpp"
+
+namespace ppscan_lint_testdata {
+
+class Coordinator {
+ public:
+  void drain();
+
+ private:
+  void spill_locked() PPSCAN_REQUIRES(good_outer_mu);
+
+  // guards: staged_ — batches parked between refill and drain.
+  CheckedMutex good_outer_mu;
+  int staged_ PPSCAN_GUARDED_BY(good_outer_mu) = 0;
+
+  // guards: spilled_ — overflow counter; leaf lock, never holds another.
+  CheckedMutex good_inner_mu;
+  int spilled_ PPSCAN_GUARDED_BY(good_inner_mu) = 0;
+};
+
+inline void Coordinator::drain() {
+  CheckedLock outer(good_outer_mu);
+  staged_ = 0;
+  CheckedLock inner(good_inner_mu);  // 10 -> 20: legal nesting
+  spilled_ += 1;
+}
+
+inline void Coordinator::spill_locked() PPSCAN_REQUIRES(good_outer_mu) {
+  staged_ -= 1;
+  CheckedLock inner(good_inner_mu);  // REQUIRES-derived 10 -> 20: legal
+  spilled_ += 1;
+}
+
+}  // namespace ppscan_lint_testdata

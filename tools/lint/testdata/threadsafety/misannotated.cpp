@@ -1,0 +1,35 @@
+// Deliberately violates its own thread-safety annotations. Never built by
+// CMake; tools/lint/check_thread_safety.sh compiles it with
+// -Wthread-safety and FAILS the gate if clang stays silent — guarding the
+// CI step against quietly losing the warning flag (wrong -I path, macro
+// compiled out, warning group renamed, ...).
+//
+// Expected diagnostics, all in the -Wthread-safety group:
+//   - read_unlocked / bump_unlocked touch counter_ without holding mu_
+//   - leaky_lock lets a CheckedLock-free mutex acquisition escape
+
+#include "util/thread_safety.hpp"
+
+namespace ppscan {
+namespace lint_selfcheck {
+
+class Misannotated {
+ public:
+  int read_unlocked() const { return counter_; }
+
+  void bump_unlocked() { ++counter_; }
+
+  void leaky_lock() {
+    mu_.lock();  // never released: -Wthread-safety expected-at-end error
+  }
+
+ private:
+  mutable CheckedMutex mu_;
+  int counter_ PPSCAN_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor the class so the TU is not empty even if the analysis changes.
+int touch(const Misannotated& m) { return m.read_unlocked(); }
+
+}  // namespace lint_selfcheck
+}  // namespace ppscan
