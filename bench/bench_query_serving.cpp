@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "common.hpp"
 #include "graph/generators.hpp"
 #include "index/gs_index.hpp"
+#include "obs/exposition.hpp"
 #include "serve/query_service.hpp"
 #include "serve/serving_metrics.hpp"
 #include "util/timer.hpp"
@@ -66,6 +68,10 @@ struct LoadRow {
   std::uint64_t clients = 0;
   double offered_qps = 0;  // open loop only; 0 = closed loop
   double elapsed = 0;
+  /// Full telemetry stack live during the load: publisher thread folding
+  /// the window, flight recorder on, and a /metrics scraper hitting the
+  /// exposition endpoint — the overhead BENCH_obs.json quantifies.
+  bool telemetry = false;
   serve::ServiceSnapshot snap;
 
   [[nodiscard]] double qps() const {
@@ -73,14 +79,42 @@ struct LoadRow {
   }
 };
 
-/// Closed loop: each client keeps exactly one query outstanding.
+/// Closed loop: each client keeps exactly one query outstanding. With
+/// `telemetry` the full live stack runs during the load — publisher thread
+/// (250 ms cadence), flight recorder, exposition endpoint and a scraper
+/// pulling /metrics once per second (already 5-15x more often than a
+/// production Prometheus would) — so the ON row pays every cost an
+/// operator's dashboard would impose.
 LoadRow run_closed_loop(const GsIndex& index, serve::ServiceOptions options,
                         int clients, double duration_s, bool prewarm,
-                        std::string mode) {
+                        bool telemetry, std::string mode) {
+  if (telemetry) {
+    options.stats_interval = std::chrono::milliseconds(250);
+    options.flight_capacity = 256;
+  }
   serve::QueryService service(index, options);
   const auto grid = workload_grid();
   if (prewarm) {
     for (const auto& params : grid) service.submit(params).get();
+  }
+
+  std::unique_ptr<obs::ExpositionServer> exposition;
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper;
+  if (telemetry) {
+    exposition = std::make_unique<obs::ExpositionServer>(
+        0, [&service] { return serve::exposition_text(service.snapshot()); });
+    scraper = std::thread([&exposition, &scrape_stop] {
+      while (!scrape_stop.load(std::memory_order_relaxed)) {
+        try {
+          (void)obs::http_get_local(exposition->port(), "/metrics");
+        } catch (const std::exception&) {
+          // A scrape lost to a transient socket hiccup costs the row
+          // nothing; the load keeps running.
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+      }
+    });
   }
 
   std::atomic<bool> stop{false};
@@ -99,12 +133,18 @@ LoadRow run_closed_loop(const GsIndex& index, serve::ServiceOptions options,
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : workers) t.join();
   const double elapsed = timer.elapsed_s();
+  if (telemetry) {
+    scrape_stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    exposition->stop();
+  }
   service.stop();
 
   LoadRow row;
   row.mode = std::move(mode);
   row.clients = static_cast<std::uint64_t>(clients);
   row.elapsed = elapsed;
+  row.telemetry = telemetry;
   row.snap = service.snapshot();
   return row;
 }
@@ -193,6 +233,93 @@ LoadRow run_overload_loop(const GsIndex& index,
   return row;
 }
 
+/// One fixed-work burst: `clients` threads split `queries` cache-hit
+/// submissions between them, closed-loop; returns the wall time.
+double time_burst(serve::QueryService& service,
+                  const std::vector<ScanParams>& grid, std::uint64_t queries,
+                  int clients) {
+  std::vector<std::thread> workers;
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      const std::uint64_t share = queries / static_cast<std::uint64_t>(clients);
+      std::size_t i = static_cast<std::size_t>(c);
+      for (std::uint64_t q = 0; q < share; ++q) {
+        service.submit(grid[i % grid.size()]).get();
+        ++i;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  return timer.elapsed_s();
+}
+
+struct OverheadResult {
+  double qps_off = 0;
+  double qps_on = 0;
+  double overhead_pct = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t queries_per_round = 0;
+};
+
+/// The telemetry-overhead measurement behind BENCH_obs.json. A single
+/// before/after pair cannot resolve a sub-percent effect on a shared
+/// machine (consecutive identical runs here drift by double digits), so
+/// this interleaves fixed-work rounds between two live services — one
+/// bare, one carrying the full telemetry stack (publisher, flight
+/// recorder, exposition endpoint being scraped) — and compares the summed
+/// wall time. Drift slow relative to a round hits both sides equally.
+OverheadResult measure_hot_overhead(const GsIndex& index,
+                                    serve::ServiceOptions base, int clients,
+                                    std::uint64_t rounds,
+                                    std::uint64_t queries_per_round) {
+  const auto grid = workload_grid();
+  serve::ServiceOptions on_options = base;
+  on_options.stats_interval = std::chrono::milliseconds(250);
+  on_options.flight_capacity = 256;
+  serve::QueryService off_service(index, base);
+  serve::QueryService on_service(index, on_options);
+  obs::ExpositionServer exposition(0, [&on_service] {
+    return serve::exposition_text(on_service.snapshot());
+  });
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper([&exposition, &scrape_stop] {
+    while (!scrape_stop.load(std::memory_order_relaxed)) {
+      try {
+        (void)obs::http_get_local(exposition.port(), "/metrics");
+      } catch (const std::exception&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    }
+  });
+  for (const auto& params : grid) {
+    off_service.submit(params).get();
+    on_service.submit(params).get();
+  }
+
+  double t_off = 0;
+  double t_on = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    t_off += time_burst(off_service, grid, queries_per_round, clients);
+    t_on += time_burst(on_service, grid, queries_per_round, clients);
+  }
+  scrape_stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  exposition.stop();
+  off_service.stop();
+  on_service.stop();
+
+  OverheadResult result;
+  result.rounds = rounds;
+  result.queries_per_round = queries_per_round;
+  const double work =
+      static_cast<double>(rounds) * static_cast<double>(queries_per_round);
+  result.qps_off = t_off > 0 ? work / t_off : 0;
+  result.qps_on = t_on > 0 ? work / t_on : 0;
+  result.overhead_pct = t_off > 0 ? (t_on - t_off) / t_off * 100.0 : 0;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,12 +382,20 @@ int main(int argc, char** argv) {
     auto options = base;
     options.cache_results = false;
     rows.push_back(run_closed_loop(index, options, clients, duration,
-                                   /*prewarm=*/false, "closed/cold"));
+                                   /*prewarm=*/false, /*telemetry=*/false,
+                                   "closed/cold"));
+    rows.push_back(run_closed_loop(index, options, clients, duration,
+                                   /*prewarm=*/false, /*telemetry=*/true,
+                                   "closed/cold"));
   }
   {
     auto options = base;
     rows.push_back(run_closed_loop(index, options, clients, duration,
-                                   /*prewarm=*/true, "closed/hot"));
+                                   /*prewarm=*/true, /*telemetry=*/false,
+                                   "closed/hot"));
+    rows.push_back(run_closed_loop(index, options, clients, duration,
+                                   /*prewarm=*/true, /*telemetry=*/true,
+                                   "closed/hot"));
   }
   {
     auto options = base;
@@ -280,11 +415,12 @@ int main(int argc, char** argv) {
     rows.push_back(run_overload_loop(index, options, overload_qps, duration));
   }
 
-  Table table({"mode", "threads", "clients", "queries", "elapsed(s)",
-               "queries/s", "p50(ms)", "p99(ms)", "max(ms)", "hits",
-               "partial", "rejected", "shed", "degraded"});
+  Table table({"mode", "telemetry", "threads", "clients", "queries",
+               "elapsed(s)", "queries/s", "p50(ms)", "p99(ms)", "max(ms)",
+               "hits", "partial", "rejected", "shed", "degraded"});
   for (const auto& row : rows) {
-    table.add_row({row.mode, Table::fmt(std::uint64_t(threads)),
+    table.add_row({row.mode, row.telemetry ? "on" : "off",
+                   Table::fmt(std::uint64_t(threads)),
                    Table::fmt(row.clients), Table::fmt(row.snap.completed),
                    Table::fmt(row.elapsed), Table::fmt(row.qps(), 1),
                    Table::fmt(row.snap.latency.quantile_ms(0.5)),
@@ -309,6 +445,8 @@ int main(int argc, char** argv) {
           row.elapsed);
       auto json = obs::metrics_to_json(report);
       json.set("mode", obs::JsonValue::string(row.mode));
+      json.set("telemetry",
+               obs::JsonValue::string(row.telemetry ? "on" : "off"));
       json.set("clients", obs::JsonValue::number_u64(row.clients));
       json.set("queries_per_second", obs::JsonValue::number(row.qps()));
       if (row.offered_qps > 0) {
@@ -333,6 +471,64 @@ int main(int argc, char** argv) {
     stream << doc.dump(2) << "\n";
     std::cout << "# metrics -> " << metrics_path << " (" << rows.size()
               << " rows, schema v" << obs::kMetricsSchemaVersion << ")\n";
+  }
+
+  // --obs-json: the telemetry-overhead artifact (BENCH_obs.json). The
+  // headline number is the interleaved fixed-work comparison on the
+  // closed/hot mix (cache-served — where a fixed per-query tax would be
+  // largest relative to the work); the single-run table pairs above are
+  // recorded as context but carry this machine's full run-to-run drift.
+  const auto obs_path = flags.get_string("obs-json", "");
+  if (!obs_path.empty()) {
+    // Many small rounds alternate ON/OFF at the ~10 ms scale, so drift
+    // (and VM steal-time spikes) land on both sides evenly.
+    const auto overhead = measure_hot_overhead(
+        index, base, clients,
+        /*rounds=*/static_cast<std::uint64_t>(
+            flags.get_int("overhead-rounds", smoke ? 20 : 400)),
+        /*queries_per_round=*/static_cast<std::uint64_t>(
+            flags.get_int("overhead-queries", smoke ? 5000 : 10000)));
+    auto doc = obs::JsonValue::object();
+    doc.set("schema", obs::JsonValue::string("ppscan-obs-overhead-v1"));
+    doc.set("dataset", obs::JsonValue::string(dataset));
+    doc.set("threads", obs::JsonValue::number_u64(
+                           static_cast<std::uint64_t>(threads)));
+    doc.set("clients", obs::JsonValue::number_u64(
+                           static_cast<std::uint64_t>(clients)));
+    auto headline = obs::JsonValue::object();
+    headline.set("mode", obs::JsonValue::string("closed/hot"));
+    headline.set("method", obs::JsonValue::string("interleaved-fixed-work"));
+    headline.set("rounds", obs::JsonValue::number_u64(overhead.rounds));
+    headline.set("queries_per_round",
+                 obs::JsonValue::number_u64(overhead.queries_per_round));
+    headline.set("qps_telemetry_off",
+                 obs::JsonValue::number(overhead.qps_off));
+    headline.set("qps_telemetry_on", obs::JsonValue::number(overhead.qps_on));
+    headline.set("overhead_pct",
+                 obs::JsonValue::number(overhead.overhead_pct));
+    doc.set("overhead", std::move(headline));
+    auto context = obs::JsonValue::array();
+    for (const auto& row : rows) {
+      if (row.offered_qps > 0) continue;
+      auto entry = obs::JsonValue::object();
+      entry.set("mode", obs::JsonValue::string(row.mode));
+      entry.set("telemetry",
+                obs::JsonValue::string(row.telemetry ? "on" : "off"));
+      entry.set("queries_per_second", obs::JsonValue::number(row.qps()));
+      entry.set("p99_ms",
+                obs::JsonValue::number(row.snap.latency.quantile_ms(0.99)));
+      context.push(std::move(entry));
+    }
+    doc.set("single_runs", std::move(context));
+    std::ofstream stream(obs_path);
+    if (!stream) {
+      std::cerr << "obs-json: cannot open " << obs_path << " for writing\n";
+      return 1;
+    }
+    stream << doc.dump(2) << "\n";
+    std::cout << "# obs overhead -> " << obs_path << " (closed/hot telemetry "
+              << "on/off: " << overhead.overhead_pct << "% over "
+              << overhead.rounds << " interleaved rounds)\n";
   }
   return 0;
 }

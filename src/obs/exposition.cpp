@@ -1,0 +1,247 @@
+#include "obs/exposition.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ppscan::obs {
+namespace {
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n"), EOF, or the
+/// size cap. We only ever look at the request line, so a capped read is
+/// fine — anything longer than 4 KiB is not a scrape.
+std::string read_request(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < 4096) {
+    const ::ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.find("\r\n\r\n") != std::string::npos) break;
+    if (req.find("\n\n") != std::string::npos) break;
+  }
+  return req;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ::ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away mid-response; nothing to salvage
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(std::uint16_t port, Renderer renderer)
+    : renderer_(std::move(renderer)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("exposition: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    close_if_open(listen_fd_);
+    throw std::runtime_error(
+        std::string("exposition: bind/listen on 127.0.0.1:") +
+        std::to_string(port) + " failed: " + std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(stop_pipe_) != 0) {
+    close_if_open(listen_fd_);
+    throw std::runtime_error("exposition: pipe() failed");
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  const char byte = 0;
+  [[maybe_unused]] const ::ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  close_if_open(listen_fd_);
+  close_if_open(stop_pipe_[0]);
+  close_if_open(stop_pipe_[1]);
+}
+
+void ExpositionServer::serve_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop() signalled
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void ExpositionServer::handle_connection(int fd) {
+  // A stuck client must not wedge the (single-threaded) scrape loop.
+  timeval tv = {};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  const std::string req = read_request(fd);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: "GET <path> HTTP/1.x".
+  std::string method;
+  std::string path;
+  const std::size_t sp1 = req.find(' ');
+  if (sp1 != std::string::npos) {
+    method = req.substr(0, sp1);
+    const std::size_t sp2 = req.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  if (method != "GET") {
+    send_all(fd, http_response("405 Method Not Allowed", "text/plain",
+                               "method not allowed\n"));
+    return;
+  }
+  if (path == "/healthz") {
+    send_all(fd, http_response("200 OK", "text/plain", "ok\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    send_all(fd,
+             http_response("200 OK", "text/plain; version=0.0.4",
+                           renderer_ ? renderer_() : std::string()));
+    return;
+  }
+  send_all(fd, http_response("404 Not Found", "text/plain", "not found\n"));
+}
+
+// --- text-exposition rendering helpers ---------------------------------
+
+void prom_family(std::string& out, const char* name, const char* help,
+                 const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void prom_sample(std::string& out, const char* name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out += name;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+void prom_sample_u64(std::string& out, const char* name,
+                     std::uint64_t value) {
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void prom_sample_labeled(std::string& out, const char* name,
+                         const std::string& labels, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out += name;
+  out += '{';
+  out += labels;
+  out += "} ";
+  out += buf;
+  out += '\n';
+}
+
+std::string http_get_local(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http_get_local: socket() failed");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("http_get_local: connect() failed");
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  send_all(fd, req);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ::ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    throw std::runtime_error("http_get_local: malformed response");
+  }
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 &&
+      resp.rfind("HTTP/1.1 200", 0) != 0) {
+    throw std::runtime_error("http_get_local: non-200 response: " +
+                             resp.substr(0, resp.find("\r\n")));
+  }
+  return resp.substr(split + 4);
+}
+
+}  // namespace ppscan::obs

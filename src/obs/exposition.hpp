@@ -1,0 +1,83 @@
+// Prometheus text-exposition endpoint (docs/observability.md, "Live
+// telemetry"): a minimal single-threaded HTTP listener on loopback TCP
+// serving GET /metrics (text/plain; version=0.0.4) and GET /healthz.
+//
+// Deliberately not a web server: one accept loop, one connection at a
+// time, HTTP/1.0-style close-after-response, no keep-alive, no TLS, no
+// third-party dependencies — a scrape target, nothing more. Binding is
+// loopback-only (127.0.0.1) so enabling telemetry never opens the
+// service to the network. The /metrics body is produced by a caller-
+// supplied renderer, so this layer knows nothing about the serving
+// system; the renderer (serve::exposition_text) typically wraps
+// QueryService::snapshot(), which is safe from any thread.
+//
+// Shutdown uses the self-pipe pattern: stop() writes one byte into a
+// pipe the accept loop polls alongside the listen socket, so no blocked
+// accept() can outlive the server object.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ppscan::obs {
+
+class ExpositionServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
+  /// port()) and starts the listener thread. Throws std::runtime_error
+  /// when the bind fails (port in use, no loopback, ...). The renderer is
+  /// invoked on the listener thread once per /metrics request and must be
+  /// callable until stop() returns.
+  ExpositionServer(std::uint16_t port, Renderer renderer);
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Joins the listener; idempotent.
+  void stop();
+
+  /// The bound port (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Renderer renderer_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  bool stopped_ = false;  // main-thread only (stop() idempotence)
+  // protocol: relaxed-counter — listener thread bumps per request; tests
+  // read after the scrape they made has returned, which orders it.
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+// --- text-exposition rendering helpers ---------------------------------
+// Append one metric family / sample in the Prometheus text format v0.0.4.
+// `type` is counter|gauge|histogram; labels go in preformatted as
+// `key="value"` pairs (no trailing comma handling here — keep it simple).
+
+void prom_family(std::string& out, const char* name, const char* help,
+                 const char* type);
+void prom_sample(std::string& out, const char* name, double value);
+void prom_sample_u64(std::string& out, const char* name, std::uint64_t value);
+void prom_sample_labeled(std::string& out, const char* name,
+                         const std::string& labels, double value);
+
+/// One-shot loopback HTTP GET, for tests and the bench self-scraper:
+/// returns the response body (headers stripped); throws on connect or
+/// protocol failure.
+std::string http_get_local(std::uint16_t port, const std::string& path);
+
+}  // namespace ppscan::obs

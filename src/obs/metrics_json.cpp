@@ -137,6 +137,8 @@ JsonValue query_row_to_json(const QueryRowMetrics& q) {
   o.set("eps", JsonValue::string(q.eps));
   o.set("mu", JsonValue::number_u64(q.mu));
   o.set("latency_ms", JsonValue::number(q.latency_ms));
+  o.set("queue_ms", JsonValue::number(q.queue_ms));
+  o.set("execute_ms", JsonValue::number(q.execute_ms));
   o.set("num_clusters", JsonValue::number_u64(q.num_clusters));
   o.set("num_cores", JsonValue::number_u64(q.num_cores));
   o.set("abort_reason", JsonValue::string(q.abort_reason));
@@ -166,6 +168,7 @@ JsonValue histogram_to_json(const LatencyHistogramMetrics& h) {
   o.set("p90_ms", JsonValue::number(h.p90_ms));
   o.set("p99_ms", JsonValue::number(h.p99_ms));
   o.set("max_ms", JsonValue::number(h.max_ms));
+  o.set("sum_ms", JsonValue::number(h.sum_ms));
   JsonValue buckets = JsonValue::array();
   for (const LatencyBucketMetrics& b : h.buckets) {
     JsonValue e = JsonValue::object();
@@ -219,6 +222,26 @@ std::string validate_queries(const JsonValue& arr) {
     if (!q.has("degraded") || !q.at("degraded").is_bool()) {
       return where + " missing boolean 'degraded'";
     }
+    // Latency decomposition: additive keys, checked only when present so
+    // rows committed before the telemetry layer stay valid. When both
+    // components are there they must fit inside the end-to-end latency,
+    // modulo scheduling slack (the components and the total are measured
+    // by different clock reads).
+    for (const char* key : {"queue_ms", "execute_ms"}) {
+      if (q.has(key) && !q.at(key).is_number()) {
+        return where + " key '" + key + "' is not a number";
+      }
+    }
+    if (q.has("queue_ms") && q.has("execute_ms")) {
+      const double latency = q.at("latency_ms").as_double();
+      const double parts =
+          q.at("queue_ms").as_double() + q.at("execute_ms").as_double();
+      const double slack = latency * 0.05 + 0.5;
+      if (parts > latency + slack) {
+        return where + " queue_ms+execute_ms=" + std::to_string(parts) +
+               " exceeds latency_ms=" + std::to_string(latency);
+      }
+    }
   }
   return "";
 }
@@ -240,6 +263,16 @@ std::string validate_latency_histogram(const JsonValue& h) {
     if (!h.has(f.key) || !type_matches(h.at(f.key), f.type)) {
       return std::string("latency_histogram missing ") + type_name(f.type) +
              " '" + f.key + "'";
+    }
+  }
+  // Additive: present on rows written by the telemetry layer, absent on
+  // older committed artifacts.
+  if (h.has("sum_ms")) {
+    if (!h.at("sum_ms").is_number()) {
+      return "latency_histogram key 'sum_ms' is not a number";
+    }
+    if (h.at("sum_ms").as_double() < 0) {
+      return "latency_histogram sum_ms is negative";
     }
   }
   if (!h.has("buckets") || !h.at("buckets").is_array()) {
@@ -500,6 +533,10 @@ MetricsReport metrics_from_json(const JsonValue& row) {
       qr.eps = q.at("eps").as_string();
       qr.mu = q.at("mu").as_u64();
       qr.latency_ms = q.at("latency_ms").as_double();
+      if (q.has("queue_ms")) qr.queue_ms = q.at("queue_ms").as_double();
+      if (q.has("execute_ms")) {
+        qr.execute_ms = q.at("execute_ms").as_double();
+      }
       qr.num_clusters = q.at("num_clusters").as_u64();
       qr.num_cores = q.at("num_cores").as_u64();
       qr.abort_reason = q.at("abort_reason").as_string();
@@ -515,6 +552,7 @@ MetricsReport metrics_from_json(const JsonValue& row) {
     r.latency.p90_ms = h.at("p90_ms").as_double();
     r.latency.p99_ms = h.at("p99_ms").as_double();
     r.latency.max_ms = h.at("max_ms").as_double();
+    if (h.has("sum_ms")) r.latency.sum_ms = h.at("sum_ms").as_double();
     const JsonValue& buckets = h.at("buckets");
     for (std::size_t i = 0; i < buckets.size(); ++i) {
       LatencyBucketMetrics b;

@@ -31,6 +31,13 @@ struct QueryRowMetrics {
   std::string eps;
   std::uint64_t mu = 0;
   double latency_ms = 0;
+  /// Latency decomposition (additive, validated only when present so rows
+  /// written before the telemetry layer stay valid): time parked in the
+  /// admission queue and time inside the executor. queue_ms + execute_ms
+  /// never exceeds latency_ms by more than scheduling slack — the
+  /// validator enforces it with a 5% + 0.5ms tolerance.
+  double queue_ms = 0;
+  double execute_ms = 0;
   std::uint64_t num_clusters = 0;
   std::uint64_t num_cores = 0;
   std::string abort_reason = "none";
@@ -68,6 +75,10 @@ struct LatencyHistogramMetrics {
   double p90_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
+  /// Exact sum of recorded latencies (additive; validated ≥ 0 only when
+  /// present so pre-telemetry rows stay valid). Feeds the Prometheus
+  /// histogram `_sum` sample, which bucket midpoints cannot reconstruct.
+  double sum_ms = 0;
   std::vector<LatencyBucketMetrics> buckets;
 };
 

@@ -48,6 +48,8 @@ enum class TraceEventKind : std::uint8_t {
   GovernorTrip,    ///< governor abort observed; arg = AbortReason value
   KernelDispatch,  ///< SIMD kernel resolved for a run; arg = IntersectKind
   Mark,            ///< free-form instant (name carries the meaning)
+  SpanBegin,       ///< async span opened; arg = span id (e.g. query id)
+  SpanEnd,         ///< async span closed; arg = matching span id
 };
 
 /// One recorded event. `name` must point at storage that outlives the

@@ -42,6 +42,15 @@ void write_event(std::string& out, int tid, const TraceEvent& ev, bool& first) {
     case TraceEventKind::Mark:
       ph = "i";
       break;
+    // Async span pair: Perfetto groups "b"/"e" rows by (cat, id), which
+    // is what turns per-query events into per-query swimlanes — unlike
+    // B/E, overlapping spans from interleaved queries need not nest.
+    case TraceEventKind::SpanBegin:
+      ph = "b";
+      break;
+    case TraceEventKind::SpanEnd:
+      ph = "e";
+      break;
   }
   if (!first) out += ",\n";
   first = false;
@@ -58,6 +67,10 @@ void write_event(std::string& out, int tid, const TraceEvent& ev, bool& first) {
     append_us(out, ev.dur_ns);
   }
   if (ph[0] == 'i') out += R"(,"s":"t")";
+  if (ph[0] == 'b' || ph[0] == 'e') {
+    out += R"(,"cat":"serve","id":)";
+    out += std::to_string(ev.arg);
+  }
   out += R"(,"args":{"arg":)";
   out += std::to_string(ev.arg);
   out += "}}";

@@ -1,0 +1,41 @@
+#include "obs/windowed_histogram.hpp"
+
+#include <algorithm>
+
+namespace ppscan::obs {
+
+WindowedLatency::WindowedLatency(std::chrono::milliseconds horizon,
+                                 std::chrono::milliseconds interval)
+    : horizon_(std::max(horizon, std::chrono::milliseconds{1})) {
+  const auto step = std::max(interval, std::chrono::milliseconds{1});
+  const auto slots =
+      static_cast<std::size_t>((horizon_.count() + step.count() - 1) /
+                               step.count()) +
+      1;
+  slots_.resize(slots);
+}
+
+void WindowedLatency::publish(const LatencyHistogram& lifetime,
+                              Clock::time_point now) {
+  if (slots_.empty()) return;
+  last_delta_ = lifetime.delta_since(published_);
+  published_ = lifetime;
+  Slot& slot = slots_[head_];
+  slot.delta = last_delta_;
+  slot.stamp = now;
+  slot.live = true;
+  head_ = (head_ + 1) % slots_.size();
+  ++publishes_;
+}
+
+LatencyHistogram WindowedLatency::window(Clock::time_point now) const {
+  LatencyHistogram merged;
+  for (const Slot& slot : slots_) {
+    if (!slot.live) continue;
+    if (now - slot.stamp >= horizon_) continue;  // aged out of the window
+    merged.merge(slot.delta);
+  }
+  return merged;
+}
+
+}  // namespace ppscan::obs

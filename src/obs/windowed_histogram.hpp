@@ -1,0 +1,78 @@
+// WindowedLatency — rolling-horizon SLO view over a cumulative
+// LatencyHistogram (docs/observability.md, "Live telemetry").
+//
+// A lifetime histogram answers "how has the service done since start";
+// an operator watching a dashboard needs "how is it doing *now*". This
+// class keeps a ring of per-interval delta sub-histograms: each
+// publish(lifetime, now) subtracts the previously published lifetime
+// histogram from the current one (LatencyHistogram::delta_since — the
+// histogram is monotone, so the difference is exactly the samples recorded
+// in between) and stamps the delta into the next ring slot. window(now)
+// merges every slot still younger than the horizon, yielding a last-N-
+// seconds histogram whose quantiles are the windowed p50/p90/p99.
+//
+// Time is passed in explicitly (steady_clock time_points) rather than read
+// internally, so the fold/rotate/expiry arithmetic is deterministic under
+// test. The class is not internally synchronized — the owner (the
+// QueryService publisher) calls it under stats_mutex_.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+
+namespace ppscan::obs {
+
+class WindowedLatency {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert view: publish() is a no-op, window() is empty. Lets the owner
+  /// hold one unconditionally and configure() only when the publisher runs.
+  WindowedLatency() = default;
+
+  /// `horizon` is the rolling window (e.g. 10 s), `interval` the expected
+  /// publish cadence; the ring holds ceil(horizon/interval)+1 slots so a
+  /// full horizon of deltas is retained even while the oldest slot is
+  /// being overwritten. Both are clamped to ≥ 1 ms.
+  WindowedLatency(std::chrono::milliseconds horizon,
+                  std::chrono::milliseconds interval);
+
+  [[nodiscard]] bool enabled() const { return !slots_.empty(); }
+  [[nodiscard]] std::chrono::milliseconds horizon() const { return horizon_; }
+  [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
+
+  /// Fold the growth of `lifetime` since the previous publish into the
+  /// slot covering `now`. Empty deltas still claim a slot — that is what
+  /// ages traffic out of the window when the service goes quiet.
+  void publish(const LatencyHistogram& lifetime, Clock::time_point now);
+
+  /// Merged histogram over every slot still inside the horizon at `now`.
+  /// Empty histogram (total == 0, quantiles 0) when nothing qualifies.
+  [[nodiscard]] LatencyHistogram window(Clock::time_point now) const;
+
+  /// The most recently published delta (empty before the first publish) —
+  /// the "since last tick" view behind qps-style rates.
+  [[nodiscard]] const LatencyHistogram& last_interval() const {
+    return last_delta_;
+  }
+
+ private:
+  struct Slot {
+    LatencyHistogram delta;
+    Clock::time_point stamp{};
+    bool live = false;
+  };
+
+  std::chrono::milliseconds horizon_{0};
+  std::vector<Slot> slots_;
+  std::size_t head_ = 0;
+  LatencyHistogram published_;  // lifetime as of the last publish
+  LatencyHistogram last_delta_;
+  std::uint64_t publishes_ = 0;
+};
+
+}  // namespace ppscan::obs

@@ -37,40 +37,6 @@ const char* to_string(AdmissionOutcome outcome) {
   return "?";
 }
 
-void LatencyHistogram::record(double latency_ms) {
-  const double us = latency_ms * 1000.0;
-  std::size_t bucket = 0;
-  double bound = 1.0;
-  while (bucket + 1 < kBuckets && us > bound) {
-    bound *= 2.0;
-    ++bucket;
-  }
-  counts[bucket] += 1;
-  total += 1;
-  max_ms = std::max(max_ms, latency_ms);
-}
-
-double LatencyHistogram::quantile_ms(double q) const {
-  if (total == 0) return 0;
-  const double target = q * static_cast<double>(total);
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += counts[i];
-    if (static_cast<double>(seen) >= target) {
-      const double bound_ms = bucket_le_us(i) / 1000.0;
-      // The unbounded-in-spirit tail reports the true maximum instead of
-      // its nominal bound.
-      return i + 1 == kBuckets ? std::max(bound_ms, max_ms)
-                               : std::min(bound_ms, max_ms);
-    }
-  }
-  return max_ms;
-}
-
-double LatencyHistogram::bucket_le_us(std::size_t i) {
-  return static_cast<double>(std::uint64_t{1} << i);
-}
-
 QueryService::QueryService(const GsIndex& index, ServiceOptions options)
     : index_(index),
       options_(options),
@@ -90,7 +56,22 @@ QueryService::QueryService(const GsIndex& index, ServiceOptions options)
   }
   // Worker slots 0..N-1 plus the master fallback (current_worker() == -1).
   scratch_.resize(static_cast<std::size_t>(options_.num_threads) + 1);
+  if (options_.flight_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(options_.flight_capacity);
+    flight_->record(obs::FlightRecorder::EventKind::Lifecycle, "serve.start");
+  }
+  if (options_.stats_interval.count() > 0) {
+    // Live telemetry on: size the windowed ring to the configured horizon
+    // at the publisher's cadence, then start the publisher.
+    CheckedLock lock(stats_mutex_);
+    windowed_ =
+        obs::WindowedLatency(options_.window_horizon, options_.stats_interval);
+    last_publish_time_ = start_time_;
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (options_.stats_interval.count() > 0) {
+    publisher_ = std::thread([this] { publisher_loop(); });
+  }
 }
 
 QueryService::~QueryService() {
@@ -141,6 +122,11 @@ AdmissionResult QueryService::admission_gate(Request& request) {
       breaker_transitions_ += 1;
       PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                                 "serve.breaker.half-open", request.id);
+      if (flight_) {
+        flight_->record(obs::FlightRecorder::EventKind::Breaker,
+                        "serve.breaker.half-open", request.id,
+                        "cooldown elapsed");
+      }
     }
     if (breaker_state_ == BreakerState::HalfOpen) {
       if (breaker_probe_in_flight_) {
@@ -197,6 +183,8 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
       {
         CheckedLock lock(stats_mutex_);
         submitted_ += 1;
+        trace_query_locked(obs::TraceEventKind::SpanBegin, "serve.query",
+                           request.id);
       }
       Delivery delivery;
       delivery.run = std::move(hit->run);
@@ -214,6 +202,12 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
     gate = admission_gate(request);
     if (gate.admitted()) {
       submitted_ += 1;
+      trace_query_locked(obs::TraceEventKind::SpanBegin, "serve.query",
+                         request.id);
+      if (flight_) {
+        flight_->record(obs::FlightRecorder::EventKind::Admission,
+                        "serve.admit", request.id);
+      }
     } else {
       rejected_ += 1;
       retries_advised_ += 1;
@@ -221,10 +215,18 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
         shed_overload_ += 1;
         PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                                   "serve.shed.overload", request.id);
+        if (flight_) {
+          flight_->record(obs::FlightRecorder::EventKind::Refusal,
+                          "serve.shed.overload", request.id);
+        }
       } else {
         shed_breaker_ += 1;
         PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                                   "serve.shed.breaker", request.id);
+        if (flight_) {
+          flight_->record(obs::FlightRecorder::EventKind::Refusal,
+                          "serve.shed.breaker", request.id);
+        }
       }
     }
   }
@@ -240,6 +242,10 @@ AdmissionResult QueryService::try_submit_ex(const ScanParams& params,
     retries_advised_ += 1;
     PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                               "serve.shed.queue-full", request.id);
+    if (flight_) {
+      flight_->record(obs::FlightRecorder::EventKind::Refusal,
+                      "serve.shed.queue-full", request.id);
+    }
     if (request.breaker_probe) breaker_probe_in_flight_ = false;
     return {AdmissionOutcome::QueueFull,
             std::chrono::milliseconds(sojourn_ms)};
@@ -260,6 +266,12 @@ std::future<QueryResponse> QueryService::enqueue(Request request) {
   {
     CheckedLock lock(stats_mutex_);
     submitted_ += 1;
+    trace_query_locked(obs::TraceEventKind::SpanBegin, "serve.query",
+                       request.id);
+    if (flight_) {
+      flight_->record(obs::FlightRecorder::EventKind::Admission,
+                      "serve.admit", request.id);
+    }
   }
   if (options_.cache_results) {
     const CacheKey key{request.params.eps.num, request.params.eps.den,
@@ -354,6 +366,17 @@ void QueryService::dispatcher_loop() {
     drained_epoch_.fetch_add(1, std::memory_order_release);
     drained_epoch_.notify_all();
 
+    // Per-query span progression: one dispatch mark per drained request
+    // (a single stats acquisition per batch keeps this off the admission
+    // lock's critical path when tracing is off).
+    if (options_.trace != nullptr) {
+      CheckedLock lock(stats_mutex_);
+      for (const Request& r : batch) {
+        trace_query_locked(obs::TraceEventKind::Mark, "serve.query.dispatch",
+                           r.id);
+      }
+    }
+
     // One task per request; the work-stealing executor balances the batch
     // across workers (this thread is the executor's master and parks in
     // run()'s barrier).
@@ -397,6 +420,12 @@ void QueryService::dispatcher_loop() {
 
 void QueryService::execute(Request& request) {
   const auto exec_start = std::chrono::steady_clock::now();
+  // Queue wait: submission → execution start. Threaded through every
+  // Delivery built here so the metrics rows can split latency into
+  // queue_ms / execute_ms (docs/observability.md).
+  const double queue_seconds =
+      seconds_between(request.submit_time, exec_start);
+  trace_query(obs::TraceEventKind::Mark, "serve.query.execute", request.id);
   const CacheKey key{request.params.eps.num, request.params.eps.den,
                      request.params.mu};
   if (options_.cache_results) {
@@ -406,6 +435,7 @@ void QueryService::execute(Request& request) {
       Delivery delivery;
       delivery.run = std::move(hit->run);
       delivery.cache_hit = true;
+      delivery.queue_seconds = queue_seconds;
       delivery.num_clusters = hit->num_clusters;
       delivery.num_cores = hit->num_cores;
       respond(request, std::move(delivery));
@@ -430,11 +460,13 @@ void QueryService::execute(Request& request) {
 
   if (admission_expired) {
     if (auto degraded = degraded_delivery(key, AbortReason::DeadlineExpired)) {
+      degraded->queue_seconds = queue_seconds;
       respond(request, std::move(*degraded));
       return;
     }
     Delivery delivery;
     delivery.run = std::make_shared<const ScanRun>(admission_aborted_run());
+    delivery.queue_seconds = queue_seconds;
     delivery.classified = AbortReason::DeadlineExpired;
     respond(request, std::move(delivery));
     return;
@@ -478,6 +510,8 @@ void QueryService::execute(Request& request) {
   }
   if (!complete) {
     if (auto degraded = degraded_delivery(key, classified)) {
+      degraded->queue_seconds = queue_seconds;
+      degraded->execute_seconds = exec_seconds;
       respond(request, std::move(*degraded));
       return;
     }
@@ -485,6 +519,7 @@ void QueryService::execute(Request& request) {
   Delivery delivery;
   delivery.run = std::move(run);
   delivery.execute_seconds = exec_seconds;
+  delivery.queue_seconds = queue_seconds;
   delivery.num_clusters = clusters;
   delivery.num_cores = cores;
   delivery.classified = classified;
@@ -496,12 +531,16 @@ void QueryService::respond(Request& request, Delivery delivery) {
   response.latency_seconds = seconds_between(
       request.submit_time, std::chrono::steady_clock::now());
   response.execute_seconds = delivery.execute_seconds;
+  response.queue_seconds = delivery.queue_seconds;
   response.cache_hit = delivery.cache_hit;
   response.degraded = delivery.degraded;
   response.classified_reason = delivery.classified;
   response.id = request.id;
   response.run = std::move(delivery.run);
 
+  // Set when this delivery transitions the breaker to Open; the flight
+  // dump happens after the lock is released (no file I/O under stats).
+  bool breaker_opened_now = false;
   {
     CheckedLock lock(stats_mutex_);
     completed_ += 1;
@@ -511,11 +550,20 @@ void QueryService::respond(Request& request, Delivery delivery) {
       degraded_hits_ += 1;
       PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                                 "serve.degraded", request.id);
+      if (flight_) {
+        flight_->record(obs::FlightRecorder::EventKind::Degraded,
+                        "serve.degraded", request.id);
+      }
     }
     if (delivery.classified == AbortReason::Exception) {
       exceptions_ += 1;
       PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                                 "serve.exception", request.id);
+      if (flight_) {
+        flight_->record(obs::FlightRecorder::EventKind::Exception,
+                        "serve.exception", request.id,
+                        response.run->stats.abort_detail.c_str());
+      }
     }
     if (!delivery.cache_hit) counters_ += response.run->stats.counters;
     // Circuit-breaker feedback: only executed (non-cache-hit) outcomes
@@ -541,10 +589,17 @@ void QueryService::respond(Request& request, Delivery delivery) {
           if (failed) breaker_opened_at_ = std::chrono::steady_clock::now();
           breaker_consecutive_failures_ = 0;
           breaker_transitions_ += 1;
+          breaker_opened_now = failed;
           PPSCAN_TRACE_MASTER_EVENT(
               options_.trace, obs::TraceEventKind::Mark,
               failed ? "serve.breaker.open" : "serve.breaker.closed",
               request.id);
+          if (flight_) {
+            flight_->record(
+                obs::FlightRecorder::EventKind::Breaker,
+                failed ? "serve.breaker.open" : "serve.breaker.closed",
+                request.id, "probe");
+          }
         }
       } else if (failed) {
         breaker_consecutive_failures_ += 1;
@@ -554,8 +609,14 @@ void QueryService::respond(Request& request, Delivery delivery) {
           breaker_state_ = BreakerState::Open;
           breaker_opened_at_ = std::chrono::steady_clock::now();
           breaker_transitions_ += 1;
+          breaker_opened_now = true;
           PPSCAN_TRACE_MASTER_EVENT(options_.trace, obs::TraceEventKind::Mark,
                                     "serve.breaker.open", request.id);
+          if (flight_) {
+            flight_->record(obs::FlightRecorder::EventKind::Breaker,
+                            "serve.breaker.open", request.id,
+                            "failure streak");
+          }
         }
       } else {
         breaker_consecutive_failures_ = 0;
@@ -569,6 +630,8 @@ void QueryService::respond(Request& request, Delivery delivery) {
       record.eps = eps_text(request.params.eps);
       record.mu = request.params.mu;
       record.latency_ms = ms;
+      record.queue_ms = delivery.queue_seconds * 1e3;
+      record.execute_ms = delivery.execute_seconds * 1e3;
       record.num_clusters = delivery.num_clusters;
       record.num_cores = delivery.num_cores;
       record.abort_reason = delivery.classified;
@@ -581,6 +644,13 @@ void QueryService::respond(Request& request, Delivery delivery) {
         recent_head_ = (recent_head_ + 1) % recent_.size();
       }
     }
+    trace_query_locked(obs::TraceEventKind::SpanEnd, "serve.query",
+                       request.id);
+  }
+  if (breaker_opened_now && flight_ && !options_.flight_dump_path.empty()) {
+    // Breaker-open is exactly when a post-mortem wants the last seconds of
+    // admission history; snapshot it while the evidence is fresh.
+    flight_->dump_to_file(options_.flight_dump_path, "breaker-open");
   }
   request.responded = true;
   // Fulfill outside the lock: the waiting thread may run immediately.
@@ -685,6 +755,83 @@ void QueryService::stop() {
   // (current_worker() == -1 → master scratch slot, no concurrency left).
   Request request;
   while (queue_.try_dequeue(&request)) execute(request);
+  if (publisher_.joinable()) {
+    {
+      CheckedLock pub_lock(publisher_mutex_);
+      publisher_stop_ = true;
+    }
+    publisher_cv_.notify_all();
+    publisher_.join();
+  }
+  if (flight_) {
+    flight_->record(obs::FlightRecorder::EventKind::Lifecycle, "serve.stop");
+    if (!options_.flight_dump_path.empty()) {
+      flight_->dump_to_file(options_.flight_dump_path, "stop");
+    }
+  }
+}
+
+void QueryService::publisher_loop() {
+  // Fixed-cadence ticks anchored to the service start so a slow tick does
+  // not smear the window grid. The wait is an explicit while-loop on the
+  // native handle (docs/memory_model.md rule 3); publish_tick() runs with
+  // no publisher lock held, so the only lock edge here is 15 → nothing.
+  auto next_tick = start_time_ + options_.stats_interval;
+  for (;;) {
+    {
+      CheckedLock lock(publisher_mutex_);
+      while (!publisher_stop_ &&
+             std::chrono::steady_clock::now() < next_tick) {
+        publisher_cv_.wait_until(lock.native(), next_tick);
+      }
+      if (publisher_stop_) break;
+    }
+    publish_tick();
+    next_tick += options_.stats_interval;
+    // If ticks fell behind (suspended VM, debugger), realign rather than
+    // burst-publish a pile of empty windows.
+    const auto now = std::chrono::steady_clock::now();
+    if (next_tick < now) next_tick = now + options_.stats_interval;
+  }
+  // One final fold so the tail of traffic lands in the last window before
+  // snapshot() consumers read it post-stop.
+  publish_tick();
+}
+
+void QueryService::publish_tick() {
+  const auto now = std::chrono::steady_clock::now();
+  CheckedLock lock(stats_mutex_);
+  windowed_.publish(latency_, now);
+  interval_seconds_ = seconds_between(last_publish_time_, now);
+  last_publish_time_ = now;
+  // Saturating deltas: submitted_ transiently steps back on a queue-full
+  // refund, so a naive subtract could wrap.
+  const auto delta = [](std::uint64_t cur, std::uint64_t prev) {
+    return cur >= prev ? cur - prev : 0;
+  };
+  interval_submitted_ = delta(submitted_, pub_submitted_);
+  interval_completed_ = delta(completed_, pub_completed_);
+  interval_rejected_ = delta(rejected_, pub_rejected_);
+  pub_submitted_ = submitted_;
+  pub_completed_ = completed_;
+  pub_rejected_ = rejected_;
+}
+
+void QueryService::trace_query_locked(obs::TraceEventKind kind,
+                                      const char* name, std::uint64_t id) {
+  PPSCAN_TRACE_MASTER_EVENT(options_.trace, kind, name, id);
+#if !PPSCAN_TRACE_ENABLED
+  (void)kind;
+  (void)name;
+  (void)id;
+#endif
+}
+
+void QueryService::trace_query(obs::TraceEventKind kind, const char* name,
+                               std::uint64_t id) {
+  if (options_.trace == nullptr) return;
+  CheckedLock lock(stats_mutex_);
+  trace_query_locked(kind, name, id);
 }
 
 ServiceSnapshot QueryService::snapshot() const {
@@ -710,11 +857,24 @@ ServiceSnapshot QueryService::snapshot() const {
     snap.degraded_hits = degraded_hits_;
     snap.counters = counters_;
     snap.latency = latency_;
+    if (windowed_.enabled()) {
+      snap.window = windowed_.window(std::chrono::steady_clock::now());
+      snap.window_seconds =
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              windowed_.horizon())
+              .count();
+      snap.publishes = windowed_.publishes();
+      snap.interval_seconds = interval_seconds_;
+      snap.interval_submitted = interval_submitted_;
+      snap.interval_completed = interval_completed_;
+      snap.interval_rejected = interval_rejected_;
+    }
     snap.recent.reserve(recent_.size());
     for (std::size_t i = 0; i < recent_.size(); ++i) {
       snap.recent.push_back(recent_[(recent_head_ + i) % recent_.size()]);
     }
   }
+  if (flight_) snap.flight_recorded = flight_->recorded();
   snap.uptime_seconds =
       seconds_between(start_time_, std::chrono::steady_clock::now());
   snap.numa_mode = to_string(options_.numa);

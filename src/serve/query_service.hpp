@@ -57,9 +57,9 @@
 // (not stopped) report std::future_error(broken_promise).
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -73,7 +73,10 @@
 #include "concurrent/run_governor.hpp"
 #include "concurrent/topology.hpp"
 #include "index/gs_index.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/latency_histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/windowed_histogram.hpp"
 #include "scan/scan_common.hpp"
 #include "serve/mpmc_queue.hpp"
 #include "util/thread_safety.hpp"
@@ -138,8 +141,30 @@ struct ServiceOptions {
   /// id (0 where no request is at hand). Every emission happens with the
   /// service's stats mutex held, so writers are serialized — the
   /// buffer's single-writer rule is met by mutual exclusion, and any
-  /// worker count fits. The collector must outlive the service.
+  /// worker count fits. The collector must outlive the service. With a
+  /// collector installed the service also emits per-query `serve.query`
+  /// async spans (SpanBegin at admission, SpanEnd at delivery, arg =
+  /// query id) plus dispatch marks, so the Perfetto export shows one
+  /// swimlane per in-flight query (docs/observability.md).
   obs::TraceCollector* trace = nullptr;
+  /// Live-telemetry publisher cadence (docs/observability.md, "Live
+  /// telemetry"). 0 (the default) runs no publisher thread: snapshot()'s
+  /// windowed fields stay empty and behavior is exactly the pre-telemetry
+  /// service. When > 0 a publisher thread folds the lifetime latency
+  /// histogram into the rolling window and refreshes the interval delta
+  /// counters every stats_interval.
+  std::chrono::milliseconds stats_interval{0};
+  /// Rolling horizon of the windowed SLO view (last-N-seconds p50/p99).
+  std::chrono::milliseconds window_horizon{10000};
+  /// Flight-recorder ring capacity (0 = recorder off): recent serving
+  /// events (admissions, refusals, breaker transitions, exceptions,
+  /// degraded serves) retained for post-mortem dumps.
+  std::size_t flight_capacity = 256;
+  /// When non-empty, the flight recorder dumps schema-valid JSON here on
+  /// stop() and on every breaker-open transition (the dump happens off
+  /// the stats lock). Fatal-signal dumps are the CLI's job:
+  /// obs::install_flight_signal_dump(service.flight(), path).
+  std::string flight_dump_path;
 };
 
 /// What a fulfilled query future carries.
@@ -151,6 +176,10 @@ struct QueryResponse {
   double latency_seconds = 0;
   /// Execution alone (0 on a cache hit).
   double execute_seconds = 0;
+  /// Submission → execution start (0 on an admission-time cache hit).
+  /// queue_seconds + execute_seconds ≤ latency_seconds — the remainder is
+  /// delivery overhead.
+  double queue_seconds = 0;
   bool cache_hit = false;
   /// True when the degradation ladder answered with a *different* (nearest
   /// ε, µ) cached run because this query's own execution was doomed; the
@@ -194,6 +223,11 @@ struct QueryRecord {
   std::string eps;  ///< "num/den" — exact, unlike a rounded double
   std::uint32_t mu = 0;
   double latency_ms = 0;
+  /// Queue-wait / execution split of latency_ms (metrics `queue_ms` /
+  /// `execute_ms`; queue_ms + execute_ms ≤ latency_ms up to delivery
+  /// overhead — the validator holds the inequality with slack).
+  double queue_ms = 0;
+  double execute_ms = 0;
   std::uint64_t num_clusters = 0;
   std::uint64_t num_cores = 0;
   AbortReason abort_reason = AbortReason::None;
@@ -201,22 +235,11 @@ struct QueryRecord {
   bool degraded = false;  ///< degradation ladder substituted a cached run
 };
 
-/// Fixed geometric latency histogram: bucket i counts latencies ≤ 2^i µs
-/// (last bucket is unbounded). Cheap enough to update under the stats
-/// mutex, coarse enough to answer p50/p99 without storing samples.
-struct LatencyHistogram {
-  static constexpr std::size_t kBuckets = 28;  // 1 µs .. ~67 s, then +inf
-  std::array<std::uint64_t, kBuckets> counts{};
-  std::uint64_t total = 0;
-  double max_ms = 0;
-
-  void record(double latency_ms);
-  /// Upper bound (ms) of the bucket containing quantile q ∈ [0, 1]; exact
-  /// max for the unbounded tail. 0 when empty.
-  [[nodiscard]] double quantile_ms(double q) const;
-  /// Upper bound (µs) of bucket i, for serialization.
-  [[nodiscard]] static double bucket_le_us(std::size_t i);
-};
+/// The 28-bucket geometric latency histogram now lives in obs
+/// (obs/latency_histogram.hpp) so the windowed SLO machinery and the
+/// Prometheus exposition can do histogram arithmetic without depending on
+/// the serving layer; the alias keeps every existing caller compiling.
+using LatencyHistogram = obs::LatencyHistogram;
 
 struct ServiceSnapshot {
   std::uint64_t submitted = 0;
@@ -237,6 +260,22 @@ struct ServiceSnapshot {
   /// Funnel aggregated over executed (non-cache-hit) queries.
   obs::AlgoCounters counters;
   LatencyHistogram latency;
+  /// Live-telemetry view (docs/observability.md). All zero/empty when the
+  /// publisher is off (stats_interval == 0):
+  /// latencies folded over the last `window_seconds` (the rolling SLO
+  /// window — window.quantile_ms(0.99) is the windowed p99) ...
+  LatencyHistogram window;
+  double window_seconds = 0;
+  /// ... publisher tick count, and the delta counters covering the last
+  /// completed publisher interval (sized by interval_seconds, so
+  /// interval_completed / interval_seconds is the current qps).
+  std::uint64_t publishes = 0;
+  double interval_seconds = 0;
+  std::uint64_t interval_submitted = 0;
+  std::uint64_t interval_completed = 0;
+  std::uint64_t interval_rejected = 0;
+  /// Flight-recorder events ever recorded (0 when disabled).
+  std::uint64_t flight_recorded = 0;
   /// Most recent per-query records, oldest first.
   std::vector<QueryRecord> recent;
   double uptime_seconds = 0;
@@ -284,6 +323,11 @@ class QueryService {
       PPSCAN_EXCLUDES(stats_mutex_);
   [[nodiscard]] int num_threads() const { return options_.num_threads; }
   [[nodiscard]] const GsIndex& index() const { return index_; }
+  /// The black box (nullptr when flight_capacity == 0). Valid for the
+  /// service's lifetime; safe to hand to install_flight_signal_dump.
+  [[nodiscard]] const obs::FlightRecorder* flight() const {
+    return flight_.get();
+  }
 
  private:
   struct Request {
@@ -332,6 +376,7 @@ class QueryService {
     bool cache_hit = false;
     bool degraded = false;
     double execute_seconds = 0;
+    double queue_seconds = 0;
     std::uint64_t num_clusters = 0;
     std::uint64_t num_cores = 0;
     AbortReason classified = AbortReason::None;
@@ -375,6 +420,22 @@ class QueryService {
   /// the firewall's per-query result (abort_reason Exception).
   [[nodiscard]] ScanRun exception_aborted_run(const char* phase,
                                               const char* what) const;
+  /// Stats publisher thread (stats_interval > 0): a condvar-timed loop
+  /// that calls publish_tick() every interval and once more on shutdown,
+  /// so the final snapshot's window covers the tail of the run.
+  void publisher_loop() PPSCAN_EXCLUDES(publisher_mutex_);
+  /// One publisher tick: under stats_mutex_, folds the lifetime histogram
+  /// into the windowed ring (WindowedLatency::publish) and refreshes the
+  /// interval delta counters from the running totals.
+  void publish_tick() PPSCAN_EXCLUDES(stats_mutex_);
+  /// Emits one per-query trace event into the collector's master slot.
+  /// The _locked form is for call sites already inside stats_mutex_; the
+  /// unlocked form takes it (the master-slot single-writer rule is met by
+  /// mutual exclusion under stats_mutex_, see ServiceOptions::trace).
+  void trace_query_locked(obs::TraceEventKind kind, const char* name,
+                          std::uint64_t id) PPSCAN_REQUIRES(stats_mutex_);
+  void trace_query(obs::TraceEventKind kind, const char* name,
+                   std::uint64_t id) PPSCAN_EXCLUDES(stats_mutex_);
 
   const GsIndex& index_;
   const ServiceOptions options_;
@@ -446,6 +507,31 @@ class QueryService {
   /// Ring buffer of the most recent per-query records.
   std::vector<QueryRecord> recent_ PPSCAN_GUARDED_BY(stats_mutex_);
   std::size_t recent_head_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  /// Live-telemetry state, written only by the publisher's publish_tick()
+  /// but guarded by stats_mutex_ like the totals it derives from, so
+  /// snapshot() reads one consistent cut of lifetime + window.
+  obs::WindowedLatency windowed_ PPSCAN_GUARDED_BY(stats_mutex_);
+  std::chrono::steady_clock::time_point last_publish_time_
+      PPSCAN_GUARDED_BY(stats_mutex_) = {};
+  std::uint64_t pub_submitted_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t pub_completed_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t pub_rejected_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  double interval_seconds_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t interval_submitted_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t interval_completed_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t interval_rejected_ PPSCAN_GUARDED_BY(stats_mutex_) = 0;
+
+  /// The black box (obs/flight_recorder.hpp); internally synchronized, so
+  /// record() is safe from any serving path. Null when disabled.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+
+  // guards: publisher_stop_ — the publisher thread's condvar wait word.
+  // Sits between stop_mutex_ (stop() notifies the publisher while holding
+  // it) and stats_mutex_ (publish_tick runs with no publisher lock held).
+  CheckedMutex publisher_mutex_;
+  std::condition_variable publisher_cv_;
+  bool publisher_stop_ PPSCAN_GUARDED_BY(publisher_mutex_) = false;
+  std::thread publisher_;
 
   // guards: stopped_ — serializes stop() callers against each other and
   // against drain_if_stopped()'s leftover-execution repair.

@@ -1,0 +1,78 @@
+// Async-signal-safe output helpers (docs/observability.md, "Flight
+// recorder"). A fatal-signal handler may only call the POSIX
+// async-signal-safe set — write() yes; snprintf, malloc, and anything
+// that might lock, no. These helpers format u64s and copy bounded strings
+// into a caller-provided buffer with nothing but pointer arithmetic, so
+// the flight recorder can emit its black-box JSON from inside SIGSEGV.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+#include <unistd.h>
+
+namespace ppscan::util::sigsafe {
+
+/// Append `s` (NUL-terminated) to buf at pos, never past cap. Returns the
+/// new pos. Truncates silently — a crash dump that loses a tail beats one
+/// that overruns a buffer.
+inline std::size_t append_str(char* buf, std::size_t cap, std::size_t pos,
+                              const char* s) {
+  if (s == nullptr) return pos;
+  while (*s != '\0' && pos < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+/// Append the decimal rendering of `v`.
+inline std::size_t append_u64(char* buf, std::size_t cap, std::size_t pos,
+                              std::uint64_t v) {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + (v % 10));
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+/// Append `s` with the JSON string escapes the flight-recorder event
+/// fields can contain (quote, backslash, control bytes become '?'). The
+/// recorder stores fixed ASCII-ish labels, so '?' for controls is enough
+/// to keep the dump parseable.
+inline std::size_t append_json_str(char* buf, std::size_t cap,
+                                   std::size_t pos, const char* s) {
+  if (s == nullptr) return pos;
+  for (; *s != '\0' && pos < cap; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      if (pos + 1 >= cap) break;
+      buf[pos++] = '\\';
+      buf[pos++] = c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      buf[pos++] = '?';
+    } else {
+      buf[pos++] = c;
+    }
+  }
+  return pos;
+}
+
+/// write() the buffer fully (retrying short writes); EINTR-tolerant.
+/// Returns false on a hard write error — nothing a crash handler can do
+/// about it, but callers in tests want to know.
+inline bool write_all(int fd, const char* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ::ssize_t n = ::write(fd, buf + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace ppscan::util::sigsafe

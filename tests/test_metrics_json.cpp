@@ -71,6 +71,8 @@ MetricsReport serving_report() {
   q0.eps = "3/5";
   q0.mu = 5;
   q0.latency_ms = 4.25;
+  q0.queue_ms = 0.5;
+  q0.execute_ms = 3.5;
   q0.num_clusters = 12345;
   q0.num_cores = 987654;
   q0.abort_reason = "none";
@@ -80,6 +82,8 @@ MetricsReport serving_report() {
   q1.eps = "1/5";
   q1.mu = 2;
   q1.latency_ms = 0.031;
+  q1.queue_ms = 0.02;
+  q1.execute_ms = 0.0;
   q1.num_clusters = 12345;
   q1.num_cores = 987654;
   q1.abort_reason = "deadline";
@@ -90,6 +94,7 @@ MetricsReport serving_report() {
   r.latency.p90_ms = 4.25;
   r.latency.p99_ms = 4.25;
   r.latency.max_ms = 4.25;
+  r.latency.sum_ms = 4.281;
   r.latency.buckets = {{32.0, 1}, {8192.0, 1}};
   return r;
 }
@@ -250,8 +255,12 @@ TEST(MetricsJson, ServingRowValidatesAndRoundTrips) {
     EXPECT_EQ(back.queries[i].num_cores, original.queries[i].num_cores);
     EXPECT_EQ(back.queries[i].abort_reason, original.queries[i].abort_reason);
     EXPECT_EQ(back.queries[i].cache_hit, original.queries[i].cache_hit);
+    EXPECT_DOUBLE_EQ(back.queries[i].queue_ms, original.queries[i].queue_ms);
+    EXPECT_DOUBLE_EQ(back.queries[i].execute_ms,
+                     original.queries[i].execute_ms);
   }
   EXPECT_EQ(back.latency.count, original.latency.count);
+  EXPECT_DOUBLE_EQ(back.latency.sum_ms, original.latency.sum_ms);
   EXPECT_DOUBLE_EQ(back.latency.p50_ms, original.latency.p50_ms);
   EXPECT_DOUBLE_EQ(back.latency.p90_ms, original.latency.p90_ms);
   EXPECT_DOUBLE_EQ(back.latency.p99_ms, original.latency.p99_ms);
@@ -289,6 +298,59 @@ TEST(MetricsJson, QueryRowWithoutCacheHitIsReported) {
   row.set("queries", std::move(queries));
   const auto violation = validate_metrics_json(row);
   EXPECT_NE(violation.find("cache_hit"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, QueueSplitExceedingLatencyIsReported) {
+  // The sanity check behind the queue_ms/execute_ms split: the parts may
+  // not exceed the whole (beyond the documented delivery-overhead slack).
+  MetricsReport r = serving_report();
+  r.queries[0].queue_ms = 3.0;
+  r.queries[0].execute_ms = 2.0;  // 5.0 > 4.25 * 1.05 + 0.5
+  const auto violation = validate_metrics_json(metrics_to_json(r));
+  EXPECT_NE(violation.find("queue_ms"), std::string::npos) << violation;
+}
+
+TEST(MetricsJson, QueueSplitIsAdditiveOptional) {
+  // Rows emitted before the split existed (committed BENCH files) carry
+  // neither key and must keep validating — the v2 schema is unchanged.
+  auto row = metrics_to_json(serving_report());
+  auto queries = JsonValue::array();
+  for (std::size_t i = 0; i < row.at("queries").size(); ++i) {
+    const auto& original = row.at("queries").at(i);
+    auto entry = JsonValue::object();
+    for (const auto& [key, value] : original.members()) {
+      if (key != "queue_ms" && key != "execute_ms") entry.set(key, value);
+    }
+    queries.push(std::move(entry));
+  }
+  row.set("queries", std::move(queries));
+  auto histogram = JsonValue::object();
+  for (const auto& [key, value] : row.at("latency_histogram").members()) {
+    if (key != "sum_ms") histogram.set(key, value);
+  }
+  row.set("latency_histogram", std::move(histogram));
+  EXPECT_EQ(validate_metrics_json(row), "");
+  // And the reconstruction defaults the absent fields to zero.
+  const MetricsReport back = metrics_from_json(row);
+  EXPECT_DOUBLE_EQ(back.queries[0].queue_ms, 0.0);
+  EXPECT_DOUBLE_EQ(back.queries[0].execute_ms, 0.0);
+  EXPECT_DOUBLE_EQ(back.latency.sum_ms, 0.0);
+}
+
+TEST(MetricsJson, NonNumericQueueSplitIsReported) {
+  auto row = metrics_to_json(serving_report());
+  auto queries = JsonValue::array();
+  auto entry = JsonValue::object();
+  for (const auto& [key, value] : row.at("queries").at(0).members()) {
+    if (key == "queue_ms")
+      entry.set(key, JsonValue::string("fast"));
+    else
+      entry.set(key, value);
+  }
+  queries.push(std::move(entry));
+  row.set("queries", std::move(queries));
+  const auto violation = validate_metrics_json(row);
+  EXPECT_NE(violation.find("queue_ms"), std::string::npos) << violation;
 }
 
 TEST(MetricsJson, InconsistentHistogramBucketsAreReported) {

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (v0.0.4) scrape.
+
+Used two ways:
+
+  check_exposition.py <file>     validate one scrape (the CI serving smoke
+                                 pipes a live /metrics body through this)
+  check_exposition.py --self-test
+                                 run over testdata/exposition: every good/
+                                 file must pass, every bad/ file must fail
+
+Checks enforced (the contract serve::exposition_text must keep, see
+docs/observability.md "Live telemetry"):
+
+  * every sample's metric belongs to a family announced by `# HELP` and
+    `# TYPE` lines *before* the first sample of that family;
+  * metric names match the Prometheus grammar
+    [a-zA-Z_:][a-zA-Z0-9_:]* and ppscan families carry the
+    `ppscan_serve_` prefix;
+  * TYPE is one of counter|gauge|histogram|summary|untyped;
+  * counter family names end in `_total`;
+  * histogram families expose `_bucket{le=...}` samples with
+    non-decreasing counts over non-decreasing bounds, a final `le="+Inf"`
+    bucket, a `_sum` sample, and a `_count` sample equal to the +Inf
+    bucket;
+  * no duplicate samples (same name + label set twice).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name, types):
+    """Maps a sample name to its family: histogram samples drop their
+    _bucket/_sum/_count suffix when the base family is a histogram."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def parse_le(labels):
+    match = re.search(r'le="([^"]*)"', labels or "")
+    if match is None:
+        return None
+    text = match.group(1)
+    return float("inf") if text == "+Inf" else float(text)
+
+
+def check_exposition(text):
+    """Returns a list of violation strings (empty = valid)."""
+    errors = []
+    helps = {}
+    types = {}
+    seen_samples = set()
+    histograms = {}  # family -> {"buckets": [(le, v)], "sum": x, "count": x}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: HELP line missing text")
+                continue
+            name = parts[2]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"line {lineno}: invalid metric name '{name}'")
+            if name in helps:
+                errors.append(f"line {lineno}: duplicate HELP for '{name}'")
+            helps[name] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, mtype = parts[2], parts[3]
+            if mtype not in VALID_TYPES:
+                errors.append(
+                    f"line {lineno}: unknown metric type '{mtype}'")
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for '{name}'")
+            types[name] = mtype
+            if mtype == "counter" and not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter '{name}' must end in _total")
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        value_text = match.group("value")
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(
+                f"line {lineno}: non-numeric value {value_text!r}")
+            continue
+
+        family = family_of(name, types)
+        if family not in types:
+            errors.append(
+                f"line {lineno}: sample '{name}' has no preceding # TYPE")
+        if family not in helps:
+            errors.append(
+                f"line {lineno}: sample '{name}' has no preceding # HELP")
+
+        key = (name, labels or "")
+        if key in seen_samples:
+            errors.append(
+                f"line {lineno}: duplicate sample '{name}{{{labels or ''}}}'")
+        seen_samples.add(key)
+
+        if types.get(family) == "histogram":
+            hist = histograms.setdefault(
+                family, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                bound = parse_le(labels)
+                if bound is None:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                else:
+                    hist["buckets"].append((lineno, bound, value))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+
+    for family, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets:
+            errors.append(f"histogram '{family}' has no _bucket samples")
+            continue
+        prev_bound, prev_value = None, None
+        for lineno, bound, value in buckets:
+            if prev_bound is not None and bound < prev_bound:
+                errors.append(
+                    f"line {lineno}: histogram '{family}' le bounds not "
+                    "non-decreasing")
+            if prev_value is not None and value < prev_value:
+                errors.append(
+                    f"line {lineno}: histogram '{family}' cumulative counts "
+                    "decrease")
+            prev_bound, prev_value = bound, value
+        if buckets[-1][1] != float("inf"):
+            errors.append(f"histogram '{family}' missing le=\"+Inf\" bucket")
+        if hist["sum"] is None:
+            errors.append(f"histogram '{family}' missing _sum sample")
+        if hist["count"] is None:
+            errors.append(f"histogram '{family}' missing _count sample")
+        elif buckets[-1][1] == float("inf") and hist["count"] != buckets[-1][2]:
+            errors.append(
+                f"histogram '{family}' _count={hist['count']:g} != +Inf "
+                f"bucket {buckets[-1][2]:g}")
+    return errors
+
+
+def self_test(testdata):
+    failures = []
+    good = sorted((testdata / "good").glob("*.txt"))
+    bad = sorted((testdata / "bad").glob("*.txt"))
+    if not good or not bad:
+        print(f"self-test: no testdata under {testdata}", file=sys.stderr)
+        return 1
+    for path in good:
+        errors = check_exposition(path.read_text())
+        if errors:
+            failures.append(f"{path.name} (good) unexpectedly failed: "
+                            + "; ".join(errors))
+    for path in bad:
+        errors = check_exposition(path.read_text())
+        if not errors:
+            failures.append(f"{path.name} (bad) unexpectedly passed")
+    for failure in failures:
+        print(f"self-test: {failure}", file=sys.stderr)
+    print(f"self-test: {len(good)} good + {len(bad)} bad files, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="exposition text to check")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the known-good/known-bad testdata")
+    args = parser.parse_args()
+
+    if args.self_test:
+        here = pathlib.Path(__file__).resolve().parent
+        return self_test(here / "testdata" / "exposition")
+    if args.file is None:
+        parser.error("either a file or --self-test is required")
+    text = (sys.stdin.read() if args.file == "-"
+            else pathlib.Path(args.file).read_text())
+    errors = check_exposition(text)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"check_exposition: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_exposition: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

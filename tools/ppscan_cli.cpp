@@ -20,6 +20,7 @@
 //
 // Graph files: text edge lists ("u v" per line, SNAP style) or the binary
 // CSR snapshot format; the suffix ".bin"/".csrbin" selects binary.
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -36,6 +37,8 @@
 #include "bench_support/algorithms.hpp"
 #include "bench_support/metrics.hpp"
 #include "concurrent/topology.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_json.hpp"
 #include "graph/edge_list_io.hpp"
@@ -539,7 +542,58 @@ int cmd_serve(const Flags& flags) {
     topology = detect_topology();
     options.topology = &topology;
   }
+  // Live telemetry (docs/observability.md, "Live telemetry"): the stats
+  // publisher backs both the windowed /metrics families and the stderr
+  // heartbeat, so a metrics port without an explicit cadence gets the
+  // 1-second default.
+  const long metrics_port = flags.get_int("metrics-port", -1);
+  const long stats_interval_ms = flags.get_int("stats-interval-ms", 0);
+  if (stats_interval_ms > 0) {
+    options.stats_interval = std::chrono::milliseconds(stats_interval_ms);
+  } else if (metrics_port >= 0) {
+    options.stats_interval = std::chrono::milliseconds(1000);
+  }
+  const auto flight_out = flags.get_string("flight-out", "");
+  options.flight_dump_path = flight_out;
   serve::QueryService service(index, options);
+
+  std::unique_ptr<obs::ExpositionServer> exposition;
+  if (metrics_port >= 0) {
+    exposition = std::make_unique<obs::ExpositionServer>(
+        static_cast<std::uint16_t>(metrics_port),
+        [&service] { return serve::exposition_text(service.snapshot()); });
+    // The smoke tests (and any local scraper) read the resolved port off
+    // this line, so ephemeral --metrics-port 0 stays scriptable.
+    std::cerr << "[serve] metrics exposition on 127.0.0.1:"
+              << exposition->port() << "\n";
+  }
+  if (!flight_out.empty()) {
+    obs::install_flight_signal_dump(service.flight(), flight_out.c_str());
+  }
+
+  // Satellite heartbeat: one stderr line per publisher interval, only
+  // when --stats-interval-ms asked for it.
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat;
+  if (stats_interval_ms > 0) {
+    heartbeat = std::thread([&service, &heartbeat_stop, stats_interval_ms] {
+      while (!heartbeat_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stats_interval_ms));
+        if (heartbeat_stop.load(std::memory_order_relaxed)) break;
+        const auto s = service.snapshot();
+        const double qps =
+            s.interval_seconds > 0
+                ? static_cast<double>(s.interval_completed) /
+                      s.interval_seconds
+                : 0;
+        std::cerr << "[serve] qps=" << qps
+                  << " p99w=" << s.window.quantile_ms(0.99) << "ms shed="
+                  << s.shed_queue_full + s.shed_overload + s.shed_breaker
+                  << " breaker=" << s.breaker_state << "\n";
+      }
+    });
+  }
 
   // Submit the whole session up front, then collect in submission order —
   // the point of the service is concurrent execution, not lockstep.
@@ -598,7 +652,15 @@ int cmd_serve(const Flags& flags) {
                    to_string(r.classified_reason)});
   }
   const double elapsed = serve_timer.elapsed_s();
+  if (heartbeat.joinable()) {
+    heartbeat_stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+  }
   service.stop();
+  if (exposition) exposition->stop();
+  // The recorder dies with the service at end of scope; disarm the global
+  // handler before that happens.
+  if (!flight_out.empty()) obs::install_flight_signal_dump(nullptr, nullptr);
   table.print(std::cout, "QueryService session");
 
   const auto snap = service.snapshot();
@@ -675,7 +737,15 @@ void usage() {
          "        [--degraded]            nearest cached answer when doomed\n"
          "        (shed/breaker flags switch submission to the gated\n"
          "         try_submit_ex path with client-side retry/backoff;\n"
-         "         see docs/resilience.md)\n";
+         "         see docs/resilience.md)\n"
+         "        [--metrics-port P]      /metrics + /healthz on\n"
+         "                                127.0.0.1:P (0 = ephemeral; the\n"
+         "                                bound port prints to stderr)\n"
+         "        [--stats-interval-ms M] windowed-stats publisher cadence\n"
+         "                                + one stderr heartbeat line per\n"
+         "                                interval (default off)\n"
+         "        [--flight-out FILE]     flight-recorder JSON on stop,\n"
+         "                                breaker-open, and fatal signals\n";
 }
 
 }  // namespace
